@@ -1,0 +1,130 @@
+// Figure 6: "Variation of the recovery time for a server replica with the
+// size of the replica's application-level state."
+//
+// Paper setup (§6): a packet-driver client streams two-way invocations at
+// an actively replicated server; one server replica is killed and then
+// re-launched; recovery time = interval between the re-launch and the
+// replica's reinstatement to normal operation. Application-level state is
+// swept from 10 bytes to 350,000 bytes. Because the whole state travels in
+// one IIOP message that the transport must fragment into <=1518-byte
+// Ethernet frames, recovery time grows with state size once the state
+// exceeds one frame.
+//
+// Expected shape (not absolute 2001-hardware numbers): flat for states that
+// fit one frame, then linear in the state size, dominated by the 100 Mbps
+// serialization of the fragments.
+#include <array>
+
+#include "support.hpp"
+#include "util/any.hpp"
+#include "util/cdr.hpp"
+
+#include "../tests/support/counter_servant.hpp"
+
+namespace {
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+struct Row {
+  std::size_t state_bytes;
+  double recovery_ms;
+  double coordination_ms;  // launch -> get_state (membership + quiescence)
+  double transfer_ms;      // get_state -> set_state (retrieval + multicast)
+  double apply_ms;         // set_state -> operational (assignment + drain)
+  std::uint64_t frames;    // Ethernet frames during the recovery window
+};
+
+Row run_once(std::size_t state_bytes) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 2;
+  props.minimum_replicas = 1;
+  props.fault_monitoring_interval = Duration(5'000'000);
+
+  std::array<std::shared_ptr<CounterServant>, 5> servants{};
+  const GroupId server = sys.deploy(
+      "server", "IDL:PacketSink:1.0", props, {NodeId{1}, NodeId{2}},
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim(), state_bytes,
+                                                  Duration(50'000));
+        servants[n.value] = s;
+        return s;
+      });
+  sys.deploy_client("driver", NodeId{4}, {server});
+
+  bench::PacketDriver driver(sys, sys.client(NodeId{4}, server), "inc",
+                             CounterServant::encode_i32(1));
+  driver.start();
+  sys.run_for(Duration(20'000'000));  // warm-up stream
+
+  // Kill one server replica; let the fault detector remove it.
+  sys.kill_replica(NodeId{2}, server);
+  sys.run_until(
+      [&] {
+        const auto* e = sys.mech(NodeId{1}).groups().find(server);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(500'000'000));
+
+  const std::uint64_t frames_before = sys.ethernet().stats().frames_sent;
+
+  // Re-launch the failed replica; measure relaunch -> reinstatement.
+  sys.relaunch_replica(NodeId{2}, server);
+  const bool recovered = sys.run_until(
+      [&] { return !sys.mech(NodeId{2}).recoveries().empty(); }, Duration(5'000'000'000));
+
+  driver.stop();
+  Row row{};
+  row.state_bytes = state_bytes;
+  if (recovered) {
+    const core::RecoveryRecord& rec = sys.mech(NodeId{2}).recoveries().front();
+    row.recovery_ms = bench::to_ms(rec.recovery_time());
+    row.coordination_ms = bench::to_ms(rec.coordination_time());
+    row.transfer_ms = bench::to_ms(rec.transfer_time());
+    row.apply_ms = bench::to_ms(rec.apply_time());
+    row.frames = sys.ethernet().stats().frames_sent - frames_before;
+  } else {
+    row.recovery_ms = -1.0;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 6 — recovery time of a server replica vs application-level state size",
+      "active replication; packet-driver client; kill + re-launch one replica; "
+      "10 B .. 350,000 B; recovery time grows with state size once the state "
+      "fragments across >1518 B Ethernet frames");
+
+  static const std::size_t kSizes[] = {10,     100,    1000,   1518,    5'000,  10'000,
+                                       25'000, 50'000, 100'000, 200'000, 350'000};
+  std::printf("%12s %13s %10s %10s %10s %8s\n", "state_B", "recovery_ms", "coord_ms",
+              "xfer_ms", "apply_ms", "frames");
+  double first_small = 0, last_big = 0;
+  for (std::size_t size : kSizes) {
+    const Row row = run_once(size);
+    std::printf("%12zu %13.3f %10.3f %10.3f %10.3f %8llu\n", row.state_bytes,
+                row.recovery_ms, row.coordination_ms, row.transfer_ms, row.apply_ms,
+                static_cast<unsigned long long>(row.frames));
+    if (size == 10) first_small = row.recovery_ms;
+    if (size == 350'000) last_big = row.recovery_ms;
+  }
+  std::printf("\nshape check: recovery(350 kB) / recovery(10 B) = %.1fx (paper: grows "
+              "steeply with state size)\n",
+              first_small > 0 ? last_big / first_small : 0.0);
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Ablation of the paper's ORB/POA-level state mechanisms (§4.2):
+//
+//   (a) GIOP request_id synchronization (§4.2.1 / Figure 4): recover a
+//       replica of a two-way replicated client WITHOUT translating its
+//       fresh ORB's request_ids — its requests collide with old operation
+//       identifiers, its replies cannot match, and it waits forever.
+//   (b) handshake storage + replay (§4.2.2): recover a server replica
+//       WITHOUT re-injecting the client's stored handshake — the new ORB
+//       cannot interpret the negotiated short-key requests and discards
+//       them, so the replica silently diverges.
+//
+// The paper argues every prior FT-CORBA system (OGS, AQuA, Maestro, DOORS)
+// transfers only application-level state; these rows are the failure modes
+// that ignores.
+#include <array>
+
+#include "support.hpp"
+#include "../tests/support/counter_servant.hpp"
+
+namespace {
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+struct ClientRow {
+  std::uint64_t discarded_replies = 0;  ///< ORB-level mismatches (Fig. 4)
+  std::uint64_t stuck_requests = 0;     ///< invocations waiting forever
+  std::int32_t server_value = 0;        ///< correctness of the replicated state
+};
+
+/// Two-way replicated client; one replica fails and recovers; both then
+/// issue 5 more logical operations.
+ClientRow run_client_recovery(bool sync_request_ids) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.mechanisms.sync_request_ids = sync_request_ids;
+  System sys(cfg);
+
+  FtProperties sprops;
+  sprops.style = ReplicationStyle::kActive;
+  sprops.initial_replicas = 1;
+  sprops.minimum_replicas = 1;
+  std::shared_ptr<CounterServant> servant;
+  const GroupId server = sys.deploy("backend", "IDL:Backend:1.0", sprops, {NodeId{3}},
+                                    [&](NodeId) {
+                                      servant = std::make_shared<CounterServant>(sys.sim());
+                                      return servant;
+                                    });
+
+  FtProperties cprops;
+  cprops.style = ReplicationStyle::kActive;
+  cprops.initial_replicas = 2;
+  cprops.minimum_replicas = 1;
+  cprops.fault_monitoring_interval = Duration(5'000'000);
+  const GroupId client_group = sys.deploy(
+      "driver", "IDL:Driver:1.0", cprops, {NodeId{1}, NodeId{2}},
+      [](NodeId) { return std::make_shared<core::NullServant>(); });
+  sys.bind_client(NodeId{1}, client_group, server);
+  sys.bind_client(NodeId{2}, client_group, server);
+  orb::ObjectRef ref1 = sys.client(NodeId{1}, server);
+  orb::ObjectRef ref2 = sys.client(NodeId{2}, server);
+
+  auto both = [&](std::int32_t delta) {
+    bool done = false;
+    ref1.invoke("inc", CounterServant::encode_i32(delta),
+                [&done](const orb::ReplyOutcome&) { done = true; });
+    ref2.invoke("inc", CounterServant::encode_i32(delta), [](const orb::ReplyOutcome&) {});
+    sys.run_until([&] { return done; }, Duration(300'000'000));
+  };
+
+  for (int i = 0; i < 5; ++i) both(1);
+
+  sys.kill_replica(NodeId{2}, client_group);
+  sys.run_until(
+      [&] {
+        const auto* e = sys.mech(NodeId{1}).groups().find(client_group);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(300'000'000));
+  sys.relaunch_replica(NodeId{2}, client_group);
+  sys.run_until([&] { return sys.mech(NodeId{2}).hosts_operational(client_group); },
+                Duration(500'000'000));
+  ref2 = sys.client(NodeId{2}, server);
+
+  for (int i = 0; i < 5; ++i) both(1);
+  sys.run_for(Duration(200'000'000));
+
+  ClientRow row;
+  row.discarded_replies = sys.orb(NodeId{1}).stats().replies_discarded_request_id +
+                          sys.orb(NodeId{2}).stats().replies_discarded_request_id;
+  row.stuck_requests = sys.orb(NodeId{1}).outstanding_requests() +
+                       sys.orb(NodeId{2}).outstanding_requests();
+  row.server_value = servant->value();
+  return row;
+}
+
+struct ServerRow {
+  std::uint64_t discarded_requests = 0;  ///< unknown short key at new ORB
+  std::int32_t recovered_value = 0;
+  std::int32_t surviving_value = 0;
+};
+
+/// Two-way replicated server; one replica fails and recovers; the client
+/// then issues 5 more operations over its negotiated connection.
+ServerRow run_server_recovery(bool replay_handshakes) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.mechanisms.replay_handshakes = replay_handshakes;
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 2;
+  props.minimum_replicas = 1;
+  props.fault_monitoring_interval = Duration(5'000'000);
+  std::array<std::shared_ptr<CounterServant>, 5> servants{};
+  const GroupId server = sys.deploy("svc", "IDL:Svc:1.0", props, {NodeId{1}, NodeId{2}},
+                                    [&](NodeId n) {
+                                      auto s = std::make_shared<CounterServant>(sys.sim());
+                                      servants[n.value] = s;
+                                      return s;
+                                    });
+  sys.deploy_client("app", NodeId{4}, {server});
+  orb::ObjectRef ref = sys.client(NodeId{4}, server);
+
+  auto invoke = [&](std::int32_t delta) {
+    bool done = false;
+    ref.invoke("inc", CounterServant::encode_i32(delta),
+               [&done](const orb::ReplyOutcome&) { done = true; });
+    sys.run_until([&] { return done; }, Duration(300'000'000));
+  };
+
+  for (int i = 0; i < 5; ++i) invoke(1);
+
+  sys.kill_replica(NodeId{2}, server);
+  sys.run_until(
+      [&] {
+        const auto* e = sys.mech(NodeId{1}).groups().find(server);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(300'000'000));
+  sys.relaunch_replica(NodeId{2}, server);
+  sys.run_until([&] { return sys.mech(NodeId{2}).hosts_operational(server); },
+                Duration(500'000'000));
+
+  for (int i = 0; i < 5; ++i) invoke(1);
+  sys.run_for(Duration(50'000'000));
+
+  ServerRow row;
+  row.discarded_requests = sys.orb(NodeId{2}).stats().requests_discarded_unknown_key;
+  row.recovered_value = servants[2]->value();
+  row.surviving_value = servants[1]->value();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation §4.2 — ORB/POA-level state mechanisms on/off",
+      "Fig. 4: without request_id sync a recovered client replica waits "
+      "forever; §4.2.2: without handshake replay a new server replica "
+      "discards negotiated requests");
+
+  std::printf("--- (a) client recovery: GIOP request_id synchronization ---\n");
+  std::printf("%8s %20s %16s %14s\n", "sync", "discarded_replies", "stuck_requests",
+              "server_value");
+  for (bool sync : {true, false}) {
+    const ClientRow row = run_client_recovery(sync);
+    std::printf("%8s %20llu %16llu %11d/10\n", sync ? "on" : "off",
+                static_cast<unsigned long long>(row.discarded_replies),
+                static_cast<unsigned long long>(row.stuck_requests), row.server_value);
+  }
+
+  std::printf("\n--- (b) server recovery: handshake storage + replay ---\n");
+  std::printf("%8s %20s %18s %18s\n", "replay", "discarded_requests", "recovered_value",
+              "surviving_value");
+  for (bool replay : {true, false}) {
+    const ServerRow row = run_server_recovery(replay);
+    std::printf("%8s %20llu %15d/10 %15d/10\n", replay ? "on" : "off",
+                static_cast<unsigned long long>(row.discarded_requests),
+                row.recovered_value, row.surviving_value);
+  }
+
+  std::printf("\nshape check: with each mechanism ON the system is exact-once and "
+              "nobody stalls;\nwith it OFF the paper's §4.2 failure appears (stuck "
+              "client / diverged replica).\n");
+  return 0;
+}

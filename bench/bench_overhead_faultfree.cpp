@@ -1,0 +1,117 @@
+// §6 in-text claim: "The overheads, under normal fault-free operation, of
+// the interception, multicast and replica consistency mechanisms of our
+// prototype Eternal system are reasonable, within the range of 10-15% of the
+// response time for fault-tolerant CORBA test applications, over their
+// unreplicated counterparts."
+//
+// We measure the same ratio: a packet-driver client invoking a server
+//   (a) unreplicated, straight IIOP over the simulated switched TCP fabric
+//       (no Eternal anywhere), vs
+//   (b) replicated via Eternal (interception + Totem multicast + duplicate
+//       suppression), 1-way and 3-way active.
+// The absolute overhead of interception+multicast is fixed per invocation,
+// so the *relative* overhead depends on how much work the operation does —
+// we sweep the served operation's execution time and report the band. The
+// paper's 10-15% corresponds to its (heavier) test applications.
+#include <memory>
+
+#include "support.hpp"
+#include "../tests/support/counter_servant.hpp"
+
+namespace {
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+constexpr int kInvocations = 300;
+
+/// Unreplicated baseline: two ORBs over the point-to-point TCP fabric.
+double baseline_mean_us(Duration exec_time) {
+  sim::Simulator sim;
+  orb::TcpNetwork net(sim);
+
+  orb::OrbConfig cfg;
+  orb::Orb client_orb(sim, NodeId{100}, cfg);
+  orb::Orb server_orb(sim, NodeId{101}, cfg);
+  orb::Transport& ct = net.bind(client_orb.local_endpoint(), client_orb);
+  orb::Transport& st = net.bind(server_orb.local_endpoint(), server_orb);
+  client_orb.plug_transport(ct);
+  server_orb.plug_transport(st);
+
+  auto servant = std::make_shared<CounterServant>(sim, 0, exec_time);
+  giop::Ior ior = server_orb.root_poa().activate("svc", servant, "IDL:Svc:1.0");
+  orb::ObjectRef ref = client_orb.resolve(ior);
+
+  int done = 0;
+  util::Duration total{};
+  std::function<void()> fire = [&] {
+    const util::TimePoint sent = sim.now();
+    ref.invoke("inc", CounterServant::encode_i32(1), [&, sent](const orb::ReplyOutcome&) {
+      total += sim.now() - sent;
+      if (++done < kInvocations) fire();
+    });
+  };
+  fire();
+  sim.run_until(sim.now() + Duration(60'000'000'000LL));
+  return done == 0 ? -1.0 : bench::to_us(Duration(total.count() / done));
+}
+
+/// Eternal path: the same workload through interception + Totem.
+double eternal_mean_us(Duration exec_time, std::size_t replicas) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = replicas;
+  props.minimum_replicas = 1;
+  std::vector<NodeId> placement;
+  for (std::size_t i = 1; i <= replicas; ++i) placement.push_back(NodeId{(std::uint32_t)i});
+  const GroupId server =
+      sys.deploy("svc", "IDL:Svc:1.0", props, placement, [&](NodeId) {
+        return std::make_shared<CounterServant>(sys.sim(), 0, exec_time);
+      });
+  sys.deploy_client("driver", NodeId{4}, {server});
+
+  bench::PacketDriver driver(sys, sys.client(NodeId{4}, server), "inc",
+                             CounterServant::encode_i32(1));
+  driver.start();
+  sys.run_until([&] { return driver.replies() >= kInvocations; },
+                Duration(60'000'000'000LL));
+  driver.stop();
+  return driver.replies() == 0 ? -1.0 : bench::to_us(driver.mean_response());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "§6 claim — fault-free overhead of interception + multicast + consistency",
+      "10-15% of response time for the paper's fault-tolerant test applications "
+      "over their unreplicated counterparts");
+
+  static const Duration kExecTimes[] = {Duration(100'000), Duration(250'000),
+                                        Duration(500'000), Duration(1'000'000),
+                                        Duration(2'000'000), Duration(5'000'000)};
+  std::printf("%10s %14s %14s %8s %14s %8s\n", "exec_us", "baseline_us", "eternal1_us",
+              "ovh1%", "eternal3_us", "ovh3%");
+  for (Duration exec : kExecTimes) {
+    const double base = baseline_mean_us(exec);
+    const double e1 = eternal_mean_us(exec, 1);
+    const double e3 = eternal_mean_us(exec, 3);
+    std::printf("%10.0f %14.1f %14.1f %7.1f%% %14.1f %7.1f%%\n", bench::to_us(exec), base,
+                e1, 100.0 * (e1 - base) / base, e3, 100.0 * (e3 - base) / base);
+  }
+  std::printf("\nshape check: the absolute overhead per invocation is roughly constant;\n"
+              "the paper's 10-15%% band corresponds to operations whose execution time\n"
+              "amortizes that constant (heavier test applications).\n");
+  return 0;
+}

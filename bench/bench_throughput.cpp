@@ -1,0 +1,130 @@
+// Extension experiment: throughput and latency under offered load.
+//
+// The paper reports response-time overhead under a light closed-loop
+// stream; a natural follow-up the evaluation motivates is where the
+// Eternal path *saturates* relative to the unreplicated baseline: the
+// token ring serializes multicasts and every active replica executes every
+// operation, so the service capacity is set by the servant execution time
+// while the group-communication layer adds latency, not a throughput
+// ceiling (until the medium saturates).
+//
+// Poisson open-loop clients at increasing rates; reports achieved
+// throughput, mean and p99 latency, and in-flight backlog at the end.
+#include <cmath>
+
+#include "support.hpp"
+#include "workload/drivers.hpp"
+
+#include "../tests/support/counter_servant.hpp"
+
+namespace {
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+using workload::OpenLoopDriver;
+
+constexpr Duration kExec = Duration(400'000);  // 400 us service time → ~2500/s cap
+constexpr Duration kRun = Duration(400'000'000);  // 400 ms of offered load
+
+struct Row {
+  double offered;
+  double achieved;
+  double mean_ms;
+  double p99_ms;
+  std::uint64_t backlog;
+};
+
+Row run_eternal(double rate, std::size_t replicas) {
+  SystemConfig cfg;
+  cfg.nodes = replicas + 1;
+  System sys(cfg);
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = replicas;
+  props.minimum_replicas = 1;
+  std::vector<NodeId> placement;
+  for (std::size_t i = 1; i <= replicas; ++i) placement.push_back(NodeId{(std::uint32_t)i});
+  const NodeId client_node{static_cast<std::uint32_t>(replicas + 1)};
+  const GroupId group = sys.deploy("svc", "IDL:Svc:1.0", props, placement, [&](NodeId) {
+    return std::make_shared<CounterServant>(sys.sim(), 0, kExec);
+  });
+  sys.deploy_client("load", client_node, {group});
+
+  OpenLoopDriver driver(sys.sim(), sys.client(client_node, group), "inc",
+                        CounterServant::encode_i32(1), rate);
+  driver.start();
+  sys.run_for(kRun);
+  driver.stop();
+  sys.run_for(Duration(50'000'000));  // drain
+
+  Row row{};
+  row.offered = rate;
+  row.achieved = static_cast<double>(driver.completed()) /
+                 (static_cast<double>(kRun.count()) / 1e9);
+  row.mean_ms = bench::to_ms(driver.latency().mean());
+  row.p99_ms = bench::to_ms(driver.latency().percentile(99));
+  row.backlog = driver.in_flight();
+  return row;
+}
+
+Row run_baseline(double rate) {
+  sim::Simulator sim;
+  orb::TcpNetwork net(sim);
+  orb::Orb client_orb(sim, NodeId{100}, orb::OrbConfig{});
+  orb::Orb server_orb(sim, NodeId{101}, orb::OrbConfig{});
+  client_orb.plug_transport(net.bind(client_orb.local_endpoint(), client_orb));
+  server_orb.plug_transport(net.bind(server_orb.local_endpoint(), server_orb));
+  auto servant = std::make_shared<CounterServant>(sim, 0, kExec);
+  giop::Ior ior = server_orb.root_poa().activate("svc", servant, "IDL:Svc:1.0");
+
+  OpenLoopDriver driver(sim, client_orb.resolve(ior), "inc",
+                        CounterServant::encode_i32(1), rate);
+  driver.start();
+  sim.run_until(sim.now() + kRun);
+  driver.stop();
+  sim.run_until(sim.now() + Duration(50'000'000));
+
+  Row row{};
+  row.offered = rate;
+  row.achieved =
+      static_cast<double>(driver.completed()) / (static_cast<double>(kRun.count()) / 1e9);
+  row.mean_ms = bench::to_ms(driver.latency().mean());
+  row.p99_ms = bench::to_ms(driver.latency().percentile(99));
+  row.backlog = driver.in_flight();
+  return row;
+}
+
+void print_row(const char* label, const Row& r) {
+  std::printf("%12s %10.0f %10.0f %10.3f %10.3f %9llu\n", label, r.offered, r.achieved,
+              r.mean_ms, r.p99_ms, static_cast<unsigned long long>(r.backlog));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension — throughput under Poisson offered load (400 us operations)",
+      "Eternal adds latency, not a throughput ceiling, until the servant "
+      "saturates (~2500 ops/s); active replication replicates the execution "
+      "cost but not the capacity of a single logical object");
+
+  std::printf("%12s %10s %10s %10s %10s %9s\n", "system", "offered/s", "achieved/s",
+              "mean_ms", "p99_ms", "backlog");
+  for (double rate : {500.0, 1000.0, 2000.0, 2400.0, 3000.0}) {
+    print_row("baseline", run_baseline(rate));
+    print_row("eternal-1", run_eternal(rate, 1));
+    print_row("eternal-3", run_eternal(rate, 3));
+    std::printf("\n");
+  }
+  std::printf("shape check: achieved tracks offered until ~1/exec_time for every system;\n"
+              "past saturation the open-loop backlog and p99 blow up identically —\n"
+              "the group communication layer is not the bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared benchmark harness pieces: the paper's packet-driver workload
+// (§6: "the client object ... acts as a packet driver, sending a constant
+// stream of two-way invocations to the ... server object"), plus small
+// table-printing helpers so each bench binary regenerates its figure/table
+// as the paper printed it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "util/time.hpp"
+
+namespace eternal::bench {
+
+/// Closed-loop two-way invocation stream: as soon as a reply arrives the
+/// next request goes out. Mirrors the paper's packet-driver client.
+class PacketDriver {
+ public:
+  PacketDriver(core::System& sys, orb::ObjectRef ref, std::string operation,
+               util::Bytes args)
+      : sys_(sys), ref_(std::move(ref)), operation_(std::move(operation)),
+        args_(std::move(args)) {}
+
+  void start() {
+    running_ = true;
+    fire();
+  }
+
+  void stop() { running_ = false; }
+
+  std::uint64_t replies() const noexcept { return replies_; }
+
+  /// Mean response time over all completed invocations.
+  util::Duration mean_response() const {
+    return replies_ == 0 ? util::Duration::zero()
+                         : util::Duration(total_response_.count() / (std::int64_t)replies_);
+  }
+
+  const std::vector<util::Duration>& samples() const noexcept { return samples_; }
+  const std::vector<util::TimePoint>& arrivals() const noexcept { return arrivals_; }
+
+  /// Longest gap between consecutive replies at or after `from` — the
+  /// client-visible service interruption around a fault.
+  util::Duration max_reply_gap(util::TimePoint from) const {
+    util::Duration worst{};
+    util::TimePoint prev = from;
+    for (util::TimePoint t : arrivals_) {
+      if (t < from) {
+        prev = t;
+        continue;
+      }
+      worst = std::max(worst, t - prev);
+      prev = t;
+    }
+    return worst;
+  }
+
+ private:
+  void fire() {
+    if (!running_) return;
+    const util::TimePoint sent = sys_.sim().now();
+    ref_.invoke(operation_, args_, [this, sent](const orb::ReplyOutcome&) {
+      const util::Duration rt = sys_.sim().now() - sent;
+      replies_ += 1;
+      total_response_ += rt;
+      samples_.push_back(rt);
+      arrivals_.push_back(sys_.sim().now());
+      fire();
+    });
+  }
+
+  core::System& sys_;
+  orb::ObjectRef ref_;
+  std::string operation_;
+  util::Bytes args_;
+  bool running_ = false;
+  std::uint64_t replies_ = 0;
+  util::Duration total_response_{};
+  std::vector<util::Duration> samples_;
+  std::vector<util::TimePoint> arrivals_;
+};
+
+inline double to_ms(util::Duration d) { return static_cast<double>(d.count()) / 1e6; }
+inline double to_us(util::Duration d) { return static_cast<double>(d.count()) / 1e3; }
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_note);
+  std::printf("================================================================\n");
+}
+
+}  // namespace eternal::bench

@@ -1,0 +1,227 @@
+// Scenario runner: a command-line front end to the whole system, for
+// exploring configurations without writing code.
+//
+//   ./ftcorba_sim [options]
+//     --style active|warm|cold     replication style        (default active)
+//     --replicas N                 initial replicas         (default 2)
+//     --nodes N                    simulated processors     (default replicas+2)
+//     --state BYTES                application state size   (default 10000)
+//     --ops N                      invocations to complete  (default 50)
+//     --exec USEC                  per-operation exec time  (default 200)
+//     --checkpoint MSEC            checkpoint interval      (default 20)
+//     --kill-after N               kill a replica after N ops (default ops/2)
+//     --relaunch                   re-launch the killed replica (active)
+//     --loss P                     frame loss probability   (default 0)
+//     --seed S                     simulation seed          (default 42)
+//
+// Prints a run report: response-time profile, fault timeline, recovery
+// measurements and resource usage.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/deployment.hpp"
+#include "workload/drivers.hpp"
+
+#include "../tests/support/counter_servant.hpp"
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+namespace {
+
+struct Options {
+  ReplicationStyle style = ReplicationStyle::kActive;
+  std::size_t replicas = 2;
+  std::size_t nodes = 0;  // 0 = replicas + 2
+  std::size_t state_bytes = 10'000;
+  int ops = 50;
+  long exec_us = 200;
+  long checkpoint_ms = 20;
+  int kill_after = -1;  // -1 = ops/2
+  bool relaunch = false;
+  double loss = 0.0;
+  std::uint64_t seed = 42;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--style") {
+      const char* v = next("--style");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "active") == 0) opt.style = ReplicationStyle::kActive;
+      else if (std::strcmp(v, "warm") == 0) opt.style = ReplicationStyle::kWarmPassive;
+      else if (std::strcmp(v, "cold") == 0) opt.style = ReplicationStyle::kColdPassive;
+      else {
+        std::fprintf(stderr, "unknown style %s\n", v);
+        return false;
+      }
+    } else if (arg == "--replicas") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.replicas = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--nodes") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.nodes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--state") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.state_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--ops") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.ops = std::atoi(v);
+    } else if (arg == "--exec") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.exec_us = std::atol(v);
+    } else if (arg == "--checkpoint") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.checkpoint_ms = std::atol(v);
+    } else if (arg == "--kill-after") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.kill_after = std::atoi(v);
+    } else if (arg == "--relaunch") {
+      opt.relaunch = true;
+    } else if (arg == "--loss") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.loss = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option %s (see source header for usage)\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt.kill_after < 0) opt.kill_after = opt.ops / 2;
+  if (opt.nodes == 0) opt.nodes = opt.replicas + 2;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+
+  core::SystemConfig cfg;
+  cfg.nodes = opt.nodes;
+  cfg.seed = opt.seed;
+  core::System sys(cfg);
+  if (opt.loss > 0) sys.ethernet().set_loss_probability(opt.loss);
+
+  FtProperties props;
+  props.style = opt.style;
+  props.initial_replicas = opt.style == ReplicationStyle::kColdPassive ? 1 : opt.replicas;
+  props.minimum_replicas = 1;
+  props.checkpoint_interval = Duration(opt.checkpoint_ms * 1'000'000);
+  props.fault_monitoring_interval = Duration(5'000'000);
+
+  std::vector<NodeId> placement;
+  for (std::size_t i = 1; i <= props.initial_replicas; ++i) {
+    placement.push_back(NodeId{static_cast<std::uint32_t>(i)});
+  }
+  std::vector<NodeId> backups;
+  for (std::size_t i = 1; i <= opt.replicas + 1 && i < opt.nodes; ++i) {
+    backups.push_back(NodeId{static_cast<std::uint32_t>(i)});
+  }
+  const NodeId client_node{static_cast<std::uint32_t>(opt.nodes)};
+
+  const GroupId group = sys.deploy(
+      "object", "IDL:Scenario/Object:1.0", props, placement,
+      [&](NodeId) {
+        return std::make_shared<CounterServant>(sys.sim(), opt.state_bytes,
+                                                Duration(opt.exec_us * 1000));
+      },
+      backups);
+  sys.deploy_client("driver", client_node, {group});
+  orb::ObjectRef ref = sys.client(client_node, group);
+
+  std::printf("ftcorba_sim: %s, %zu replica(s), %zu-byte state, %d ops, exec %ld us, "
+              "loss %.3f\n",
+              core::to_string(opt.style), opt.replicas, opt.state_bytes, opt.ops,
+              opt.exec_us, opt.loss);
+
+  workload::LatencyProfile latency;
+  util::TimePoint fault_at{};
+  bool killed = false;
+  int completed = 0;
+  const NodeId victim = placement.back();
+
+  while (completed < opt.ops) {
+    if (!killed && completed == opt.kill_after) {
+      std::printf("[%s] killing the replica on processor %u\n",
+                  util::format_duration(sys.sim().now()).c_str(), victim.value);
+      fault_at = sys.sim().now();
+      sys.kill_replica(victim, group);
+      killed = true;
+      if (opt.relaunch && opt.style == ReplicationStyle::kActive && opt.replicas > 1) {
+        sys.run_until(
+            [&] {
+              const auto* e = sys.mech(placement.front()).groups().find(group);
+              return e != nullptr && e->replica_on(victim) == nullptr;
+            },
+            Duration(2'000'000'000));
+        sys.relaunch_replica(victim, group);
+        std::printf("[%s] re-launched it; recovery in progress\n",
+                    util::format_duration(sys.sim().now()).c_str());
+      }
+    }
+    bool done = false;
+    const util::TimePoint sent = sys.sim().now();
+    ref.invoke("inc", CounterServant::encode_i32(1), [&](const orb::ReplyOutcome&) {
+      done = true;
+      ++completed;
+      latency.record(sys.sim().now() - sent);
+    });
+    if (!sys.run_until([&] { return done; }, Duration(10'000'000'000LL))) {
+      std::printf("STALLED at op %d\n", completed);
+      return 1;
+    }
+  }
+  sys.run_for(Duration(100'000'000));
+
+  std::printf("\n-- report ----------------------------------------------------\n");
+  std::printf("completed:        %d invocations, exactly-once\n", completed);
+  std::printf("response time:    mean %s, p50 %s, p99 %s, max %s\n",
+              util::format_duration(latency.mean()).c_str(),
+              util::format_duration(latency.percentile(50)).c_str(),
+              util::format_duration(latency.percentile(99)).c_str(),
+              util::format_duration(latency.max()).c_str());
+  for (NodeId n : sys.all_nodes()) {
+    for (const auto& rec : sys.mech(n).recoveries()) {
+      std::printf("recovery:         replica on N%u in %s (%zu bytes of state)\n", n.value,
+                  util::format_duration(rec.recovery_time()).c_str(), rec.app_state_bytes);
+    }
+    if (sys.mech(n).stats().promotions > 0) {
+      std::printf("promotions:       %llu at N%u (replayed %llu logged messages)\n",
+                  static_cast<unsigned long long>(sys.mech(n).stats().promotions), n.value,
+                  static_cast<unsigned long long>(sys.mech(n).stats().log_replayed_messages));
+    }
+  }
+  const auto& eth = sys.ethernet().stats();
+  std::printf("network:          %llu frames, %.3f MB on the wire\n",
+              static_cast<unsigned long long>(eth.frames_sent),
+              static_cast<double>(eth.bytes_sent) / 1e6);
+  std::printf("virtual duration: %s\n", util::format_duration(sys.sim().now()).c_str());
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Three-tier shop with mixed replication styles (paper footnote 2: middle
+// tiers play both the client and the server role).
+//
+//   teller client (node 6)
+//       │ order(item, qty)
+//       ▼
+//   OrderService — ACTIVE 2-way (nodes 1,2): validates, forwards
+//       │ reserve(item, qty)
+//       ▼
+//   Inventory — WARM PASSIVE (nodes 3,4): the stateful ledger
+//
+// Faults injected mid-stream: one middle-tier replica is killed (masked),
+// then the inventory primary is killed (promoted). The final stock audit
+// shows exactly-once semantics end to end.
+//
+// Run: ./shop
+#include <cstdio>
+#include <map>
+
+#include "core/checkpointable.hpp"
+#include "core/deployment.hpp"
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using util::Duration;
+using util::NodeId;
+
+namespace {
+
+util::Bytes args2(std::int32_t a, std::int32_t b) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_i32(a);
+  w.put_i32(b);
+  return std::move(w).take();
+}
+
+std::int32_t result_i32(util::BytesView body) {
+  util::CdrReader r(body, static_cast<util::ByteOrder>(body[0] & 1));
+  (void)r.get_u8();
+  return r.get_i32();
+}
+
+/// Back tier: stock per item. Warm passive.
+class Inventory : public core::CheckpointableServant {
+ public:
+  explicit Inventory(sim::Simulator& sim) : core::CheckpointableServant(sim) {
+    stock_[1] = 1000;
+    stock_[2] = 1000;
+  }
+
+  util::Any get_state() override {
+    util::Any::Sequence items;
+    for (auto [item, qty] : stock_) {
+      util::Any::Struct s;
+      s.emplace_back("item", util::Any::of_long(item));
+      s.emplace_back("qty", util::Any::of_long(qty));
+      items.push_back(util::Any::of_struct(std::move(s)));
+    }
+    return util::Any::of_sequence(std::move(items));
+  }
+  void set_state(const util::Any& state) override {
+    stock_.clear();
+    for (const util::Any& s : state.as_sequence()) {
+      stock_[s.field("item").as_long()] = s.field("qty").as_long();
+    }
+  }
+  std::int32_t stock(std::int32_t item) const {
+    auto it = stock_.find(item);
+    return it == stock_.end() ? 0 : it->second;
+  }
+
+ protected:
+  util::Bytes serve_app(const std::string& operation, util::BytesView args) override {
+    util::CdrReader r(args, static_cast<util::ByteOrder>(args[0] & 1));
+    (void)r.get_u8();
+    const std::int32_t item = r.get_i32();
+    if (operation == "reserve") {
+      const std::int32_t qty = r.get_i32();
+      if (stock_[item] < qty) throw orb::UserException{"IDL:Shop/OutOfStock:1.0"};
+      stock_[item] -= qty;
+    }
+    util::CdrWriter w;
+    w.put_u8(static_cast<std::uint8_t>(w.order()));
+    w.put_i32(stock_[item]);
+    return std::move(w).take();
+  }
+
+ private:
+  std::map<std::int32_t, std::int32_t> stock_;
+};
+
+/// Middle tier: validates and forwards. Active, both client and server.
+class OrderService : public orb::Servant {
+ public:
+  explicit OrderService(orb::ObjectRef inventory) : inventory_(std::move(inventory)) {}
+  std::uint64_t orders() const { return orders_; }
+
+  void invoke(orb::ServerRequestPtr request) override {
+    if (request->operation() == core::kGetStateOp) {
+      request->reply(util::Any::of_ulonglong(orders_).to_bytes());
+      return;
+    }
+    if (request->operation() == core::kSetStateOp) {
+      orders_ = util::Any::from_bytes(request->args()).as_ulonglong();
+      request->reply(util::Bytes{});
+      return;
+    }
+    util::CdrReader r(request->args(), static_cast<util::ByteOrder>(request->args()[0] & 1));
+    (void)r.get_u8();
+    const std::int32_t item = r.get_i32();
+    const std::int32_t qty = r.get_i32();
+    if (qty <= 0 || qty > 10) {  // business rule: validated in the middle tier
+      util::CdrWriter w;
+      w.put_u8(static_cast<std::uint8_t>(w.order()));
+      w.put_string("IDL:Shop/BadQuantity:1.0");
+      request->reply_exception(std::move(w).take());
+      return;
+    }
+    ++orders_;
+    inventory_.invoke("reserve", args2(item, qty), [request](const orb::ReplyOutcome& out) {
+      if (out.status == giop::ReplyStatus::kNoException) {
+        request->reply(out.body);
+      } else {
+        request->reply_exception(out.body);
+      }
+    });
+  }
+
+ private:
+  orb::ObjectRef inventory_;
+  std::uint64_t orders_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.nodes = 6;
+  core::System sys(cfg);
+
+  // Back tier: warm passive inventory on nodes 3,4.
+  FtProperties inv_props;
+  inv_props.style = ReplicationStyle::kWarmPassive;
+  inv_props.initial_replicas = 2;
+  inv_props.minimum_replicas = 1;
+  inv_props.checkpoint_interval = Duration(10'000'000);
+  inv_props.fault_monitoring_interval = Duration(3'000'000);
+  std::shared_ptr<Inventory> inventories[7];
+  const util::GroupId inventory = sys.deploy(
+      "inventory", "IDL:Shop/Inventory:1.0", inv_props, {NodeId{3}, NodeId{4}},
+      [&](NodeId n) {
+        auto s = std::make_shared<Inventory>(sys.sim());
+        inventories[n.value] = s;
+        return s;
+      },
+      {NodeId{4}, NodeId{5}});
+
+  // Middle tier: active order service on nodes 1,2, client of the inventory.
+  FtProperties mid_props;
+  mid_props.style = ReplicationStyle::kActive;
+  mid_props.initial_replicas = 2;
+  mid_props.minimum_replicas = 1;
+  mid_props.fault_monitoring_interval = Duration(3'000'000);
+  const util::GroupId orders = sys.deploy(
+      "orders", "IDL:Shop/OrderService:1.0", mid_props, {NodeId{1}, NodeId{2}},
+      [&](NodeId n) { return std::make_shared<OrderService>(sys.client(n, inventory)); });
+  sys.bind_client(NodeId{1}, orders, inventory);
+  sys.bind_client(NodeId{2}, orders, inventory);
+
+  sys.deploy_client("teller", NodeId{6}, {orders});
+  orb::ObjectRef shop = sys.client(NodeId{6}, orders);
+
+  std::int64_t reserved = 0;
+  std::uint64_t rejected = 0;
+  auto order = [&](std::int32_t item, std::int32_t qty) {
+    bool done = false;
+    std::int32_t stock_left = -1;
+    shop.invoke("order", args2(item, qty), [&](const orb::ReplyOutcome& out) {
+      done = true;
+      if (out.status == giop::ReplyStatus::kNoException) {
+        stock_left = result_i32(out.body);
+      } else {
+        ++rejected;
+      }
+    });
+    sys.run_until([&] { return done; }, Duration(2'000'000'000));
+    if (stock_left >= 0) reserved += qty;
+    return stock_left;
+  };
+
+  std::printf("placing orders through the replicated middle tier...\n");
+  for (int i = 0; i < 10; ++i) order(1 + i % 2, 3);
+  order(1, 999);  // rejected by middle-tier validation, never reaches inventory
+
+  std::printf("killing one order-service replica (active: masked)...\n");
+  sys.kill_replica(NodeId{2}, orders);
+  for (int i = 0; i < 5; ++i) order(1 + i % 2, 2);
+
+  std::printf("killing the inventory primary (warm passive: promoted)...\n");
+  sys.kill_replica(NodeId{3}, inventory);
+  for (int i = 0; i < 5; ++i) order(1 + i % 2, 1);
+
+  // Audit.
+  std::int64_t total_stock = 0;
+  for (std::int32_t item = 1; item <= 2; ++item) {
+    for (int n = 3; n <= 5; ++n) {
+      if (inventories[n] != nullptr && sys.mech(NodeId{(std::uint32_t)n}).hosts_operational(inventory)) {
+        total_stock += inventories[n]->stock(item);
+        break;
+      }
+    }
+  }
+  const std::int64_t expected = 2000 - reserved;
+  std::printf("\naudit: stock total = %lld, expected = %lld, rejected orders = %llu -> %s\n",
+              static_cast<long long>(total_stock), static_cast<long long>(expected),
+              static_cast<unsigned long long>(rejected),
+              total_stock == expected ? "EXACTLY-ONCE END TO END" : "INCONSISTENT");
+  return total_stock == expected ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// The FT-CORBA Checkpointable interface (paper §4.1, Figure 3):
+//
+//   typedef any State;
+//   exception NoStateAvailable {};
+//   exception InvalidState {};
+//   interface Checkpointable {
+//     State get_state() raises(NoStateAvailable);
+//     void set_state(in State s) raises(InvalidState);
+//   };
+//
+// Every replicated CORBA object inherits this interface so Eternal can
+// retrieve and assign its application-level state. The two operations
+// travel through the ORB and POA like any other invocation — which is what
+// lets Eternal place them in the totally-ordered message sequence.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "orb/sync_servant.hpp"
+#include "util/any.hpp"
+
+namespace eternal::core {
+
+/// Reserved operation names (these are what get_state()/set_state() look
+/// like on the wire for our mini-ORB).
+inline constexpr const char* kGetStateOp = "_get_state";
+inline constexpr const char* kSetStateOp = "_set_state";
+
+/// Repository ids of the standard exceptions.
+inline constexpr const char* kNoStateAvailableId = "IDL:NoStateAvailable:1.0";
+inline constexpr const char* kInvalidStateId = "IDL:InvalidState:1.0";
+
+/// Base class for replicated application servants. Subclasses implement
+/// their business operations in `serve_app()` and the Checkpointable pair in
+/// `get_state()` / `set_state()`; the base routes the reserved operations.
+class CheckpointableServant : public orb::SyncServant {
+ public:
+  explicit CheckpointableServant(sim::Simulator& sim) : orb::SyncServant(sim) {}
+
+  /// Returns the application-level state (CORBA `any`).
+  /// Throws orb::UserException{kNoStateAvailableId} when unavailable.
+  virtual util::Any get_state() = 0;
+
+  /// Overwrites the application-level state.
+  /// Throws orb::UserException{kInvalidStateId} on a malformed value.
+  virtual void set_state(const util::Any& state) = 0;
+
+ protected:
+  /// Business operations of the object.
+  virtual util::Bytes serve_app(const std::string& operation, util::BytesView args) = 0;
+
+  /// State-transfer operations are usually much cheaper than business ones;
+  /// override to model a different retrieval/assignment cost.
+  virtual util::Duration state_op_time() const { return util::Duration(20'000); }  // 20 us
+
+  util::Bytes serve(const std::string& operation, util::BytesView args) final {
+    if (operation == kGetStateOp) {
+      return get_state().to_bytes();
+    }
+    if (operation == kSetStateOp) {
+      try {
+        set_state(util::Any::from_bytes(args));
+      } catch (const util::CdrError&) {
+        throw orb::UserException{kInvalidStateId};
+      }
+      return util::Bytes{};
+    }
+    return serve_app(operation, args);
+  }
+
+  util::Duration execution_time(const std::string& operation) const final {
+    if (operation == kGetStateOp || operation == kSetStateOp) return state_op_time();
+    return app_execution_time(operation);
+  }
+
+  /// Modelled execution time of business operations (default 100 us).
+  virtual util::Duration app_execution_time(const std::string& operation) const {
+    (void)operation;
+    return util::Duration(100'000);
+  }
+};
+
+}  // namespace eternal::core

@@ -1,0 +1,171 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eternal::core {
+
+System::System(SystemConfig config) : config_(config) {
+  if (config_.nodes == 0) throw std::invalid_argument("System: need at least one node");
+  ethernet_ = std::make_unique<sim::Ethernet>(sim_, config_.ethernet, config_.seed);
+
+  std::vector<NodeId> ring;
+  ring.reserve(config_.nodes);
+  for (std::size_t i = 1; i <= config_.nodes; ++i) ring.push_back(NodeId{(std::uint32_t)i});
+
+  // Mechanisms needs the TotemNode and vice versa; a listener shim breaks
+  // the construction-order cycle.
+  struct Shim : totem::TotemListener {
+    Mechanisms* target = nullptr;
+    void on_deliver(const totem::Delivery& d) override {
+      if (target != nullptr) target->on_deliver(d);
+    }
+    void on_view_change(const totem::View& v) override {
+      if (target != nullptr) target->on_view_change(v);
+    }
+  };
+
+  slots_.reserve(config_.nodes);
+  for (NodeId id : ring) {
+    NodeSlot s;
+    s.id = id;
+    s.orb = std::make_unique<orb::Orb>(sim_, id, config_.orb);
+    s.tap = std::make_unique<interceptor::Interceptor>(*s.orb);
+    s.orb->plug_transport(*s.tap);
+    auto shim = std::make_shared<Shim>();
+    shims_.push_back(shim);
+    s.totem =
+        std::make_unique<totem::TotemNode>(sim_, *ethernet_, id, config_.totem, shim.get());
+    MechanismsConfig mech_cfg = config_.mechanisms;
+    if (!config_.stable_storage_root.empty()) {
+      mech_cfg.stable_storage_dir =
+          config_.stable_storage_root + "/node-" + std::to_string(id.value);
+    }
+    s.mech = std::make_unique<Mechanisms>(sim_, id, *s.tap, *s.totem, mech_cfg);
+    shim->target = s.mech.get();
+    s.manager = std::make_unique<ReplicationManager>(*s.mech, *s.totem);
+    slots_.push_back(std::move(s));
+  }
+  for (NodeSlot& s : slots_) s.totem->start(ring);
+  sim_.run_for(util::Duration(1'000'000));  // let the first token circulate
+}
+
+System::~System() = default;
+
+System::NodeSlot& System::slot(NodeId node) {
+  for (NodeSlot& s : slots_) {
+    if (s.id == node) return s;
+  }
+  throw std::out_of_range("System: unknown node");
+}
+
+std::vector<NodeId> System::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(slots_.size());
+  for (const NodeSlot& s : slots_) out.push_back(s.id);
+  return out;
+}
+
+GroupId System::deploy(const std::string& object_id, const std::string& type_id,
+                       const FtProperties& properties, const std::vector<NodeId>& placement,
+                       FactoryFn factory, std::vector<NodeId> backup_nodes) {
+  if (placement.empty()) throw std::invalid_argument("System: empty placement");
+  // Allocate past any group id the system already knows (e.g. groups
+  // restored from stable storage after a whole-system restart).
+  for (const NodeSlot& s : slots_) {
+    for (const auto& [id, entry] : s.mech->groups().groups()) {
+      next_group_ = std::max(next_group_, id + 1);
+    }
+  }
+  const GroupId group{next_group_++};
+
+  GroupDescriptor desc;
+  desc.id = group;
+  desc.object_id = object_id;
+  desc.type_id = type_id;
+  desc.properties = properties;
+  desc.backup_nodes = backup_nodes.empty() ? all_nodes() : backup_nodes;
+
+  std::vector<ReplicaInfo> members;
+  for (NodeId n : placement) {
+    ReplicaInfo m;
+    m.id = mech(n).allocate_replica_id();
+    m.node = n;
+    m.status = ReplicaStatus::kOperational;
+    members.push_back(m);
+  }
+
+  for (NodeId n : placement) {
+    mech(n).register_factory(group, [factory, n] { return factory(n); });
+  }
+  for (NodeId n : desc.backup_nodes) {
+    if (std::find(placement.begin(), placement.end(), n) != placement.end()) continue;
+    mech(n).register_factory(group, [factory, n] { return factory(n); });
+  }
+
+  mech(placement.front()).create_group(desc, members);
+
+  const bool live = run_until(
+      [this, group, &placement] {
+        return std::all_of(placement.begin(), placement.end(), [this, group](NodeId n) {
+          return mech(n).hosts_operational(group);
+        });
+      },
+      util::Duration(500'000'000));
+  if (!live) throw std::runtime_error("System: group failed to deploy");
+  return group;
+}
+
+GroupId System::deploy_client(const std::string& object_id, NodeId node,
+                              const std::vector<GroupId>& targets) {
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 1;
+  props.minimum_replicas = 1;
+  const GroupId group =
+      deploy(object_id, "IDL:EternalClientApp:1.0", props, {node},
+             [](NodeId) { return std::make_shared<NullServant>(); }, {node});
+  for (GroupId target : targets) bind_client(node, group, target);
+  return group;
+}
+
+void System::bind_client(NodeId node, GroupId client_group, GroupId server_group) {
+  mech(node).bind_client(client_group, server_group);
+}
+
+orb::ObjectRef System::client(NodeId node, GroupId target) {
+  return orb(node).resolve(ior_of(target));
+}
+
+giop::Ior System::ior_of(GroupId group) {
+  for (NodeSlot& s : slots_) {
+    if (s.mech->groups().find(group) != nullptr) return s.mech->group_ior(group);
+  }
+  throw std::out_of_range("System: unknown group");
+}
+
+void System::kill_replica(NodeId node, GroupId group) { mech(node).kill_replica(group); }
+
+ReplicaId System::relaunch_replica(NodeId node, GroupId group) {
+  return mech(node).launch_replica(group);
+}
+
+void System::crash_node(NodeId node) {
+  NodeSlot& s = slot(node);
+  s.totem->crash();
+  // Replicas hosted here die with the processor; peers find out through the
+  // ring view change. Locally we just silence the node.
+  s.orb->reset_connections();
+}
+
+bool System::run_until(const std::function<bool()>& predicate, util::Duration timeout,
+                       util::Duration poll) {
+  const util::TimePoint deadline = sim_.now() + timeout;
+  while (true) {
+    if (predicate()) return true;
+    if (sim_.now() >= deadline) return false;
+    sim_.run_for(std::min(poll, deadline - sim_.now()));
+  }
+}
+
+}  // namespace eternal::core

@@ -1,0 +1,136 @@
+// Deployment façade: assembles a complete simulated Eternal system.
+//
+// One `System` is a network of processors, each running the full paper
+// stack — an unmodified mini-ORB plugged into an Interceptor, the
+// Replication/Recovery Mechanisms, a Totem ring endpoint, and a Replication
+// Manager — on a shared 100 Mbps Ethernet, all inside one deterministic
+// discrete-event simulation. Tests, examples and benchmarks use this façade
+// to deploy replicated objects, drive workloads, inject faults and measure
+// recovery.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mechanisms.hpp"
+#include "core/replication_manager.hpp"
+#include "interceptor/interceptor.hpp"
+#include "orb/orb.hpp"
+#include "sim/ethernet.hpp"
+#include "sim/simulator.hpp"
+#include "totem/totem.hpp"
+
+namespace eternal::core {
+
+struct SystemConfig {
+  std::size_t nodes = 4;
+  std::uint64_t seed = 42;
+  sim::EthernetConfig ethernet;
+  totem::TotemConfig totem;
+  orb::OrbConfig orb;  ///< all nodes run the same vendor's ORB (paper §4.2)
+  MechanismsConfig mechanisms;
+  /// When non-empty, each node persists its passive logs under
+  /// <root>/node-<id>, enabling whole-system restarts via
+  /// Mechanisms::restore_from_storage().
+  std::string stable_storage_root;
+};
+
+/// A trivial servant for pure-client application objects: it never receives
+/// requests; it exists so the client side is itself a (possibly singleton)
+/// object group, exactly as the paper replicates client objects.
+class NullServant : public orb::Servant {
+ public:
+  void invoke(orb::ServerRequestPtr request) override { request->reply(util::Bytes{}); }
+};
+
+class System {
+ public:
+  /// Builds per-node servants; called once per hosting node.
+  using FactoryFn = std::function<std::shared_ptr<orb::Servant>(NodeId)>;
+
+  explicit System(SystemConfig config = SystemConfig{});
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  sim::Ethernet& ethernet() noexcept { return *ethernet_; }
+  const SystemConfig& config() const noexcept { return config_; }
+
+  /// All node ids (1..N).
+  std::vector<NodeId> all_nodes() const;
+
+  orb::Orb& orb(NodeId node) { return *slot(node).orb; }
+  Mechanisms& mech(NodeId node) { return *slot(node).mech; }
+  totem::TotemNode& totem(NodeId node) { return *slot(node).totem; }
+  interceptor::Interceptor& tap(NodeId node) { return *slot(node).tap; }
+  ReplicationManager& manager(NodeId node) { return *slot(node).manager; }
+
+  // ------------------------------------------------------------- deployment
+
+  /// Deploys a replicated object: registers `factory` on the placement and
+  /// backup nodes, multicasts group creation, and runs the simulation until
+  /// every initial replica is live. Returns the new group id.
+  GroupId deploy(const std::string& object_id, const std::string& type_id,
+                 const FtProperties& properties, const std::vector<NodeId>& placement,
+                 FactoryFn factory, std::vector<NodeId> backup_nodes = {});
+
+  /// Deploys a singleton pure-client group on `node` (see NullServant) and
+  /// binds it as the issuer of invocations to each target group.
+  GroupId deploy_client(const std::string& object_id, NodeId node,
+                        const std::vector<GroupId>& targets);
+
+  /// Declares that the replica of `client_group` on `node` is the issuer of
+  /// this node's invocations on `server_group`.
+  void bind_client(NodeId node, GroupId client_group, GroupId server_group);
+
+  /// Client stub for a replicated object, resolved through `node`'s ORB.
+  orb::ObjectRef client(NodeId node, GroupId target);
+
+  giop::Ior ior_of(GroupId group);
+
+  // ---------------------------------------------------------------- faults
+
+  /// Kills the replica of `group` hosted on `node` (process kill).
+  void kill_replica(NodeId node, GroupId group);
+
+  /// Relaunches a replica of `group` on `node`; recovery starts immediately.
+  ReplicaId relaunch_replica(NodeId node, GroupId group);
+
+  /// Crashes a whole processor: its Totem endpoint detaches and every
+  /// replica it hosts dies with it (detected via the ring view change).
+  void crash_node(NodeId node);
+
+  // --------------------------------------------------------------- running
+
+  void run_for(util::Duration d) { sim_.run_for(d); }
+
+  /// Runs until `predicate` holds or `timeout` of virtual time elapses.
+  /// Returns whether the predicate held.
+  bool run_until(const std::function<bool()>& predicate, util::Duration timeout,
+                 util::Duration poll = util::Duration(100'000));
+
+ private:
+  struct NodeSlot {
+    NodeId id;
+    std::unique_ptr<orb::Orb> orb;
+    std::unique_ptr<interceptor::Interceptor> tap;
+    std::unique_ptr<totem::TotemNode> totem;
+    std::unique_ptr<Mechanisms> mech;
+    std::unique_ptr<ReplicationManager> manager;
+  };
+
+  NodeSlot& slot(NodeId node);
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Ethernet> ethernet_;
+  std::vector<NodeSlot> slots_;
+  std::vector<std::shared_ptr<totem::TotemListener>> shims_;
+  std::uint32_t next_group_ = 1;
+};
+
+}  // namespace eternal::core

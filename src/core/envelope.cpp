@@ -1,0 +1,84 @@
+#include "core/envelope.hpp"
+
+namespace eternal::core {
+
+namespace {
+constexpr std::uint16_t kMagic = 0xE7E4;
+}
+
+Bytes encode_envelope(const Envelope& e) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u8(static_cast<std::uint8_t>(e.kind));
+  w.put_u16(kMagic);
+  w.put_u32(e.client_group.value);
+  w.put_u32(e.target_group.value);
+  w.put_u64(e.op_seq);
+  w.put_u64(e.subject.value);
+  w.put_u32(e.subject_node.value);
+  w.put_u8(static_cast<std::uint8_t>(e.control_op));
+  w.put_octets(e.payload);
+  w.put_octets(e.orb_state);
+  w.put_octets(e.infra_state);
+  w.put_octets(e.control_data);
+  return std::move(w).take();
+}
+
+std::optional<Envelope> decode_envelope(BytesView data) {
+  try {
+    if (data.size() < 4) return std::nullopt;
+    util::CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    Envelope e;
+    e.kind = static_cast<EnvelopeKind>(r.get_u8());
+    if (static_cast<std::uint8_t>(e.kind) < 1 || static_cast<std::uint8_t>(e.kind) > 6) {
+      return std::nullopt;
+    }
+    if (r.get_u16() != kMagic) return std::nullopt;
+    e.client_group = GroupId{r.get_u32()};
+    e.target_group = GroupId{r.get_u32()};
+    e.op_seq = r.get_u64();
+    e.subject = ReplicaId{r.get_u64()};
+    e.subject_node = NodeId{r.get_u32()};
+    e.control_op = static_cast<ControlOp>(r.get_u8());
+    e.payload = r.get_octets();
+    e.orb_state = r.get_octets();
+    e.infra_state = r.get_octets();
+    e.control_data = r.get_octets();
+    return e;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_initial_members(const std::vector<InitialMember>& members) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(static_cast<std::uint32_t>(members.size()));
+  for (const InitialMember& m : members) {
+    w.put_u64(m.id.value);
+    w.put_u32(m.node.value);
+  }
+  return std::move(w).take();
+}
+
+std::vector<InitialMember> decode_initial_members(BytesView data) {
+  std::vector<InitialMember> out;
+  if (data.empty()) return out;
+  try {
+    util::CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    const std::uint32_t n = r.get_count(8);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      InitialMember m;
+      m.id = ReplicaId{r.get_u64()};
+      m.node = NodeId{r.get_u32()};
+      out.push_back(m);
+    }
+  } catch (const util::CdrError&) {
+    out.clear();
+  }
+  return out;
+}
+
+}  // namespace eternal::core

@@ -1,0 +1,101 @@
+// The Eternal multicast envelope.
+//
+// Every message Eternal multicasts via Totem is one of these envelopes. The
+// envelope carries Eternal's own addressing and identification — group ids
+// and operation identifiers (infrastructure-level, §4.3) — *around* the
+// application's untouched IIOP bytes. State-transfer envelopes additionally
+// piggyback the ORB/POA-level and infrastructure-level state onto the
+// application-level state (§4.3, §5.1 step iii/iv).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/cdr.hpp"
+#include "util/ids.hpp"
+
+namespace eternal::core {
+
+using util::Bytes;
+using util::BytesView;
+using util::GroupId;
+using util::NodeId;
+using util::ReplicaId;
+
+/// Envelope kinds.
+enum class EnvelopeKind : std::uint8_t {
+  kRequest = 1,     ///< an intercepted IIOP Request from a client (group)
+  kReply = 2,       ///< an intercepted IIOP Reply from a server (group)
+  kGetState = 3,    ///< fabricated get_state marker (recovery / checkpoint)
+  kSetState = 4,    ///< fabricated set_state with piggybacked 3-kind state
+  kCheckpoint = 5,  ///< periodic passive checkpoint with piggybacked state
+  kControl = 6,     ///< replicated group-membership operation
+};
+
+/// Control operations (kControl envelopes), applied in total order by every
+/// node's group table.
+enum class ControlOp : std::uint8_t {
+  kCreateGroup = 1,
+  kAddReplica = 2,          ///< a launched replica starts recovering
+  kRemoveReplica = 3,       ///< fault detector reports a dead replica
+  kReplicaOperational = 4,  ///< recovery / promotion finished
+  kLaunchReplica = 5,       ///< Resource Manager directive: node, launch one
+};
+
+/// One Eternal multicast message.
+struct Envelope {
+  EnvelopeKind kind = EnvelopeKind::kRequest;
+
+  /// kRequest/kReply: the invoking client group. kGetState/kSetState/
+  /// kCheckpoint/kControl: unused (zero).
+  GroupId client_group;
+
+  /// The group this envelope is about: the invoked server group for
+  /// kRequest; the replying server group for kReply; the recovering /
+  /// checkpointed group for state and control envelopes.
+  GroupId target_group;
+
+  /// kRequest/kReply: the group-consistent GIOP-level operation sequence
+  /// number (together with client_group this forms the operation identifier
+  /// used for duplicate suppression). kGetState/kSetState/kCheckpoint: the
+  /// recovery/checkpoint epoch. kControl: sequence stamp.
+  std::uint64_t op_seq = 0;
+
+  /// kGetState/kSetState: the recovering replica. kControl: the replica the
+  /// operation concerns.
+  ReplicaId subject;
+  NodeId subject_node;
+
+  ControlOp control_op = ControlOp::kCreateGroup;
+
+  /// kRequest/kReply: the untouched IIOP message bytes.
+  /// kSetState/kCheckpoint: the application-level state (a get_state reply
+  /// body, i.e. an encoded Any).
+  Bytes payload;
+
+  /// kSetState/kCheckpoint: piggybacked ORB/POA-level state snapshot.
+  Bytes orb_state;
+  /// kSetState/kCheckpoint: piggybacked infrastructure-level state snapshot.
+  Bytes infra_state;
+
+  /// kControl kCreateGroup: serialized group descriptor.
+  Bytes control_data;
+};
+
+/// Serializes an envelope for multicasting.
+Bytes encode_envelope(const Envelope& e);
+
+/// Decodes; nullopt on malformed bytes.
+std::optional<Envelope> decode_envelope(BytesView data);
+
+/// Initial-member list carried in a kCreateGroup envelope's payload.
+struct InitialMember {
+  ReplicaId id;
+  NodeId node;
+};
+Bytes encode_initial_members(const std::vector<InitialMember>& members);
+std::vector<InitialMember> decode_initial_members(BytesView data);
+
+}  // namespace eternal::core

@@ -1,0 +1,94 @@
+#include "core/evolution_manager.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+namespace {
+constexpr const char* kTag = "evolve";
+}
+
+bool EvolutionManager::upgrade(GroupId group, System::FactoryFn next_version,
+                               util::Duration timeout) {
+  const util::TimePoint deadline = system_.sim().now() + timeout;
+
+  // Snapshot the membership from any live node's table.
+  const GroupEntry* entry = nullptr;
+  NodeId table_node{};
+  for (NodeId n : system_.all_nodes()) {
+    entry = system_.mech(n).groups().find(group);
+    if (entry != nullptr) {
+      table_node = n;
+      break;
+    }
+  }
+  if (entry == nullptr) return false;
+  const ReplicationStyle style = entry->desc.properties.style;
+
+  // Upgrade order: backups first, primary last (passive); join order (active).
+  std::vector<NodeId> order;
+  for (const ReplicaInfo& m : entry->members) order.push_back(m.node);
+  if (style != ReplicationStyle::kActive && order.size() > 1) {
+    std::rotate(order.begin(), order.begin() + 1, order.end());  // primary to the back
+  }
+
+  // Install the new factory everywhere it may be launched.
+  for (NodeId n : system_.all_nodes()) {
+    system_.mech(n).register_factory(group, [next_version, n] { return next_version(n); });
+  }
+
+  for (NodeId node : order) {
+    if (!replace_replica(group, node, deadline)) {
+      ETERNAL_LOG(kWarn, kTag,
+                  "upgrade of " << util::to_string(group) << " stalled at "
+                                << util::to_string(node));
+      return false;
+    }
+    stats_.replicas_replaced += 1;
+  }
+
+  // All members replaced; confirm the group is whole again.
+  const bool whole = system_.run_until(
+      [&] {
+        const GroupEntry* e = system_.mech(table_node).groups().find(group);
+        return e != nullptr && e->operational_count() >= 1;
+      },
+      deadline - system_.sim().now());
+  if (whole) stats_.upgrades_completed += 1;
+  return whole;
+}
+
+bool EvolutionManager::replace_replica(GroupId group, NodeId node,
+                                       util::TimePoint deadline) {
+  auto remaining = [&] { return deadline - system_.sim().now(); };
+  if (remaining() <= util::Duration::zero()) return false;
+
+  // Take the old-version replica down and wait for the group to agree.
+  system_.kill_replica(node, group);
+  const bool removed = system_.run_until(
+      [&] {
+        const GroupEntry* e = system_.mech(node).groups().find(group);
+        return e != nullptr && e->replica_on(node) == nullptr;
+      },
+      remaining());
+  if (!removed) return false;
+
+  // For passive groups the upgrade of the primary hands service to an
+  // (already upgraded) backup via promotion; wait for a new executor.
+  const bool has_executor = system_.run_until(
+      [&] {
+        const GroupEntry* e = system_.mech(node).groups().find(group);
+        return e != nullptr && !e->executor_nodes().empty();
+      },
+      remaining());
+  if (!has_executor) return false;
+
+  // Launch the new version; the recovery protocol transfers the state.
+  system_.relaunch_replica(node, group);
+  return system_.run_until([&] { return system_.mech(node).hosts_operational(group); },
+                           remaining());
+}
+
+}  // namespace eternal::core

@@ -1,0 +1,46 @@
+// The Eternal Evolution Manager (paper §2): "exploits object replication to
+// support upgrades to the CORBA application objects."
+//
+// A rolling upgrade replaces the replicas of a group one at a time with
+// servants produced by a new factory, reusing the exact recovery machinery
+// that handles faults: the replaced replica is taken down, a new-version
+// replica is launched, and the get_state/set_state protocol transfers the
+// three kinds of state into it — while the remaining replicas keep serving.
+// The object is never unavailable, and the upgrade is transparent to its
+// clients, exactly as fault recovery is.
+//
+// State compatibility across versions is the application's contract: the
+// new version's set_state() must accept the old version's get_state()
+// value (the CORBA `any` representation makes additive evolution easy).
+#pragma once
+
+#include "core/deployment.hpp"
+
+namespace eternal::core {
+
+struct EvolutionStats {
+  std::uint64_t upgrades_completed = 0;
+  std::uint64_t replicas_replaced = 0;
+};
+
+class EvolutionManager {
+ public:
+  explicit EvolutionManager(System& system) : system_(system) {}
+
+  /// Rolls `group` over to servants produced by `next_version`, one replica
+  /// at a time, in virtual time. For passive groups the backups upgrade
+  /// first and the primary last (one promotion instead of many). Returns
+  /// true when every replica runs the new version within `timeout`.
+  bool upgrade(GroupId group, System::FactoryFn next_version,
+               util::Duration timeout = util::Duration(5'000'000'000));
+
+  const EvolutionStats& stats() const noexcept { return stats_; }
+
+ private:
+  bool replace_replica(GroupId group, NodeId node, util::TimePoint deadline);
+
+  System& system_;
+  EvolutionStats stats_;
+};
+
+}  // namespace eternal::core

@@ -1,0 +1,89 @@
+// The FT-CORBA Fault Notifier.
+//
+// The standard the paper implements (§2, [14]) defines a Fault Notifier
+// that fans structured fault reports out to registered consumers (the
+// Replication Manager is the canonical consumer; applications and
+// management consoles subscribe too). Here the fault *detection* already
+// flows through the totally-ordered control channel, so the notifier is a
+// thin, per-node fan-out of those agreed events — every node's consumers
+// see the identical report sequence.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/mechanisms.hpp"
+
+namespace eternal::core {
+
+/// A structured fault/membership report (FT-CORBA FaultNotifier-style).
+struct FaultReport {
+  enum class Kind {
+    kObjectCrashed,     ///< a replica was removed after a failure
+    kObjectRecovered,   ///< a replica completed recovery / promotion
+    kMemberAdded,       ///< a new replica joined (recovering)
+    kGroupPrimaryFailed,///< a passive primary failed (promotion follows)
+  };
+  Kind kind;
+  GroupId group;
+  ReplicaId replica;
+  NodeId node;
+  util::TimePoint when{};
+};
+
+class FaultNotifier {
+ public:
+  using Consumer = std::function<void(const FaultReport&)>;
+
+  FaultNotifier(sim::Simulator& sim, Mechanisms& mechanisms) : sim_(sim) {
+    mechanisms.add_event_observer([this](const TableEvent& e) { on_event(e); });
+  }
+
+  /// Registers a consumer; returns its id (for deregistration).
+  std::size_t connect(Consumer consumer) {
+    consumers_.push_back(std::move(consumer));
+    return consumers_.size() - 1;
+  }
+
+  /// Deregisters; the slot stays (ids are stable), the consumer is dropped.
+  void disconnect(std::size_t id) {
+    if (id < consumers_.size()) consumers_[id] = nullptr;
+  }
+
+  const std::vector<FaultReport>& history() const noexcept { return history_; }
+
+ private:
+  void on_event(const TableEvent& event) {
+    FaultReport report;
+    switch (event.kind) {
+      case TableEvent::Kind::kReplicaRemoved:
+        report.kind = FaultReport::Kind::kObjectCrashed;
+        break;
+      case TableEvent::Kind::kReplicaOperational:
+        report.kind = FaultReport::Kind::kObjectRecovered;
+        break;
+      case TableEvent::Kind::kReplicaAdded:
+        report.kind = FaultReport::Kind::kMemberAdded;
+        break;
+      case TableEvent::Kind::kPrimaryFailed:
+        report.kind = FaultReport::Kind::kGroupPrimaryFailed;
+        break;
+      default:
+        return;  // creation/launch directives are not fault reports
+    }
+    report.group = event.group;
+    report.replica = event.replica;
+    report.node = event.node;
+    report.when = sim_.now();
+    history_.push_back(report);
+    for (const Consumer& consumer : consumers_) {
+      if (consumer) consumer(report);
+    }
+  }
+
+  sim::Simulator& sim_;
+  std::vector<Consumer> consumers_;
+  std::vector<FaultReport> history_;
+};
+
+}  // namespace eternal::core

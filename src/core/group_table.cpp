@@ -1,0 +1,221 @@
+#include "core/group_table.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+namespace {
+constexpr const char* kTag = "grouptab";
+}
+
+Bytes encode_descriptor(const GroupDescriptor& d) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(d.id.value);
+  w.put_string(d.object_id);
+  w.put_string(d.type_id);
+  w.put_u8(static_cast<std::uint8_t>(d.properties.style));
+  w.put_u32(static_cast<std::uint32_t>(d.properties.initial_replicas));
+  w.put_u32(static_cast<std::uint32_t>(d.properties.minimum_replicas));
+  w.put_u64(static_cast<std::uint64_t>(d.properties.checkpoint_interval.count()));
+  w.put_u64(static_cast<std::uint64_t>(d.properties.fault_monitoring_interval.count()));
+  w.put_u32(static_cast<std::uint32_t>(d.backup_nodes.size()));
+  for (NodeId n : d.backup_nodes) w.put_u32(n.value);
+  return std::move(w).take();
+}
+
+std::optional<GroupDescriptor> decode_descriptor(BytesView data) {
+  try {
+    if (data.empty()) return std::nullopt;
+    util::CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    GroupDescriptor d;
+    d.id = GroupId{r.get_u32()};
+    d.object_id = r.get_string();
+    d.type_id = r.get_string();
+    d.properties.style = static_cast<ReplicationStyle>(r.get_u8());
+    d.properties.initial_replicas = r.get_u32();
+    d.properties.minimum_replicas = r.get_u32();
+    d.properties.checkpoint_interval = util::Duration(static_cast<std::int64_t>(r.get_u64()));
+    d.properties.fault_monitoring_interval =
+        util::Duration(static_cast<std::int64_t>(r.get_u64()));
+    const std::uint32_t n = r.get_count(4);
+    for (std::uint32_t i = 0; i < n; ++i) d.backup_nodes.push_back(NodeId{r.get_u32()});
+    return d;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+const ReplicaInfo* GroupEntry::find_replica(ReplicaId id) const {
+  for (const auto& m : members) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+const ReplicaInfo* GroupEntry::replica_on(NodeId node) const {
+  for (const auto& m : members) {
+    if (m.node == node) return &m;
+  }
+  return nullptr;
+}
+
+const ReplicaInfo* GroupEntry::primary() const {
+  for (ReplicaId id : operational_order) {
+    const ReplicaInfo* m = find_replica(id);
+    if (m != nullptr && m->status == ReplicaStatus::kOperational) return m;
+  }
+  // Fallback (operational members missing from the order cannot normally
+  // happen; keep the old join-order rule as a safety net).
+  for (const auto& m : members) {
+    if (m.status == ReplicaStatus::kOperational) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> GroupEntry::executor_nodes() const {
+  std::vector<NodeId> out;
+  if (desc.properties.style == ReplicationStyle::kActive) {
+    for (const auto& m : members) {
+      if (m.status == ReplicaStatus::kOperational) out.push_back(m.node);
+    }
+  } else if (const ReplicaInfo* p = primary()) {
+    out.push_back(p->node);
+  }
+  return out;
+}
+
+std::optional<NodeId> GroupEntry::coordinator() const {
+  std::optional<NodeId> best;
+  for (const auto& m : members) {
+    if (m.status != ReplicaStatus::kOperational) continue;
+    if (!best || m.node < *best) best = m.node;
+  }
+  return best;
+}
+
+std::size_t GroupEntry::operational_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(members.begin(), members.end(), [](const ReplicaInfo& m) {
+        return m.status == ReplicaStatus::kOperational;
+      }));
+}
+
+std::vector<TableEvent> GroupTable::apply_control(const Envelope& e) {
+  std::vector<TableEvent> events;
+  switch (e.control_op) {
+    case ControlOp::kCreateGroup: {
+      std::optional<GroupDescriptor> desc = decode_descriptor(e.control_data);
+      if (!desc) {
+        ETERNAL_LOG(kWarn, kTag, "malformed kCreateGroup descriptor; ignored");
+        return events;
+      }
+      GroupEntry entry;
+      entry.desc = std::move(*desc);
+      const auto [it, inserted] = groups_.emplace(entry.desc.id.value, std::move(entry));
+      if (!inserted) {
+        ETERNAL_LOG(kWarn, kTag, "kCreateGroup for existing group id; ignored");
+        return events;
+      }
+      events.push_back(
+          TableEvent{TableEvent::Kind::kGroupCreated, e.target_group, ReplicaId{}, NodeId{}});
+      return events;
+    }
+    case ControlOp::kAddReplica: {
+      GroupEntry* g = find_mutable(e.target_group);
+      if (g == nullptr || g->find_replica(e.subject) != nullptr) return events;
+      g->members.push_back(ReplicaInfo{e.subject, e.subject_node, ReplicaStatus::kRecovering});
+      events.push_back(TableEvent{TableEvent::Kind::kReplicaAdded, e.target_group, e.subject,
+                                  e.subject_node});
+      return events;
+    }
+    case ControlOp::kRemoveReplica: {
+      GroupEntry* g = find_mutable(e.target_group);
+      if (g == nullptr) return events;
+      return remove_replica(*g, e.subject);
+    }
+    case ControlOp::kReplicaOperational: {
+      GroupEntry* g = find_mutable(e.target_group);
+      if (g == nullptr) return events;
+      for (auto& m : g->members) {
+        if (m.id == e.subject && m.status != ReplicaStatus::kOperational) {
+          m.status = ReplicaStatus::kOperational;
+          g->operational_order.push_back(m.id);
+          events.push_back(TableEvent{TableEvent::Kind::kReplicaOperational, e.target_group,
+                                      m.id, m.node});
+        }
+      }
+      return events;
+    }
+    case ControlOp::kLaunchReplica: {
+      events.push_back(TableEvent{TableEvent::Kind::kLaunchDirective, e.target_group,
+                                  e.subject, e.subject_node});
+      return events;
+    }
+  }
+  return events;
+}
+
+std::vector<TableEvent> GroupTable::apply_state_transfer(const Envelope& e) {
+  std::vector<TableEvent> events;
+  GroupEntry* g = find_mutable(e.target_group);
+  if (g == nullptr) return events;
+  g->next_epoch = std::max(g->next_epoch, e.op_seq + 1);
+  if (e.kind == EnvelopeKind::kSetState) {
+    for (auto& m : g->members) {
+      if (m.id == e.subject && m.status != ReplicaStatus::kOperational) {
+        m.status = ReplicaStatus::kOperational;
+        g->operational_order.push_back(m.id);
+        events.push_back(
+            TableEvent{TableEvent::Kind::kReplicaOperational, e.target_group, m.id, m.node});
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<TableEvent> GroupTable::remove_node(NodeId node) {
+  std::vector<TableEvent> events;
+  for (auto& [id, g] : groups_) {
+    while (const ReplicaInfo* r = g.replica_on(node)) {
+      auto sub = remove_replica(g, r->id);
+      events.insert(events.end(), sub.begin(), sub.end());
+    }
+  }
+  return events;
+}
+
+std::vector<TableEvent> GroupTable::remove_replica(GroupEntry& g, ReplicaId id) {
+  std::vector<TableEvent> events;
+  auto it = std::find_if(g.members.begin(), g.members.end(),
+                         [id](const ReplicaInfo& m) { return m.id == id; });
+  if (it == g.members.end()) return events;
+  const bool was_primary =
+      g.desc.properties.style != ReplicationStyle::kActive && g.primary() == &*it;
+  const ReplicaInfo removed = *it;
+  g.members.erase(it);
+  std::erase(g.operational_order, removed.id);
+  events.push_back(
+      TableEvent{TableEvent::Kind::kReplicaRemoved, g.desc.id, removed.id, removed.node});
+  if (was_primary) {
+    g.promotions += 1;
+    events.push_back(
+        TableEvent{TableEvent::Kind::kPrimaryFailed, g.desc.id, removed.id, removed.node});
+  }
+  return events;
+}
+
+const GroupEntry* GroupTable::find(GroupId id) const {
+  auto it = groups_.find(id.value);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+GroupEntry* GroupTable::find_mutable(GroupId id) {
+  auto it = groups_.find(id.value);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace eternal::core

@@ -1,0 +1,120 @@
+// The replicated object-group table.
+//
+// Every node's Replication Mechanisms hold an instance and apply the same
+// control and state-transfer envelopes in the same total order, so all
+// nodes agree — without extra rounds — on each group's membership, each
+// replica's recovery status, who the passive primary is, and who coordinates
+// a recovery. This table is the distributed half of the Eternal Replication
+// Manager (paper §2); the policy half lives in core/replication_manager.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/envelope.hpp"
+#include "core/properties.hpp"
+#include "util/ids.hpp"
+
+namespace eternal::core {
+
+using util::NodeId;
+
+/// Lifecycle of one replica as agreed in the total order.
+enum class ReplicaStatus : std::uint8_t {
+  kRecovering = 0,   ///< added; state transfer not yet complete
+  kOperational = 1,  ///< processes (active) / executes as primary or holds
+                     ///< checkpoints as backup (passive)
+};
+
+struct ReplicaInfo {
+  ReplicaId id;
+  NodeId node;
+  ReplicaStatus status = ReplicaStatus::kRecovering;
+};
+
+/// Static description of a replicated object (from kCreateGroup).
+struct GroupDescriptor {
+  GroupId id;
+  std::string object_id;  ///< POA object id / object key
+  std::string type_id;
+  FtProperties properties;
+  /// Cold passive: nodes that keep the checkpoint+message log and can be
+  /// told to launch a new primary. Also used by the Resource Manager as the
+  /// preferred launch sites for every style.
+  std::vector<NodeId> backup_nodes;
+};
+
+Bytes encode_descriptor(const GroupDescriptor& d);
+std::optional<GroupDescriptor> decode_descriptor(BytesView data);
+
+/// Dynamic state of one group.
+struct GroupEntry {
+  GroupDescriptor desc;
+  std::vector<ReplicaInfo> members;  ///< in join order
+  /// Replica ids in the order they *became operational* (derived from the
+  /// agreed event sequence, identical at every node). Primacy follows this
+  /// order: the longest-operational member leads, so a newly recovered
+  /// member can never steal primacy from a serving one.
+  std::vector<ReplicaId> operational_order;
+  std::uint64_t next_epoch = 1;      ///< recovery/checkpoint epoch allocator
+  std::uint64_t promotions = 0;      ///< deterministic replica-id source
+
+  const ReplicaInfo* find_replica(ReplicaId id) const;
+  const ReplicaInfo* replica_on(NodeId node) const;
+
+  /// Passive primary: the longest-operational member. Nullptr when none.
+  const ReplicaInfo* primary() const;
+
+  /// Nodes whose replica executes incoming requests: all operational
+  /// members (active), or the primary only (passive).
+  std::vector<NodeId> executor_nodes() const;
+
+  /// Deterministic recovery coordinator: the lowest-id node hosting an
+  /// operational member.
+  std::optional<NodeId> coordinator() const;
+
+  std::size_t operational_count() const;
+};
+
+/// A change the table derived from an applied envelope; the Mechanisms and
+/// the Replication Manager react to these.
+struct TableEvent {
+  enum class Kind {
+    kGroupCreated,
+    kReplicaAdded,
+    kReplicaRemoved,
+    kReplicaOperational,
+    kPrimaryFailed,  ///< the removed replica was the passive primary
+    kLaunchDirective,  ///< Resource Manager told subject_node to launch
+  };
+  Kind kind;
+  GroupId group;
+  ReplicaId replica;
+  NodeId node;
+};
+
+class GroupTable {
+ public:
+  /// Applies a kControl envelope; returns the derived events.
+  std::vector<TableEvent> apply_control(const Envelope& e);
+
+  /// Bumps the epoch allocator past a delivered kGetState/kSetState/
+  /// kCheckpoint epoch; marks the subject operational for kSetState.
+  std::vector<TableEvent> apply_state_transfer(const Envelope& e);
+
+  /// Removes every replica hosted on `node` (Totem reported it departed).
+  std::vector<TableEvent> remove_node(NodeId node);
+
+  const GroupEntry* find(GroupId id) const;
+  GroupEntry* find_mutable(GroupId id);
+  const std::unordered_map<std::uint32_t, GroupEntry>& groups() const { return groups_; }
+
+ private:
+  std::vector<TableEvent> remove_replica(GroupEntry& g, ReplicaId id);
+
+  std::unordered_map<std::uint32_t, GroupEntry> groups_;
+};
+
+}  // namespace eternal::core

@@ -1,0 +1,481 @@
+#include "core/mechanisms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/stable_storage.hpp"
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+namespace {
+
+constexpr const char* kTag = "eternal";
+
+/// Rewrites the GIOP request_id of a framed Request or Reply, preserving
+/// everything else. This is how Eternal keeps the GIOP headers of new and
+/// existing replicas consistent (§4.2.1): translation at the interception
+/// boundary, never inside the ORB.
+util::Bytes rewrite_request_id(util::BytesView iiop, std::uint32_t new_rid) {
+  std::optional<giop::Message> msg = giop::decode(iiop);
+  if (!msg) return util::Bytes(iiop.begin(), iiop.end());
+  if (msg->type() == giop::MsgType::kRequest) {
+    giop::Request m = std::get<giop::Request>(std::move(msg->body));
+    m.request_id = new_rid;
+    return giop::encode(m, msg->order);
+  }
+  if (msg->type() == giop::MsgType::kReply) {
+    giop::Reply m = std::get<giop::Reply>(std::move(msg->body));
+    m.request_id = new_rid;
+    return giop::encode(m, msg->order);
+  }
+  return util::Bytes(iiop.begin(), iiop.end());
+}
+
+GroupId group_of_endpoint(const orb::Endpoint& e) {
+  return GroupId{e.host.value - orb::kGroupHostBase};
+}
+
+bool is_recovery_endpoint(const orb::Endpoint& e) {
+  return e.host.value >= 0xFE000000 && e.host.value < 0xFF000000;
+}
+
+}  // namespace
+
+Mechanisms::Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
+                       totem::TotemNode& totem, MechanismsConfig config)
+    : sim_(sim), node_(node), tap_(tap), totem_(totem), config_(config) {
+  tap_.divert_to(*this);
+  if (!config_.stable_storage_dir.empty()) {
+    storage_ = std::make_unique<StableStorage>(config_.stable_storage_dir);
+  }
+}
+
+Mechanisms::~Mechanisms() = default;
+
+void Mechanisms::persist_log(GroupId group) {
+  if (storage_ == nullptr) return;
+  const GroupEntry* entry = table_.find(group);
+  auto log_it = logs_.find(group.value);
+  if (entry == nullptr || log_it == logs_.end()) return;
+  storage_->persist(entry->desc, log_it->second);
+}
+
+std::vector<GroupDescriptor> Mechanisms::stored_groups() const {
+  std::vector<GroupDescriptor> out;
+  if (storage_ == nullptr) return out;
+  for (GroupId id : storage_->stored_groups()) {
+    auto record = storage_->load(id);
+    if (record) out.push_back(record->descriptor);
+  }
+  return out;
+}
+
+void Mechanisms::apply_stored_log(GroupId group) {
+  auto record = storage_->load(group);
+  if (!record) return;
+  MessageLog& log = logs_[group.value];
+  log.clear();
+  if (record->checkpoint) log.set_checkpoint(*record->checkpoint);
+  for (Envelope& e : record->messages) log.append(std::move(e));
+  cold_restart(group);
+}
+
+bool Mechanisms::restore_from_storage(GroupId group) {
+  if (storage_ == nullptr) return false;
+  auto record = storage_->load(group);
+  if (!record) return false;
+  if (factories_.count(group.value) == 0) return false;
+  if (table_.find(group) == nullptr) {
+    // The whole system restarted: re-create the group, then restore when
+    // the creation delivers (see react() on kGroupCreated).
+    pending_restores_.insert(group.value);
+    create_group(record->descriptor, {});
+    return true;
+  }
+  apply_stored_log(group);
+  return true;
+}
+
+void Mechanisms::multicast(const Envelope& e) {
+  stats_.multicasts += 1;
+  totem_.multicast(encode_envelope(e));
+}
+
+// ----------------------------------------------------------- deployment API
+
+void Mechanisms::register_factory(GroupId group, ServantFactory factory) {
+  factories_[group.value] = std::move(factory);
+}
+
+void Mechanisms::bind_client(GroupId client_group, GroupId server_group) {
+  client_binding_[server_group.value] = client_group.value;
+}
+
+void Mechanisms::create_group(const GroupDescriptor& desc,
+                              const std::vector<ReplicaInfo>& initial_members) {
+  Envelope e;
+  e.kind = EnvelopeKind::kControl;
+  e.control_op = ControlOp::kCreateGroup;
+  e.target_group = desc.id;
+  e.control_data = encode_descriptor(desc);
+  std::vector<InitialMember> members;
+  members.reserve(initial_members.size());
+  for (const ReplicaInfo& m : initial_members) members.push_back(InitialMember{m.id, m.node});
+  e.payload = encode_initial_members(members);
+  multicast(e);
+}
+
+ReplicaId Mechanisms::launch_replica(GroupId group) {
+  const ReplicaId id = allocate_replica_id();
+  do_launch(group, id, /*as_recovering=*/true);
+  Envelope e;
+  e.kind = EnvelopeKind::kControl;
+  e.control_op = ControlOp::kAddReplica;
+  e.target_group = group;
+  e.subject = id;
+  e.subject_node = node_;
+  multicast(e);
+  return id;
+}
+
+void Mechanisms::do_launch(GroupId group, ReplicaId id, bool as_recovering) {
+  auto fit = factories_.find(group.value);
+  if (fit == factories_.end()) {
+    throw std::logic_error("Mechanisms: no servant factory registered for group");
+  }
+  const GroupEntry* entry = table_.find(group);
+  if (entry == nullptr) throw std::logic_error("Mechanisms: launch for unknown group");
+  if (LocalReplica* existing = local_replica(group)) {
+    if (existing->phase != Phase::kDead) {
+      throw std::logic_error("Mechanisms: node already hosts a live replica of this group");
+    }
+    // Re-launch over a dead replica: make sure its death is reported (the
+    // fault detector may not have fired yet), then discard the carcass.
+    if (!existing->removal_reported) {
+      existing->removal_reported = true;
+      Envelope remove;
+      remove.kind = EnvelopeKind::kControl;
+      remove.control_op = ControlOp::kRemoveReplica;
+      remove.target_group = group;
+      remove.subject = existing->id;
+      remove.subject_node = node_;
+      multicast(remove);
+    }
+    sim_.cancel(existing->checkpoint_timer);
+    sim_.cancel(existing->detector_timer);
+    replicas_.erase(group.value);
+  }
+
+  auto replica = std::make_unique<LocalReplica>();
+  replica->id = id;
+  replica->group = group;
+  replica->servant = fit->second();
+  replica->launched_at = sim_.now();
+  tap_.orb().root_poa().activate(entry->desc.object_id, replica->servant,
+                                 entry->desc.type_id);
+
+  if (as_recovering) {
+    replica->phase = Phase::kRecovering;
+  } else if (entry->desc.properties.style == ReplicationStyle::kActive) {
+    replica->phase = Phase::kOperational;
+  } else {
+    const ReplicaInfo* primary = entry->primary();
+    replica->phase = (primary != nullptr && primary->id == id) ? Phase::kOperational
+                                                               : Phase::kBackup;
+  }
+
+  LocalReplica& r = *replica;
+  replicas_[group.value] = std::move(replica);
+  arm_fault_detector(r);
+  maybe_start_checkpoint_timer(r);
+  ETERNAL_LOG(kDebug, kTag,
+              util::to_string(node_) << " launched " << util::to_string(id) << " of "
+                                     << util::to_string(group)
+                                     << (as_recovering ? " (recovering)" : ""));
+}
+
+void Mechanisms::kill_replica(GroupId group) {
+  LocalReplica* r = local_replica(group);
+  if (r == nullptr || r->phase == Phase::kDead) return;
+  const GroupEntry* entry = table_.find(group);
+  if (entry != nullptr) tap_.orb().root_poa().deactivate(entry->desc.object_id);
+  // The replica process dies, and its ORB instance (and all per-connection
+  // ORB state) dies with it.
+  tap_.orb().reset_connections();
+  sim_.cancel(r->checkpoint_timer);
+  r->phase = Phase::kDead;
+  r->busy = false;
+  r->dispatch.reset();
+  r->pending.clear();
+  // The dead process's local request ids are meaningless now; the group-
+  // level counters and handshake material survive in the mechanisms.
+  for (auto& [key, conn] : outbound_) {
+    if (key.first != group.value) continue;
+    conn.local_to_group.clear();
+    conn.group_to_local.clear();
+  }
+  ETERNAL_LOG(kDebug, kTag,
+              util::to_string(node_) << " replica of " << util::to_string(group) << " killed");
+}
+
+void Mechanisms::request_launch(GroupId group, NodeId node) {
+  Envelope e;
+  e.kind = EnvelopeKind::kControl;
+  e.control_op = ControlOp::kLaunchReplica;
+  e.target_group = group;
+  e.subject_node = node;
+  multicast(e);
+}
+
+giop::Ior Mechanisms::group_ior(GroupId group) const {
+  const GroupEntry* entry = table_.find(group);
+  if (entry == nullptr) throw std::logic_error("Mechanisms: unknown group");
+  giop::Ior ior;
+  ior.type_id = entry->desc.type_id;
+  const orb::Endpoint e = orb::group_endpoint(group);
+  ior.host = e.host;
+  ior.port = e.port;
+  ior.object_key = util::bytes_of(entry->desc.object_id);
+  ior.orb_vendor = tap_.orb().config().vendor_id;
+  ior.code_sets = tap_.orb().config().code_sets;
+  return ior;
+}
+
+// -------------------------------------------------------------- inspection
+
+Mechanisms::LocalReplica* Mechanisms::local_replica(GroupId group) {
+  auto it = replicas_.find(group.value);
+  return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+const Mechanisms::LocalReplica* Mechanisms::local_replica(GroupId group) const {
+  auto it = replicas_.find(group.value);
+  return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+const MessageLog* Mechanisms::log_of(GroupId group) const {
+  auto it = logs_.find(group.value);
+  return it == logs_.end() ? nullptr : &it->second;
+}
+
+bool Mechanisms::hosts_operational(GroupId group) const {
+  const LocalReplica* r = local_replica(group);
+  return r != nullptr && (r->phase == Phase::kOperational || r->phase == Phase::kBackup);
+}
+
+bool Mechanisms::hosts_recovering(GroupId group) const {
+  const LocalReplica* r = local_replica(group);
+  return r != nullptr && (r->phase == Phase::kRecovering || r->phase == Phase::kReplaying);
+}
+
+std::size_t Mechanisms::queued_messages(GroupId group) const {
+  const LocalReplica* r = local_replica(group);
+  return r == nullptr ? 0 : r->pending.size();
+}
+
+// --------------------------------------------------------- outbound capture
+
+GroupId Mechanisms::client_group_for(GroupId server_group) {
+  auto it = client_binding_.find(server_group.value);
+  if (it != client_binding_.end()) return GroupId{it->second};
+  if (replicas_.size() == 1) return GroupId{replicas_.begin()->first};
+  return GroupId{0};
+}
+
+Mechanisms::OutboundConn& Mechanisms::outbound_conn(GroupId client_group,
+                                                    GroupId server_group) {
+  auto key = std::make_pair(client_group.value, server_group.value);
+  auto [it, inserted] = outbound_.try_emplace(key);
+  if (inserted) {
+    it->second.client_group = client_group;
+    it->second.server_group = server_group;
+  }
+  return it->second;
+}
+
+void Mechanisms::on_outbound(const orb::Endpoint& to, util::Bytes iiop) {
+  std::optional<giop::Inspection> info = giop::inspect(iiop);
+  if (!info) {
+    stats_.outbound_unroutable += 1;
+    return;
+  }
+  switch (info->type) {
+    case giop::MsgType::kRequest:
+      capture_request(to, std::move(iiop), *info);
+      return;
+    case giop::MsgType::kReply:
+      capture_reply(to, std::move(iiop), *info);
+      return;
+    default:
+      return;  // Locate/Cancel/Close are not conveyed by this prototype
+  }
+}
+
+void Mechanisms::capture_request(const orb::Endpoint& to, util::Bytes iiop,
+                                 const giop::Inspection& info) {
+  if (!orb::is_group_endpoint(to)) {
+    stats_.outbound_unroutable += 1;
+    ETERNAL_LOG(kWarn, kTag, "captured request to non-group endpoint; dropped");
+    return;
+  }
+  const GroupId server_group = group_of_endpoint(to);
+  const GroupId client_group = client_group_for(server_group);
+  if (client_group.value == 0) {
+    stats_.outbound_unroutable += 1;
+    ETERNAL_LOG(kWarn, kTag, "no client-group binding for outbound request; dropped");
+    return;
+  }
+  OutboundConn& conn = outbound_conn(client_group, server_group);
+  const bool is_handshake = info.has_context(giop::kVendorHandshakeContextId);
+
+  // A recovering client replica's fresh ORB re-initiates the handshake the
+  // group already performed. Eternal answers it locally from the stored
+  // reply — the server groups never see it (§4.2.2, client side).
+  if (is_handshake && conn.handshake_done && config_.replay_handshakes &&
+      !conn.handshake_reply.empty()) {
+    stats_.handshakes_answered_locally += 1;
+    util::Bytes reply = rewrite_request_id(conn.handshake_reply, info.request_id);
+    tap_.inject(to, reply);
+    return;
+  }
+
+  // Group-consistent request_id: with synchronization on, Eternal assigns
+  // the next group-wide id and rewrites the GIOP header; with the ablation
+  // off, the ORB's own (possibly divergent) id goes out unmodified.
+  std::uint64_t group_rid;
+  util::Bytes wire;
+  if (config_.sync_request_ids) {
+    group_rid = conn.next_group_rid++;
+    wire = (group_rid == info.request_id)
+               ? std::move(iiop)
+               : rewrite_request_id(iiop, static_cast<std::uint32_t>(group_rid));
+  } else {
+    group_rid = info.request_id;
+    conn.next_group_rid = std::max(conn.next_group_rid, group_rid + 1);
+    wire = std::move(iiop);
+  }
+  conn.local_to_group[info.request_id] = group_rid;
+  conn.group_to_local[group_rid] = info.request_id;
+
+  // Passive log replay: a promoted primary re-issues nested invocations the
+  // old primary already performed; if the group already has the reply, it is
+  // answered locally instead of re-invoking the servers.
+  LocalReplica* issuer = local_replica(client_group);
+  if (issuer != nullptr && issuer->phase == Phase::kReplaying) {
+    auto cached = conn.reply_cache.find(group_rid);
+    if (cached != conn.reply_cache.end()) {
+      stats_.replies_answered_from_cache += 1;
+      util::Bytes reply = rewrite_request_id(cached->second, info.request_id);
+      tap_.inject(to, reply);
+      return;
+    }
+  }
+
+  if (is_handshake) {
+    conn.handshake_group_rid = group_rid;
+    conn.handshake_request = wire;
+  }
+
+  Envelope e;
+  e.kind = EnvelopeKind::kRequest;
+  e.client_group = client_group;
+  e.target_group = server_group;
+  e.op_seq = group_rid;
+  e.payload = std::move(wire);
+  multicast(e);
+}
+
+void Mechanisms::capture_reply(const orb::Endpoint& to, util::Bytes iiop,
+                               const giop::Inspection& info) {
+  // Fabricated get_state()/set_state() replies come back addressed to the
+  // Recovery Mechanisms' own endpoint.
+  if (is_recovery_endpoint(to)) {
+    const GroupId group{to.host.value - 0xFE000000};
+    LocalReplica* r = local_replica(group);
+    if (r == nullptr || !r->dispatch.has_value() ||
+        r->dispatch->op_seq != info.request_id) {
+      stats_.replies_unmatched_dropped += 1;
+      ETERNAL_LOG(kTrace, "eternal",
+                  util::to_string(node_) << " unmatched recovery-endpoint reply rid "
+                                         << info.request_id);
+      return;
+    }
+    const CurrentDispatch d = *r->dispatch;
+    if (d.kind == CurrentDispatch::Kind::kGetState) {
+      publish_state(*r, d, iiop);
+      complete_dispatch(*r, util::Bytes{});
+      return;
+    }
+    if (d.kind == CurrentDispatch::Kind::kSetState) {
+      std::optional<giop::Message> msg = giop::decode(iiop);
+      const bool ok = msg && msg->type() == giop::MsgType::kReply &&
+                      msg->as_reply().reply_status == giop::ReplyStatus::kNoException;
+      if (!ok) {
+        stats_.state_transfer_failures += 1;
+        ETERNAL_LOG(kWarn, kTag,
+                    util::to_string(node_) << " set_state raised an exception; replica of "
+                                           << util::to_string(group) << " not recovered");
+        r->busy = false;
+        r->dispatch.reset();
+        return;
+      }
+      if (d.checkpoint) {
+        stats_.checkpoints_applied += 1;
+      } else {
+        finish_recovery(*r, Envelope{});
+      }
+      complete_dispatch(*r, std::move(iiop));
+      return;
+    }
+    stats_.replies_unmatched_dropped += 1;
+    return;
+  }
+
+  // Handshake replies produced by the server-side ORB.
+  auto hs = handshake_flights_.find(std::make_pair(to, info.request_id));
+  if (hs != handshake_flights_.end()) {
+    const HandshakeFlight flight = hs->second;
+    handshake_flights_.erase(hs);
+    if (flight.replay) {
+      // The reply to an artificially re-injected handshake only confirms the
+      // ORB/POA-level synchronization; it is discarded (§4.2.2).
+      return;
+    }
+    Envelope e;
+    e.kind = EnvelopeKind::kReply;
+    e.client_group = group_of_endpoint(to);
+    e.target_group = flight.server_group;
+    e.op_seq = info.request_id;
+    e.payload = std::move(iiop);
+    multicast(e);
+    return;
+  }
+
+  // Normal replies from a local replica to a client group.
+  if (!orb::is_group_endpoint(to)) {
+    stats_.replies_unmatched_dropped += 1;
+    return;
+  }
+  for (auto& [gid, replica] : replicas_) {
+    LocalReplica& r = *replica;
+    if (!r.dispatch.has_value()) continue;
+    const CurrentDispatch& d = *r.dispatch;
+    if (d.kind != CurrentDispatch::Kind::kNormal) continue;
+    if (d.reply_to != to || d.op_seq != info.request_id) continue;
+
+    Envelope e;
+    e.kind = EnvelopeKind::kReply;
+    e.client_group = d.client_group;
+    e.target_group = r.group;
+    e.op_seq = d.op_seq;
+    e.payload = std::move(iiop);
+    multicast(e);
+    complete_dispatch(r, util::Bytes{});
+    return;
+  }
+  stats_.replies_unmatched_dropped += 1;
+}
+
+}  // namespace eternal::core

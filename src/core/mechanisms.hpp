@@ -1,0 +1,374 @@
+// The Eternal Replication Mechanisms and Recovery Mechanisms of one
+// processor (paper §2, §3, §4, §5).
+//
+// One Mechanisms instance sits between a node's Interceptor (the ORB's
+// socket boundary) and its TotemNode (the group-communication endpoint).
+// It implements, per the paper:
+//
+//   Replication Mechanisms
+//   - conveys intercepted IIOP messages as totally-ordered multicasts;
+//   - stamps every invocation/response with an Eternal operation identifier
+//     (client group, group-consistent request sequence) and suppresses
+//     duplicates from replicated clients/servers (§2.1);
+//   - supports active, warm passive and cold passive replication (§3);
+//
+//   Recovery Mechanisms
+//   - tracks quiescence and serializes delivery per replica;
+//   - enqueues normal messages for a recovering replica and replays them
+//     after state assignment (§3.3, §5.1 steps i–vi);
+//   - fabricates get_state()/set_state() invocations at the proper points of
+//     the total order, piggybacking ORB/POA-level and infrastructure-level
+//     state onto the application-level state (§4, §5.1);
+//   - logs checkpoints and messages for passive replication, promotes
+//     backups, and replays the log into a new primary (§3.2, §3.3);
+//   - discovers ORB/POA-level state *by parsing intercepted IIOP* — GIOP
+//     request_id counters (§4.2.1) and client-server handshakes (§4.2.2) —
+//     and restores it on recovery by request_id translation and handshake
+//     replay/injection.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "core/envelope.hpp"
+#include "core/group_table.hpp"
+#include "core/message_log.hpp"
+#include "core/seq_window.hpp"
+#include "core/state_snapshots.hpp"
+#include "interceptor/interceptor.hpp"
+#include "orb/orb.hpp"
+#include "totem/totem.hpp"
+
+namespace eternal::core {
+
+/// Creates the application servant for a replica of a group on this node.
+using ServantFactory = std::function<std::shared_ptr<orb::Servant>()>;
+
+/// Reserved endpoint representing Eternal's Recovery Mechanisms as the
+/// logical client of fabricated get_state/set_state invocations.
+inline orb::Endpoint recovery_endpoint(GroupId group) {
+  return orb::Endpoint{NodeId{0xFE000000 + group.value}, 2809};
+}
+
+/// Behaviour switches. The defaults implement the full paper; the ablation
+/// flags let the benchmarks disable individual recovery mechanisms to
+/// reproduce the failure modes of §4.2.1/§4.2.2 and the cost of §4.3.
+struct MechanismsConfig {
+  bool sync_request_ids = true;    ///< §4.2.1: translate GIOP request_ids
+  bool replay_handshakes = true;   ///< §4.2.2: store + replay handshakes
+  bool transfer_orb_state = true;  ///< piggyback ORB/POA-level state
+  bool transfer_infra_state = true;  ///< piggyback infrastructure-level state
+  util::Duration oneway_grace = util::Duration(200'000);  ///< quiescence bound
+  util::Duration cold_start_delay = util::Duration(2'000'000);  ///< process spawn
+  std::size_t reply_cache_cap = 1024;  ///< per-connection replay reply cache
+  /// When non-empty, this node's checkpoint+message logs are persisted to
+  /// stable storage in this directory (paper §3.3: the cold-passive log
+  /// must survive the logging processor), enabling restore_from_storage()
+  /// after a total failure or whole-system restart.
+  std::string stable_storage_dir;
+};
+
+/// Behaviour counters (consumed by tests and the benchmark harness).
+struct MechanismsStats {
+  std::uint64_t multicasts = 0;
+  std::uint64_t duplicate_requests_suppressed = 0;
+  std::uint64_t duplicate_replies_suppressed = 0;
+  std::uint64_t requests_delivered = 0;
+  std::uint64_t replies_delivered = 0;
+  std::uint64_t enqueued_during_recovery = 0;
+  std::uint64_t set_state_discarded_at_existing = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoints_applied = 0;
+  std::uint64_t messages_logged = 0;
+  std::uint64_t log_replayed_messages = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t handshakes_stored = 0;
+  std::uint64_t handshakes_injected = 0;   ///< server-side replay (§4.2.2)
+  std::uint64_t handshakes_answered_locally = 0;  ///< client-side replay
+  std::uint64_t replies_answered_from_cache = 0;  ///< passive replay
+  std::uint64_t state_transfers_completed = 0;
+  std::uint64_t state_transfer_failures = 0;
+  std::uint64_t recoveries_completed = 0;
+  std::uint64_t replies_unmatched_dropped = 0;
+  std::uint64_t outbound_unroutable = 0;
+};
+
+/// Timing record of one completed recovery (drives paper Figure 6).
+struct RecoveryRecord {
+  GroupId group;
+  ReplicaId replica;
+  util::TimePoint launched{};
+  util::TimePoint get_state_delivered{};  ///< the §5.1(i) cut reached us
+  util::TimePoint set_state_delivered{};  ///< full state arrived (§5.1(v))
+  util::TimePoint operational{};          ///< applied + queue drained (§5.1(vi))
+  std::size_t app_state_bytes = 0;
+  util::Duration recovery_time() const { return operational - launched; }
+  /// Launch → get_state: membership agreement + retrieval coordination +
+  /// source-side quiescence wait.
+  util::Duration coordination_time() const { return get_state_delivered - launched; }
+  /// get_state → set_state: state retrieval at the source plus the (size-
+  /// dependent) multicast of the state across the network.
+  util::Duration transfer_time() const { return set_state_delivered - get_state_delivered; }
+  /// set_state → operational: three-kind assignment + enqueued replay.
+  util::Duration apply_time() const { return operational - set_state_delivered; }
+};
+
+class Mechanisms final : public interceptor::Diversion, public totem::TotemListener {
+ public:
+  Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
+             totem::TotemNode& totem, MechanismsConfig config = MechanismsConfig{});
+  ~Mechanisms() override;
+
+  Mechanisms(const Mechanisms&) = delete;
+  Mechanisms& operator=(const Mechanisms&) = delete;
+
+  NodeId node() const noexcept { return node_; }
+
+  // ---------------------------------------------------------- deployment API
+
+  /// Registers the servant factory this node uses to launch replicas of
+  /// `group` (initial placement, recovery relaunch, cold-passive restart).
+  void register_factory(GroupId group, ServantFactory factory);
+
+  /// Declares that invocations this node's ORB sends to `server_group`
+  /// originate from the local replica of `client_group` (the client-side
+  /// binding Eternal needs to stamp operation identifiers).
+  void bind_client(GroupId client_group, GroupId server_group);
+
+  /// Multicasts group creation (call on exactly one node per group). The
+  /// descriptor lists the initial members; each listed node launches its
+  /// replica on delivery, already consistent (they all start from the same
+  /// initial state, like the paper's initially-deployed replicas).
+  void create_group(const GroupDescriptor& desc,
+                    const std::vector<ReplicaInfo>& initial_members);
+
+  /// Launches a *new* replica of an existing group on this node and starts
+  /// the recovery protocol for it (kAddReplica → get_state → set_state).
+  ReplicaId launch_replica(GroupId group);
+
+  /// Fault injection: the local replica of `group` dies (process kill). The
+  /// Fault Detector reports it after the group's fault monitoring interval.
+  void kill_replica(GroupId group);
+
+  /// Multicasts a Resource Manager launch directive: `node` shall launch a
+  /// replica of `group` (it must hold a registered factory).
+  void request_launch(GroupId group, NodeId node);
+
+  /// Allocates a replica id unique across this node's lifetime. Every
+  /// replica hosted here — initial placement included — must use this
+  /// allocator, so that a removal of one incarnation can never be confused
+  /// with a later incarnation on the same node.
+  ReplicaId allocate_replica_id() {
+    return ReplicaId{(static_cast<std::uint64_t>(node_.value) << 32) | next_replica_nonce_++};
+  }
+
+  /// Groups with a readable record in this node's stable storage.
+  std::vector<GroupDescriptor> stored_groups() const;
+
+  /// Re-establishes a group from this node's stable storage after a total
+  /// failure or whole-system restart: re-creates the group if the table no
+  /// longer knows it, reloads the checkpoint+message log, and cold-restarts
+  /// a primary from it. Requires a registered factory for the group.
+  /// Returns false when storage is disabled or holds no usable record.
+  bool restore_from_storage(GroupId group);
+
+  /// Builds the IOR clients use to reach a replicated object.
+  giop::Ior group_ior(GroupId group) const;
+
+  // ------------------------------------------------------------- inspection
+
+  const GroupTable& groups() const noexcept { return table_; }
+  const MechanismsStats& stats() const noexcept { return stats_; }
+  const std::vector<RecoveryRecord>& recoveries() const noexcept { return recoveries_; }
+  const MessageLog* log_of(GroupId group) const;
+
+  /// True when this node hosts a replica of `group` in the given phase.
+  bool hosts_operational(GroupId group) const;
+  bool hosts_recovering(GroupId group) const;
+
+  /// Pending (not yet delivered) messages of the local replica of `group`.
+  std::size_t queued_messages(GroupId group) const;
+
+  /// Registers an observer for group-table events (the Replication/Resource
+  /// Manager's placement policy, the Fault Notifier's consumers, tests).
+  /// Observers run after the table applied the event, on every node, in
+  /// total order — so all nodes observe the same event sequence.
+  void add_event_observer(std::function<void(const TableEvent&)> observer) {
+    event_observers_.push_back(std::move(observer));
+  }
+
+  // ------------------------------------------------- interceptor::Diversion
+  void on_outbound(const orb::Endpoint& to, util::Bytes iiop) override;
+
+  // ---------------------------------------------------- totem::TotemListener
+  void on_deliver(const totem::Delivery& delivery) override;
+  void on_view_change(const totem::View& view) override;
+
+ private:
+  // ---- local replica bookkeeping ----
+  enum class Phase {
+    kRecovering,  ///< awaiting state transfer
+    kOperational, ///< active executor or passive primary
+    kBackup,      ///< warm passive backup
+    kReplaying,   ///< promoted primary replaying the log
+    kDead,        ///< killed; awaiting fault detector report
+  };
+
+  struct QueueItem {
+    enum class Kind { kRequest, kGetState, kSetStateDiscard } kind = Kind::kRequest;
+    Envelope env;
+  };
+
+  struct CurrentDispatch {
+    enum class Kind { kNormal, kGetState, kSetState } kind = Kind::kNormal;
+    GroupId client_group;       ///< kNormal: issuing client group
+    std::uint64_t op_seq = 0;   ///< group request id / epoch
+    orb::Endpoint reply_to;     ///< where the ORB will address the reply
+    ReplicaId subject;          ///< state ops: the recovering replica
+    bool checkpoint = false;    ///< get_state for a periodic checkpoint
+  };
+
+  struct LocalReplica {
+    ReplicaId id;
+    GroupId group;
+    std::shared_ptr<orb::Servant> servant;
+    Phase phase = Phase::kRecovering;
+    bool busy = false;
+    std::deque<QueueItem> pending;
+    std::optional<CurrentDispatch> dispatch;
+    util::TimePoint launched_at{};
+    util::TimePoint get_state_at{};
+    util::TimePoint set_state_at{};
+    std::size_t incoming_state_bytes = 0;
+    Bytes pending_infra;  ///< infra snapshot installed last (§4.3 order)
+    /// Promotion replay position in the group's message log. Replay reads
+    /// through the log without consuming it — the entries must survive until
+    /// a later checkpoint covers them, or a subsequent restoration from this
+    /// log would have a hole where the replayed messages were.
+    std::size_t replay_cursor = 0;
+    /// §5.1(i): per-epoch position of the get_state in this recovering
+    /// replica's queue — messages before the cut are covered by the
+    /// transferred state and are dropped when that epoch's set_state applies.
+    std::map<std::uint64_t, std::size_t> recovery_cuts;
+    sim::EventId checkpoint_timer{};
+    sim::EventId detector_timer{};
+    bool removal_reported = false;
+  };
+
+  // ---- client-role connection state (discovered from the wire) ----
+  struct OutboundConn {
+    GroupId client_group;
+    GroupId server_group;
+    std::uint64_t next_group_rid = 0;
+    std::unordered_map<std::uint32_t, std::uint64_t> local_to_group;
+    std::unordered_map<std::uint64_t, std::uint32_t> group_to_local;
+    bool handshake_done = false;
+    std::optional<std::uint64_t> handshake_group_rid;
+    Bytes handshake_request;  ///< group-form request bytes
+    Bytes handshake_reply;    ///< stored server answer (group-form reply)
+    std::map<std::uint64_t, Bytes> reply_cache;  ///< group rid → reply bytes
+  };
+
+  // ---- outbound capture ----
+  void capture_request(const orb::Endpoint& to, util::Bytes iiop,
+                       const giop::Inspection& info);
+  void capture_reply(const orb::Endpoint& to, util::Bytes iiop,
+                     const giop::Inspection& info);
+  OutboundConn& outbound_conn(GroupId client_group, GroupId server_group);
+  GroupId client_group_for(GroupId server_group);
+
+  // ---- delivery ----
+  void deliver_request(const Envelope& e);
+  void deliver_reply(const Envelope& e);
+  void deliver_get_state(const Envelope& e);
+  void deliver_set_state(const Envelope& e);
+  void deliver_checkpoint(const Envelope& e);
+  void deliver_control(const Envelope& e);
+  void react(const std::vector<TableEvent>& events);
+
+  // ---- per-replica queue pump (quiescence-gated delivery) ----
+  void pump(LocalReplica& r);
+  void inject_request_item(LocalReplica& r, const QueueItem& item);
+  void inject_get_state(LocalReplica& r, const Envelope& e);
+  void complete_dispatch(LocalReplica& r, util::Bytes reply_iiop);
+
+  // ---- state transfer ----
+  Bytes build_orb_snapshot(GroupId group);
+  InfraLevelState build_infra_snapshot(GroupId group);
+  void publish_state(LocalReplica& r, const CurrentDispatch& d, util::BytesView reply_iiop);
+  void apply_state(LocalReplica& r, const Envelope& e, bool is_checkpoint);
+  void install_orb_state(GroupId group, BytesView blob);
+  void inject_stored_handshakes(GroupId group);
+  void install_infra_state(GroupId group, BytesView blob);
+  void finish_recovery(LocalReplica& r, const Envelope& e);
+
+  // ---- passive logging / promotion ----
+  void maybe_start_checkpoint_timer(LocalReplica& r);
+  void promote_local(GroupId group);
+  void replay_log(LocalReplica& r);
+  void replay_next(LocalReplica& r);
+  void cold_restart(GroupId group);
+  void send_get_state(GroupId group, ReplicaId subject);
+
+  // ---- fault detection / launching ----
+  void arm_fault_detector(LocalReplica& r);
+  void do_launch(GroupId group, ReplicaId id, bool as_recovering);
+  void multicast(const Envelope& e);
+
+  LocalReplica* local_replica(GroupId group);
+  const LocalReplica* local_replica(GroupId group) const;
+  void assign_role_after_recovery(LocalReplica& r);
+  void persist_log(GroupId group);
+  void apply_stored_log(GroupId group);
+
+  sim::Simulator& sim_;
+  NodeId node_;
+  interceptor::Interceptor& tap_;
+  totem::TotemNode& totem_;
+  MechanismsConfig config_;
+
+  GroupTable table_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<LocalReplica>> replicas_;  // by group
+  std::unordered_map<std::uint32_t, ServantFactory> factories_;                // by group
+  std::unordered_map<std::uint32_t, std::uint32_t> client_binding_;  // server → client group
+  std::map<std::pair<std::uint32_t, std::uint32_t>, OutboundConn> outbound_;  // (client, server)
+  std::unordered_map<std::uint32_t, MessageLog> logs_;  // by group (passive roles)
+
+  // Server-role handshake store: (server group, client endpoint) → request.
+  std::map<std::pair<std::uint32_t, orb::Endpoint>, Bytes> server_handshakes_;
+  // Handshake dispatches in flight inside the local ORB.
+  struct HandshakeFlight {
+    GroupId server_group;
+    bool replay = false;  ///< reply must be discarded (recovery injection)
+  };
+  std::map<std::pair<orb::Endpoint, std::uint32_t>, HandshakeFlight> handshake_flights_;
+
+  // Duplicate-suppression windows (infrastructure-level state).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SeqWindow> req_seen_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SeqWindow> reply_seen_;
+  std::unordered_map<std::uint32_t, SeqWindow> get_state_seen_;
+  std::unordered_map<std::uint32_t, SeqWindow> set_state_seen_;
+  std::unordered_map<std::uint32_t, SeqWindow> checkpoint_seen_;
+
+  // Recovery coordination: group → subjects awaiting get_state dispatch.
+  std::unordered_map<std::uint32_t, std::set<std::uint64_t>> awaiting_get_state_;
+
+  // Epoch allocator for the kGetState messages this node originates.
+  std::unordered_map<std::uint32_t, std::uint64_t> epoch_floor_;
+
+  // Stable storage (optional) and restores awaiting group re-creation.
+  std::unique_ptr<class StableStorage> storage_;
+  std::set<std::uint32_t> pending_restores_;
+
+  std::uint64_t next_replica_nonce_ = 1;
+  MechanismsStats stats_;
+  std::vector<RecoveryRecord> recoveries_;
+  std::vector<std::function<void(const TableEvent&)>> event_observers_;
+};
+
+}  // namespace eternal::core

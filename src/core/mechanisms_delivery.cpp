@@ -1,0 +1,1001 @@
+// Delivery-side half of the Mechanisms: totally-ordered envelope handling,
+// the quiescence-gated per-replica queue pump, the Figure-5 state-transfer
+// protocol, passive logging/promotion, and fault detection.
+#include <algorithm>
+
+#include "core/checkpointable.hpp"
+#include "core/mechanisms.hpp"
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+namespace {
+constexpr const char* kTag = "eternal";
+
+util::Bytes rewrite_reply_id(util::BytesView iiop, std::uint32_t new_rid) {
+  std::optional<giop::Message> msg = giop::decode(iiop);
+  if (!msg || msg->type() != giop::MsgType::kReply) {
+    return util::Bytes(iiop.begin(), iiop.end());
+  }
+  giop::Reply m = std::get<giop::Reply>(std::move(msg->body));
+  if (m.request_id == new_rid) return util::Bytes(iiop.begin(), iiop.end());
+  m.request_id = new_rid;
+  return giop::encode(m, msg->order);
+}
+}  // namespace
+
+// ------------------------------------------------------------ totem listener
+
+void Mechanisms::on_deliver(const totem::Delivery& delivery) {
+  std::optional<Envelope> env = decode_envelope(delivery.payload);
+  if (!env) {
+    ETERNAL_LOG(kWarn, kTag, "malformed envelope delivered; dropped");
+    return;
+  }
+  switch (env->kind) {
+    case EnvelopeKind::kRequest: deliver_request(*env); return;
+    case EnvelopeKind::kReply: deliver_reply(*env); return;
+    case EnvelopeKind::kGetState: deliver_get_state(*env); return;
+    case EnvelopeKind::kSetState: deliver_set_state(*env); return;
+    case EnvelopeKind::kCheckpoint: deliver_checkpoint(*env); return;
+    case EnvelopeKind::kControl: deliver_control(*env); return;
+  }
+}
+
+void Mechanisms::on_view_change(const totem::View& view) {
+  if (view.self_rejoined_fresh) {
+    // Partition merge (or rejoin after total silence): our side's history
+    // lost; every piece of replicated state derived from it — the group
+    // table, the logs, the duplicate filters, the discovered ORB state and
+    // the replicas themselves — is incomparable with the surviving ring's.
+    // Reset; the application re-registers its groups, exactly as a restarted
+    // processor would (the surviving component never stopped serving).
+    ETERNAL_LOG(kWarn, kTag,
+                util::to_string(node_) << " rejoined fresh; resetting replicated state");
+    for (auto& [gid, replica] : replicas_) {
+      const GroupEntry* entry = table_.find(replica->group);
+      if (entry != nullptr) tap_.orb().root_poa().deactivate(entry->desc.object_id);
+      sim_.cancel(replica->checkpoint_timer);
+      sim_.cancel(replica->detector_timer);
+    }
+    replicas_.clear();
+    tap_.orb().reset_connections();
+    table_ = GroupTable{};
+    logs_.clear();
+    outbound_.clear();
+    server_handshakes_.clear();
+    handshake_flights_.clear();
+    req_seen_.clear();
+    reply_seen_.clear();
+    get_state_seen_.clear();
+    set_state_seen_.clear();
+    checkpoint_seen_.clear();
+    awaiting_get_state_.clear();
+    epoch_floor_.clear();
+    return;
+  }
+
+  // Replicas on departed processors are gone; apply deterministically.
+  std::vector<TableEvent> events;
+  for (NodeId gone : view.departed) {
+    auto sub = table_.remove_node(gone);
+    events.insert(events.end(), sub.begin(), sub.end());
+  }
+  react(events);
+
+  // If a recovery was waiting on a coordinator that departed, the new
+  // coordinator (possibly us) re-issues the get_state.
+  for (const auto& [gid, subjects] : awaiting_get_state_) {
+    const GroupEntry* entry = table_.find(GroupId{gid});
+    if (entry == nullptr) continue;
+    const auto coord = entry->coordinator();
+    if (!coord || *coord != node_) continue;
+    for (std::uint64_t subject : subjects) {
+      send_get_state(GroupId{gid}, ReplicaId{subject});
+    }
+  }
+}
+
+// ------------------------------------------------------------------ routing
+
+void Mechanisms::deliver_request(const Envelope& e) {
+  SeqWindow& seen = req_seen_[std::make_pair(e.client_group.value, e.target_group.value)];
+  if (!seen.test_and_insert(e.op_seq)) {
+    stats_.duplicate_requests_suppressed += 1;
+    return;
+  }
+
+  const GroupEntry* entry = table_.find(e.target_group);
+  if (entry == nullptr) return;
+
+  // ORB/POA-level state discovery (§4.2.2): nodes with a stake in the group
+  // (hosting a replica, or designated as a backup/launch site) remember each
+  // client's handshake message so it can be re-injected into future server
+  // replicas; everyone else relies on the piggybacked transfer.
+  const bool stakeholder =
+      local_replica(e.target_group) != nullptr ||
+      std::find(entry->desc.backup_nodes.begin(), entry->desc.backup_nodes.end(), node_) !=
+          entry->desc.backup_nodes.end();
+  std::optional<giop::Inspection> info = giop::inspect(e.payload);
+  if (stakeholder && info && info->has_context(giop::kVendorHandshakeContextId)) {
+    server_handshakes_[std::make_pair(e.target_group.value,
+                                      orb::group_endpoint(e.client_group))] = e.payload;
+    stats_.handshakes_stored += 1;
+  }
+
+  const bool passive = entry->desc.properties.style != ReplicationStyle::kActive;
+
+  if (LocalReplica* r = local_replica(e.target_group)) {
+    switch (r->phase) {
+      case Phase::kOperational: {
+        // The passive primary's node maintains the same checkpoint+message
+        // log as every other log-keeping site, so a total failure can be
+        // restored from *any* surviving stakeholder (§3.3).
+        if (passive) {
+          logs_[e.target_group.value].append(e);
+          stats_.messages_logged += 1;
+          persist_log(e.target_group);
+        }
+        r->pending.push_back(QueueItem{QueueItem::Kind::kRequest, e});
+        pump(*r);
+        return;
+      }
+      case Phase::kRecovering: {
+        // Paper §3.3 / §5.1(i)-(ii): normal messages for a recovering
+        // replica are kept, in receipt order, for delivery after the
+        // replica's state is restored. For passive styles they go straight
+        // into the checkpoint+message log — which both serves the replay
+        // after recovery AND keeps this node's log gap-free should it have
+        // to restore the whole group from it later.
+        if (passive) {
+          logs_[e.target_group.value].append(e);
+          stats_.messages_logged += 1;
+          persist_log(e.target_group);
+        } else {
+          r->pending.push_back(QueueItem{QueueItem::Kind::kRequest, e});
+        }
+        stats_.enqueued_during_recovery += 1;
+        return;
+      }
+      case Phase::kBackup:
+      case Phase::kReplaying: {
+        logs_[e.target_group.value].append(e);
+        stats_.messages_logged += 1;
+        persist_log(e.target_group);
+        return;
+      }
+      case Phase::kDead:
+        // The process is gone, but a passive log-keeping site must not
+        // develop a gap: keep logging until the replacement takes over.
+        if (passive) {
+          logs_[e.target_group.value].append(e);
+          stats_.messages_logged += 1;
+          persist_log(e.target_group);
+        }
+        return;
+    }
+    return;
+  }
+
+  // Cold-passive log role: this node keeps the checkpoint+message log for a
+  // group whose servant is not loaded here (§3.3).
+  if (passive &&
+      std::find(entry->desc.backup_nodes.begin(), entry->desc.backup_nodes.end(), node_) !=
+          entry->desc.backup_nodes.end()) {
+    logs_[e.target_group.value].append(e);
+    stats_.messages_logged += 1;
+    persist_log(e.target_group);
+  }
+}
+
+void Mechanisms::deliver_reply(const Envelope& e) {
+  SeqWindow& seen = reply_seen_[std::make_pair(e.client_group.value, e.target_group.value)];
+  if (!seen.test_and_insert(e.op_seq)) {
+    stats_.duplicate_replies_suppressed += 1;
+    return;
+  }
+
+  const GroupEntry* client_entry = table_.find(e.client_group);
+  const bool hosts_client = local_replica(e.client_group) != nullptr;
+  const bool log_role_for_client =
+      client_entry != nullptr &&
+      client_entry->desc.properties.style != ReplicationStyle::kActive &&
+      std::find(client_entry->desc.backup_nodes.begin(),
+                client_entry->desc.backup_nodes.end(),
+                node_) != client_entry->desc.backup_nodes.end();
+  if (!hosts_client && !log_role_for_client) return;
+
+  OutboundConn& conn = outbound_conn(e.client_group, e.target_group);
+  if (conn.handshake_group_rid.has_value() && *conn.handshake_group_rid == e.op_seq) {
+    conn.handshake_reply = e.payload;
+    conn.handshake_done = true;
+  }
+  // Cache for passive-promotion replay (re-issued invocations are answered
+  // from here instead of re-executing at the servers).
+  conn.reply_cache[e.op_seq] = e.payload;
+  while (conn.reply_cache.size() > config_.reply_cache_cap) {
+    conn.reply_cache.erase(conn.reply_cache.begin());
+  }
+
+  LocalReplica* r = local_replica(e.client_group);
+  if (r == nullptr) return;
+  if (r->phase == Phase::kDead || r->phase == Phase::kRecovering ||
+      r->phase == Phase::kBackup) {
+    // Backups never issued the invocation; a recovering replica's fresh ORB
+    // has no matching request. Nothing to deliver locally.
+    return;
+  }
+
+  // Translate the group-consistent request_id back to the id this replica's
+  // own ORB assigned (§4.2.1). If this replica never issued the operation,
+  // the reply goes in untranslated and the ORB's own matching applies.
+  auto local_it = conn.group_to_local.find(e.op_seq);
+  util::Bytes wire = (config_.sync_request_ids && local_it != conn.group_to_local.end())
+                         ? rewrite_reply_id(e.payload, local_it->second)
+                         : e.payload;
+  stats_.replies_delivered += 1;
+  tap_.inject(orb::group_endpoint(e.target_group), wire);
+}
+
+// ------------------------------------------------------- state transfer path
+
+void Mechanisms::send_get_state(GroupId group, ReplicaId subject) {
+  GroupEntry* entry = table_.find_mutable(group);
+  if (entry == nullptr) return;
+  std::uint64_t& floor = epoch_floor_[group.value];
+  const std::uint64_t epoch = std::max(entry->next_epoch, floor);
+  floor = epoch + 1;
+
+  Envelope e;
+  e.kind = EnvelopeKind::kGetState;
+  e.target_group = group;
+  e.op_seq = epoch;
+  e.subject = subject;
+  e.subject_node = node_;
+  ETERNAL_LOG(kTrace, kTag,
+              util::to_string(node_) << " get_state epoch " << epoch << " for "
+                                     << util::to_string(subject) << " of "
+                                     << util::to_string(group));
+  multicast(e);
+}
+
+void Mechanisms::deliver_get_state(const Envelope& e) {
+  if (!get_state_seen_[e.target_group.value].test_and_insert(e.op_seq)) return;
+  ETERNAL_LOG(kTrace, kTag,
+              util::to_string(node_) << " delivered get_state epoch " << e.op_seq << " of "
+                                     << util::to_string(e.target_group));
+  react(table_.apply_state_transfer(e));
+
+  const GroupEntry* entry = table_.find(e.target_group);
+  if (entry == nullptr) return;
+  const bool checkpoint = e.subject.value == 0;
+
+  // Log-keeping nodes record the get_state position: the state produced at
+  // this epoch (checkpoint or recovery transfer) covers exactly the
+  // messages logged before this point, so any truncation driven by that
+  // state must stop here. The mark is created even on an as-yet-empty log —
+  // messages logged after this point are NOT covered.
+  if (entry->desc.properties.style != ReplicationStyle::kActive) {
+    const bool log_keeper =
+        local_replica(e.target_group) != nullptr ||
+        std::find(entry->desc.backup_nodes.begin(), entry->desc.backup_nodes.end(),
+                  node_) != entry->desc.backup_nodes.end();
+    if (log_keeper) logs_[e.target_group.value].mark(e.op_seq);
+  } else {
+    auto log_it = logs_.find(e.target_group.value);
+    if (log_it != logs_.end()) log_it->second.mark(e.op_seq);
+  }
+
+  LocalReplica* r = local_replica(e.target_group);
+  if (r == nullptr) return;
+
+  if (r->phase == Phase::kRecovering) {
+    // §5.1(i): at a recovering replica the get_state is not delivered; its
+    // receipt marks the cut in the totally-ordered stream — everything
+    // before it will be covered by the state produced at this epoch
+    // (whether a recovery set_state or a periodic checkpoint), everything
+    // after it stays enqueued for replay.
+    r->recovery_cuts[e.op_seq] = r->pending.size();
+    if (r->id == e.subject) r->get_state_at = sim_.now();
+    return;
+  }
+
+  // §5.1(i): deliver get_state to the replicas holding the current state —
+  // every operational replica for active replication, the primary for
+  // passive (their fabricated set_states are deduplicated by epoch).
+  if (r->phase == Phase::kReplaying) {
+    // A promoted primary still replaying its log: the retrieval joins the
+    // log at its totally-ordered position and is served after the replayed
+    // messages it follows.
+    logs_[e.target_group.value].append(e);
+    return;
+  }
+  if (r->phase != Phase::kOperational) return;
+  QueueItem item;
+  item.kind = QueueItem::Kind::kGetState;
+  item.env = e;
+  r->pending.push_back(std::move(item));
+  pump(*r);
+}
+
+void Mechanisms::publish_state(LocalReplica& r, const CurrentDispatch& d,
+                               util::BytesView reply_iiop) {
+  std::optional<giop::Message> msg = giop::decode(reply_iiop);
+  if (!msg || msg->type() != giop::MsgType::kReply ||
+      msg->as_reply().reply_status != giop::ReplyStatus::kNoException) {
+    stats_.state_transfer_failures += 1;
+    ETERNAL_LOG(kWarn, kTag,
+                util::to_string(node_) << " get_state failed (NoStateAvailable?); transfer "
+                                       << "aborted for " << util::to_string(r.group));
+    return;
+  }
+
+  // §5.1(iii)-(iv): fabricate the set_state from the get_state return value
+  // and piggyback the ORB/POA-level and infrastructure-level state.
+  Envelope e;
+  e.kind = d.checkpoint ? EnvelopeKind::kCheckpoint : EnvelopeKind::kSetState;
+  e.target_group = r.group;
+  e.op_seq = d.op_seq;
+  e.subject = d.subject;
+  e.subject_node = node_;
+  e.payload = msg->as_reply().body;
+  if (config_.transfer_orb_state) e.orb_state = build_orb_snapshot(r.group);
+  if (config_.transfer_infra_state) {
+    e.infra_state = encode_infra_state(build_infra_snapshot(r.group));
+  }
+  if (d.checkpoint) stats_.checkpoints_taken += 1;
+  ETERNAL_LOG(kTrace, kTag,
+              util::to_string(node_) << " publishing " << (d.checkpoint ? "checkpoint" : "set_state")
+                                     << " epoch " << d.op_seq << " ("
+                                     << e.payload.size() << "B app state)");
+  multicast(e);
+}
+
+void Mechanisms::deliver_set_state(const Envelope& e) {
+  if (!set_state_seen_[e.target_group.value].test_and_insert(e.op_seq)) return;
+  ETERNAL_LOG(kTrace, kTag,
+              util::to_string(node_) << " delivered set_state epoch " << e.op_seq << " for "
+                                     << util::to_string(e.subject) << " ("
+                                     << e.payload.size() << "B app state)");
+  react(table_.apply_state_transfer(e));
+  awaiting_get_state_[e.target_group.value].erase(e.subject.value);
+
+  LocalReplica* r = local_replica(e.target_group);
+  if (r == nullptr) return;
+
+  if (r->id == e.subject && r->phase == Phase::kRecovering) {
+    // §5.1(v): at the new replica the set_state overwrites the queue slot
+    // the get_state reserved. Messages enqueued before that slot are
+    // already reflected in the transferred state; drop them so replay
+    // starts exactly at the state-transfer point.
+    auto cut = r->recovery_cuts.find(e.op_seq);
+    if (cut != r->recovery_cuts.end()) {
+      const std::size_t covered = std::min(cut->second, r->pending.size());
+      r->pending.erase(r->pending.begin(),
+                       r->pending.begin() + static_cast<std::ptrdiff_t>(covered));
+    } else {
+      ETERNAL_LOG(kWarn, kTag,
+                  util::to_string(node_) << " set_state epoch " << e.op_seq
+                                         << " without matching get_state cut");
+    }
+    r->recovery_cuts.clear();
+    // The transferred state supersedes this node's logged prefix: for a
+    // passive replica the recovery set_state is, log-wise, a checkpoint
+    // (messages before the get_state cut must not be replayed on top).
+    auto log_it = logs_.find(e.target_group.value);
+    if (log_it != logs_.end()) {
+      log_it->second.set_checkpoint(e);
+      persist_log(e.target_group);
+    }
+    apply_state(*r, e, /*is_checkpoint=*/false);
+    return;
+  }
+
+  // §5.1(vi): at existing replicas the set_state is enqueued in order and
+  // discarded when it reaches the head of the queue.
+  if (r->phase == Phase::kOperational) {
+    QueueItem item;
+    item.kind = QueueItem::Kind::kSetStateDiscard;
+    item.env = e;
+    r->pending.push_back(std::move(item));
+    pump(*r);
+  }
+}
+
+void Mechanisms::deliver_checkpoint(const Envelope& e) {
+  if (!checkpoint_seen_[e.target_group.value].test_and_insert(e.op_seq)) return;
+  react(table_.apply_state_transfer(e));
+
+  const GroupEntry* entry = table_.find(e.target_group);
+  if (entry == nullptr) return;
+  const bool log_role =
+      std::find(entry->desc.backup_nodes.begin(), entry->desc.backup_nodes.end(), node_) !=
+      entry->desc.backup_nodes.end();
+
+  LocalReplica* r = local_replica(e.target_group);
+
+  // §3.3: the checkpoint overwrites the previous checkpoint and truncates
+  // the logged messages, wherever the log is kept (the primary's own node
+  // included — its log must stay restorable).
+  if (r != nullptr || log_role) {
+    logs_[e.target_group.value].set_checkpoint(e);
+    persist_log(e.target_group);
+  }
+
+  // Warm passive: synchronize the backup replica's state with the
+  // primary's checkpoint as it arrives (§3.2).
+  if (r != nullptr && r->phase == Phase::kBackup) {
+    apply_state(*r, e, /*is_checkpoint=*/true);
+  }
+}
+
+void Mechanisms::apply_state(LocalReplica& r, const Envelope& e, bool is_checkpoint) {
+  const GroupEntry* entry = table_.find(r.group);
+  if (entry == nullptr) return;
+  ETERNAL_LOG(kTrace, kTag,
+              util::to_string(node_) << " applying " << (is_checkpoint ? "checkpoint" : "state")
+                                     << " epoch " << e.op_seq << " to "
+                                     << util::to_string(r.id));
+
+  r.incoming_state_bytes = e.payload.size() + e.orb_state.size() + e.infra_state.size();
+  r.set_state_at = sim_.now();
+
+  // ORB/POA-level state (§4.2): connection counters, handshake material.
+  if (config_.transfer_orb_state && !e.orb_state.empty()) {
+    install_orb_state(r.group, e.orb_state);
+  }
+
+  // Server-side handshake replay (§4.2.2): inject each stored client
+  // handshake into the fresh ORB *ahead of* any normal request from that
+  // client; the replies will be captured and discarded. (Periodic warm
+  // checkpoints skip this — the backup ORB gets the handshakes exactly once,
+  // at promotion, to keep its deterministic short-key assignment aligned.)
+  if (!is_checkpoint) inject_stored_handshakes(r.group);
+
+  // Infrastructure-level state is assigned last (§4.3); stash it until the
+  // set_state completes.
+  r.pending_infra = e.infra_state;
+
+  // Application-level state: the fabricated set_state() invocation.
+  giop::Request request;
+  request.request_id = static_cast<std::uint32_t>(e.op_seq);
+  request.response_expected = true;
+  request.object_key = util::bytes_of(entry->desc.object_id);
+  request.operation = kSetStateOp;
+  request.body = e.payload;
+
+  r.busy = true;
+  CurrentDispatch d;
+  d.kind = CurrentDispatch::Kind::kSetState;
+  d.op_seq = e.op_seq;
+  d.reply_to = recovery_endpoint(r.group);
+  d.subject = e.subject;
+  d.checkpoint = is_checkpoint;
+  r.dispatch = d;
+  tap_.inject(recovery_endpoint(r.group), giop::encode(request));
+}
+
+void Mechanisms::inject_stored_handshakes(GroupId group) {
+  if (!config_.replay_handshakes) return;
+  for (const auto& [key, handshake] : server_handshakes_) {
+    if (key.first != group.value) continue;
+    std::optional<giop::Inspection> info = giop::inspect(handshake);
+    if (!info) continue;
+    handshake_flights_[std::make_pair(key.second, info->request_id)] =
+        HandshakeFlight{group, /*replay=*/true};
+    stats_.handshakes_injected += 1;
+    tap_.inject(key.second, handshake);
+  }
+}
+
+void Mechanisms::install_orb_state(GroupId group, BytesView blob) {
+  std::optional<OrbLevelState> state = decode_orb_state(blob);
+  if (!state) {
+    ETERNAL_LOG(kWarn, kTag, "malformed ORB-level state snapshot; skipped");
+    return;
+  }
+  for (const ClientConnState& cs : state->client_conns) {
+    OutboundConn& conn = outbound_conn(group, cs.server_group);
+    conn.next_group_rid = cs.next_group_request_id;
+    conn.handshake_done = cs.handshake_done;
+    conn.handshake_request = cs.handshake_request;
+    conn.handshake_reply = cs.handshake_reply;
+  }
+  for (const ServerConnState& ss : state->server_conns) {
+    server_handshakes_[std::make_pair(group.value, ss.client)] = ss.handshake_request;
+  }
+}
+
+void Mechanisms::install_infra_state(GroupId group, BytesView blob) {
+  std::optional<InfraLevelState> state = decode_infra_state(blob);
+  if (!state) {
+    ETERNAL_LOG(kWarn, kTag, "malformed infrastructure-level state snapshot; skipped");
+    return;
+  }
+  for (const auto& rf : state->requests_seen) {
+    req_seen_[std::make_pair(rf.client_group.value, group.value)] = rf.seen;
+  }
+  for (const auto& rf : state->replies_seen) {
+    reply_seen_[std::make_pair(group.value, rf.server_group.value)] = rf.seen;
+  }
+}
+
+Bytes Mechanisms::build_orb_snapshot(GroupId group) {
+  OrbLevelState state;
+  for (const auto& [key, conn] : outbound_) {
+    if (key.first != group.value) continue;
+    ClientConnState cs;
+    cs.server_group = conn.server_group;
+    cs.next_group_request_id = conn.next_group_rid;
+    cs.handshake_done = conn.handshake_done;
+    cs.handshake_request = conn.handshake_request;
+    cs.handshake_reply = conn.handshake_reply;
+    state.client_conns.push_back(std::move(cs));
+  }
+  for (const auto& [key, handshake] : server_handshakes_) {
+    if (key.first != group.value) continue;
+    ServerConnState ss;
+    ss.client = key.second;
+    ss.handshake_request = handshake;
+    state.server_conns.push_back(std::move(ss));
+  }
+  return encode_orb_state(state);
+}
+
+InfraLevelState Mechanisms::build_infra_snapshot(GroupId group) {
+  InfraLevelState state;
+  for (const auto& [key, window] : req_seen_) {
+    if (key.second != group.value) continue;
+    state.requests_seen.push_back(
+        InfraLevelState::RequestsFrom{GroupId{key.first}, window});
+  }
+  for (const auto& [key, window] : reply_seen_) {
+    if (key.first != group.value) continue;
+    state.replies_seen.push_back(
+        InfraLevelState::RepliesFrom{GroupId{key.second}, window});
+  }
+  return state;
+}
+
+void Mechanisms::finish_recovery(LocalReplica& r, const Envelope&) {
+  if (config_.transfer_infra_state && !r.pending_infra.empty()) {
+    install_infra_state(r.group, r.pending_infra);
+    r.pending_infra.clear();
+  }
+  assign_role_after_recovery(r);
+  stats_.state_transfers_completed += 1;
+  stats_.recoveries_completed += 1;
+
+  RecoveryRecord record;
+  record.group = r.group;
+  record.replica = r.id;
+  record.launched = r.launched_at;
+  record.get_state_delivered = r.get_state_at;
+  record.set_state_delivered = r.set_state_at;
+  record.operational = sim_.now();
+  record.app_state_bytes = r.incoming_state_bytes;
+  recoveries_.push_back(record);
+
+  ETERNAL_LOG(kDebug, kTag,
+              util::to_string(node_) << " replica " << util::to_string(r.id) << " of "
+                                     << util::to_string(r.group) << " recovered in "
+                                     << util::format_duration(record.recovery_time()));
+}
+
+void Mechanisms::assign_role_after_recovery(LocalReplica& r) {
+  const GroupEntry* entry = table_.find(r.group);
+  if (entry == nullptr) return;
+  if (entry->desc.properties.style == ReplicationStyle::kActive) {
+    r.phase = Phase::kOperational;
+    return;
+  }
+  const ReplicaInfo* primary = entry->primary();
+  r.phase = (primary != nullptr && primary->id == r.id) ? Phase::kOperational : Phase::kBackup;
+  maybe_start_checkpoint_timer(r);
+}
+
+// ----------------------------------------------------------- queue delivery
+
+void Mechanisms::pump(LocalReplica& r) {
+  // Passive backups never execute queued requests; anything a freshly
+  // recovered backup accumulated belongs in the message log (§3.3).
+  if (r.phase == Phase::kBackup && !r.pending.empty()) {
+    MessageLog& log = logs_[r.group.value];
+    for (QueueItem& item : r.pending) {
+      if (item.kind == QueueItem::Kind::kRequest) {
+        log.append(std::move(item.env));
+        stats_.messages_logged += 1;
+      }
+    }
+    r.pending.clear();
+    return;
+  }
+  while (!r.busy && !r.pending.empty() && r.phase == Phase::kOperational) {
+    QueueItem item = std::move(r.pending.front());
+    r.pending.pop_front();
+    switch (item.kind) {
+      case QueueItem::Kind::kRequest:
+        inject_request_item(r, item);
+        break;
+      case QueueItem::Kind::kGetState:
+        inject_get_state(r, item.env);
+        break;
+      case QueueItem::Kind::kSetStateDiscard:
+        stats_.set_state_discarded_at_existing += 1;
+        break;
+    }
+  }
+}
+
+void Mechanisms::inject_request_item(LocalReplica& r, const QueueItem& item) {
+  const Envelope& e = item.env;
+  std::optional<giop::Inspection> info = giop::inspect(e.payload);
+  if (!info) return;
+  const orb::Endpoint from = orb::group_endpoint(e.client_group);
+
+  if (info->has_context(giop::kVendorHandshakeContextId)) {
+    // Client-server handshakes are served inside the ORB; they do not make
+    // the application object busy.
+    handshake_flights_[std::make_pair(from, info->request_id)] =
+        HandshakeFlight{r.group, /*replay=*/false};
+    tap_.inject(from, e.payload);
+    return;
+  }
+
+  stats_.requests_delivered += 1;
+  if (info->response_expected) {
+    r.busy = true;
+    CurrentDispatch d;
+    d.kind = CurrentDispatch::Kind::kNormal;
+    d.client_group = e.client_group;
+    d.op_seq = e.op_seq;
+    d.reply_to = from;
+    r.dispatch = d;
+    tap_.inject(from, e.payload);
+    return;
+  }
+
+  // Oneways return no response; the object is considered non-quiescent for
+  // a bounded grace period (§5: oneways complicate quiescence).
+  r.busy = true;
+  r.dispatch.reset();
+  tap_.inject(from, e.payload);
+  const GroupId group = r.group;
+  sim_.schedule(config_.oneway_grace, [this, group] {
+    LocalReplica* replica = local_replica(group);
+    if (replica == nullptr) return;
+    if (replica->busy && !replica->dispatch.has_value()) {
+      replica->busy = false;
+      if (replica->phase == Phase::kReplaying) {
+        replay_next(*replica);
+      } else {
+        pump(*replica);
+      }
+    }
+  });
+}
+
+void Mechanisms::inject_get_state(LocalReplica& r, const Envelope& e) {
+  const GroupEntry* entry = table_.find(r.group);
+  if (entry == nullptr) return;
+  giop::Request request;
+  request.request_id = static_cast<std::uint32_t>(e.op_seq);
+  request.response_expected = true;
+  request.object_key = util::bytes_of(entry->desc.object_id);
+  request.operation = kGetStateOp;
+
+  r.busy = true;
+  CurrentDispatch d;
+  d.kind = CurrentDispatch::Kind::kGetState;
+  d.op_seq = e.op_seq;
+  d.reply_to = recovery_endpoint(r.group);
+  d.subject = e.subject;
+  d.checkpoint = e.subject.value == 0;
+  r.dispatch = d;
+  tap_.inject(recovery_endpoint(r.group), giop::encode(request));
+}
+
+void Mechanisms::complete_dispatch(LocalReplica& r, util::Bytes) {
+  r.busy = false;
+  r.dispatch.reset();
+  if (r.phase == Phase::kReplaying) {
+    replay_next(r);
+  } else {
+    pump(r);
+  }
+}
+
+// -------------------------------------------------- passive logging / promo
+
+void Mechanisms::maybe_start_checkpoint_timer(LocalReplica& r) {
+  const GroupEntry* entry = table_.find(r.group);
+  if (entry == nullptr) return;
+  if (entry->desc.properties.style == ReplicationStyle::kActive) return;
+  const ReplicaInfo* primary = entry->primary();
+  if (primary == nullptr || primary->id != r.id) return;
+
+  const GroupId group = r.group;
+  const util::Duration interval = entry->desc.properties.checkpoint_interval;
+  sim_.cancel(r.checkpoint_timer);
+  auto tick = [this, group](auto&& self_fn) -> void {
+    LocalReplica* replica = local_replica(group);
+    if (replica == nullptr || replica->phase != Phase::kOperational) return;
+    const GroupEntry* e = table_.find(group);
+    if (e == nullptr) return;
+    const ReplicaInfo* p = e->primary();
+    if (p == nullptr || p->id != replica->id) return;
+    send_get_state(group, ReplicaId{0});  // subject 0 = periodic checkpoint
+    replica->checkpoint_timer =
+        sim_.schedule(e->desc.properties.checkpoint_interval,
+                      [this, self_fn] { self_fn(self_fn); });
+  };
+  r.checkpoint_timer = sim_.schedule(interval, [tick] { tick(tick); });
+}
+
+void Mechanisms::promote_local(GroupId group) {
+  const GroupEntry* entry = table_.find(group);
+  if (entry == nullptr) return;
+
+  const ReplicaInfo* primary = entry->primary();
+  if (primary != nullptr) {
+    // Warm passive: the next operational member takes over (§3.2). Its
+    // state already matches the last checkpoint; the logged messages since
+    // then are delivered to it before it becomes fully operational (§3.3).
+    LocalReplica* r = local_replica(group);
+    if (r != nullptr && r->id == primary->id && r->phase == Phase::kBackup) {
+      stats_.promotions += 1;
+      r->phase = Phase::kReplaying;
+      ETERNAL_LOG(kDebug, kTag,
+                  util::to_string(node_) << " promoting backup of " << util::to_string(group));
+      // The promoted ORB missed every client-server handshake (§4.2.2);
+      // re-enact them ahead of the replayed and future requests.
+      inject_stored_handshakes(group);
+      replay_next(*r);
+    }
+    return;
+  }
+
+  // No operational member remains: cold-passive restart from the log
+  // (also the last resort for a warm group that lost every member, and for
+  // an orphaned recovery whose only state source died mid-transfer).
+  // Deterministic restoration site: the first backup-listed node that is in
+  // the current ring and whose table-visible member slot is absent or still
+  // recovering (every node evaluates the same agreed state; the chosen
+  // node additionally confirms its local replica really is restorable).
+  const auto& backups = entry->desc.backup_nodes;
+  const auto& ring = totem_.view().members;
+  for (NodeId candidate : backups) {
+    if (std::find(ring.begin(), ring.end(), candidate) == ring.end()) continue;
+    const ReplicaInfo* slot = entry->replica_on(candidate);
+    if (slot != nullptr && slot->status != ReplicaStatus::kRecovering) continue;
+    if (candidate == node_ && factories_.count(group.value) > 0) {
+      const LocalReplica* mine = local_replica(group);
+      if (mine == nullptr || mine->phase == Phase::kRecovering) {
+        sim_.schedule(config_.cold_start_delay, [this, group] { cold_restart(group); });
+      }
+    }
+    break;  // only the first eligible backup node restarts
+  }
+}
+
+void Mechanisms::cold_restart(GroupId group) {
+  GroupEntry* entry = table_.find_mutable(group);
+  if (entry == nullptr || entry->primary() != nullptr) return;
+
+  LocalReplica* r = local_replica(group);
+  if (r == nullptr) {
+    // Classic cold restart: launch the servant, announce membership.
+    stats_.promotions += 1;
+    const ReplicaId id = allocate_replica_id();
+    do_launch(group, id, /*as_recovering=*/true);
+    Envelope add;
+    add.kind = EnvelopeKind::kControl;
+    add.control_op = ControlOp::kAddReplica;
+    add.target_group = group;
+    add.subject = id;
+    add.subject_node = node_;
+    multicast(add);
+    r = local_replica(group);
+  } else if (r->phase == Phase::kRecovering) {
+    // Orphaned recovery: the state source died before publishing the
+    // set_state. Fall back to this node's own checkpoint+message log.
+    stats_.promotions += 1;
+  } else {
+    return;
+  }
+
+  r->phase = Phase::kReplaying;
+  r->replay_cursor = 0;
+
+  MessageLog& log = logs_[group.value];
+  if (log.checkpoint().has_value()) {
+    // Apply the logged checkpoint first (§3.3: checkpoint, then messages).
+    Envelope ckpt = *log.checkpoint();
+    ckpt.subject = r->id;
+    // Messages enqueued at an orphaned recovery that precede the
+    // checkpoint's get_state cut are covered by the checkpointed state.
+    auto cut = r->recovery_cuts.find(ckpt.op_seq);
+    if (cut != r->recovery_cuts.end()) {
+      const std::size_t covered = std::min(cut->second, r->pending.size());
+      r->pending.erase(r->pending.begin(),
+                       r->pending.begin() + static_cast<std::ptrdiff_t>(covered));
+    }
+    r->recovery_cuts.clear();
+    apply_state(*r, ckpt, /*is_checkpoint=*/true);
+    inject_stored_handshakes(group);  // after the ORB-level state installed
+    // replay continues from complete_dispatch when set_state() returns
+  } else {
+    r->recovery_cuts.clear();
+    inject_stored_handshakes(group);
+    replay_next(*r);
+  }
+}
+
+void Mechanisms::replay_log(LocalReplica& r) {
+  r.phase = Phase::kReplaying;
+  r.replay_cursor = 0;
+  replay_next(r);
+}
+
+void Mechanisms::replay_next(LocalReplica& r) {
+  if (r.phase != Phase::kReplaying || r.busy) return;
+  MessageLog& log = logs_[r.group.value];
+  if (r.replay_cursor >= log.messages().size()) {
+    r.phase = Phase::kOperational;
+    Envelope e;
+    e.kind = EnvelopeKind::kControl;
+    e.control_op = ControlOp::kReplicaOperational;
+    e.target_group = r.group;
+    e.subject = r.id;
+    e.subject_node = node_;
+    multicast(e);
+    maybe_start_checkpoint_timer(r);
+    pump(r);
+    return;
+  }
+  // Read through the log without consuming it; the entries stay until the
+  // next checkpoint's mark truncates them.
+  Envelope next = log.messages()[r.replay_cursor++];
+  stats_.log_replayed_messages += 1;
+  if (next.kind == EnvelopeKind::kGetState) {
+    inject_get_state(r, next);
+    return;  // continues from complete_dispatch when the reply is captured
+  }
+  QueueItem item;
+  item.kind = QueueItem::Kind::kRequest;
+  item.env = std::move(next);
+  inject_request_item(r, item);
+  if (!r.busy) replay_next(r);  // handshakes complete immediately
+}
+
+// ------------------------------------------------------------ control plane
+
+void Mechanisms::deliver_control(const Envelope& e) {
+  std::vector<TableEvent> events = table_.apply_control(e);
+
+  // kCreateGroup carries the initial member list in the payload.
+  if (e.control_op == ControlOp::kCreateGroup) {
+    GroupEntry* entry = table_.find_mutable(e.target_group);
+    if (entry != nullptr && entry->members.empty()) {
+      for (const InitialMember& m : decode_initial_members(e.payload)) {
+        entry->members.push_back(ReplicaInfo{m.id, m.node, ReplicaStatus::kOperational});
+        entry->operational_order.push_back(m.id);
+      }
+      const ReplicaInfo* mine = entry->replica_on(node_);
+      if (mine != nullptr && factories_.count(e.target_group.value) > 0 &&
+          local_replica(e.target_group) == nullptr) {
+        do_launch(e.target_group, mine->id, /*as_recovering=*/false);
+      }
+    }
+  }
+  react(events);
+}
+
+void Mechanisms::react(const std::vector<TableEvent>& events) {
+  for (const TableEvent& event : events) {
+    switch (event.kind) {
+      case TableEvent::Kind::kGroupCreated:
+        if (pending_restores_.erase(event.group.value) > 0) {
+          apply_stored_log(event.group);
+        }
+        break;
+      case TableEvent::Kind::kReplicaAdded: {
+        awaiting_get_state_[event.group.value].insert(event.replica.value);
+        const GroupEntry* entry = table_.find(event.group);
+        if (entry != nullptr) {
+          const auto coord = entry->coordinator();
+          if (coord && *coord == node_) send_get_state(event.group, event.replica);
+        }
+        break;
+      }
+      case TableEvent::Kind::kReplicaRemoved: {
+        if (event.node == node_) {
+          LocalReplica* r = local_replica(event.group);
+          if (r != nullptr && r->id == event.replica) {
+            sim_.cancel(r->checkpoint_timer);
+            sim_.cancel(r->detector_timer);
+            replicas_.erase(event.group.value);
+          }
+        }
+        awaiting_get_state_[event.group.value].erase(event.replica.value);
+        // The removed replica may have been the state source of an ongoing
+        // recovery; the (possibly new) coordinator re-issues the retrieval
+        // for any subject still waiting (duplicate set_states are absorbed
+        // by the epoch windows).
+        const GroupEntry* entry = table_.find(event.group);
+        if (entry != nullptr) {
+          const auto coord = entry->coordinator();
+          if (coord && *coord == node_) {
+            for (std::uint64_t subject : awaiting_get_state_[event.group.value]) {
+              send_get_state(event.group, ReplicaId{subject});
+            }
+          }
+          // A passive group with no operational member re-evaluates
+          // log-based restoration as dead members clear out of the table.
+          if (entry->desc.properties.style != ReplicationStyle::kActive &&
+              entry->primary() == nullptr) {
+            promote_local(event.group);
+          }
+        }
+        break;
+      }
+      case TableEvent::Kind::kPrimaryFailed:
+        promote_local(event.group);
+        break;
+      case TableEvent::Kind::kReplicaOperational: {
+        awaiting_get_state_[event.group.value].erase(event.replica.value);
+        LocalReplica* r = local_replica(event.group);
+        if (r != nullptr && r->id == event.replica) maybe_start_checkpoint_timer(*r);
+        // A new state source exists; if recoveries were stranded (their
+        // earlier source died mid-transfer), the coordinator retries them.
+        const GroupEntry* entry = table_.find(event.group);
+        if (entry != nullptr) {
+          const auto coord = entry->coordinator();
+          if (coord && *coord == node_) {
+            for (std::uint64_t subject : awaiting_get_state_[event.group.value]) {
+              send_get_state(event.group, ReplicaId{subject});
+            }
+          }
+        }
+        break;
+      }
+      case TableEvent::Kind::kLaunchDirective: {
+        if (event.node == node_ && factories_.count(event.group.value) > 0 &&
+            local_replica(event.group) == nullptr) {
+          launch_replica(event.group);
+        }
+        break;
+      }
+    }
+    for (const auto& observer : event_observers_) observer(event);
+  }
+}
+
+// ------------------------------------------------------------ fault detector
+
+void Mechanisms::arm_fault_detector(LocalReplica& r) {
+  const GroupEntry* entry = table_.find(r.group);
+  if (entry == nullptr) return;
+  const GroupId group = r.group;
+  const util::Duration interval = entry->desc.properties.fault_monitoring_interval;
+  auto ping = [this, group, interval](auto&& self_fn) -> void {
+    LocalReplica* replica = local_replica(group);
+    if (replica == nullptr) return;
+    if (replica->phase == Phase::kDead && !replica->removal_reported) {
+      replica->removal_reported = true;
+      Envelope e;
+      e.kind = EnvelopeKind::kControl;
+      e.control_op = ControlOp::kRemoveReplica;
+      e.target_group = group;
+      e.subject = replica->id;
+      e.subject_node = node_;
+      multicast(e);
+      return;  // the replica entry is erased when the removal delivers
+    }
+    replica->detector_timer =
+        sim_.schedule(interval, [self_fn] { self_fn(self_fn); });
+  };
+  r.detector_timer = sim_.schedule(interval, [ping] { ping(ping); });
+}
+
+}  // namespace eternal::core

@@ -1,0 +1,87 @@
+// Checkpoint-and-messages log (paper §3.3).
+//
+// For passive replication Eternal logs each checkpoint and the ordered
+// messages that follow it; the next checkpoint *overwrites* the previous one
+// and truncates the message tail. A promoted (warm) or restarted (cold)
+// primary is fed the checkpoint and the logged messages, in that order.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/envelope.hpp"
+
+namespace eternal::core {
+
+class MessageLog {
+ public:
+  /// Records the totally-ordered position of a checkpoint's get_state()
+  /// (paper §5.1(i)): the state that checkpoint will carry reflects exactly
+  /// the messages logged *before* this point, so truncation must stop here.
+  void mark(std::uint64_t epoch) { marks_[epoch] = messages_.size(); }
+
+  /// Installs a new checkpoint, discarding the previous checkpoint and the
+  /// messages the checkpointed state covers (checkpoint-overwrite
+  /// semantics, §3.3). Messages logged after the checkpoint's get_state
+  /// position are retained — they are not reflected in the state.
+  void set_checkpoint(Envelope checkpoint) {
+    std::size_t covered = messages_.size();
+    auto it = marks_.find(checkpoint.op_seq);
+    if (it != marks_.end()) covered = it->second;
+    messages_.erase(messages_.begin(),
+                    messages_.begin() + static_cast<std::ptrdiff_t>(covered));
+    // Rebase the remaining marks and drop those at or before this epoch.
+    std::map<std::uint64_t, std::size_t> rebased;
+    for (const auto& [epoch, pos] : marks_) {
+      if (epoch > checkpoint.op_seq) rebased[epoch] = pos >= covered ? pos - covered : 0;
+    }
+    marks_ = std::move(rebased);
+    checkpoint_ = std::move(checkpoint);
+    ++checkpoints_taken_;
+  }
+
+  /// Appends an ordered message that followed the current checkpoint.
+  void append(Envelope message) { messages_.push_back(std::move(message)); }
+
+  const std::optional<Envelope>& checkpoint() const noexcept { return checkpoint_; }
+  const std::deque<Envelope>& messages() const noexcept { return messages_; }
+
+  bool empty() const noexcept { return messages_.empty(); }
+
+  /// Removes and returns the oldest logged message (replay order).
+  Envelope take_front() {
+    Envelope e = std::move(messages_.front());
+    messages_.pop_front();
+    for (auto& [epoch, pos] : marks_) {
+      if (pos > 0) pos -= 1;
+    }
+    return e;
+  }
+
+  void clear() {
+    checkpoint_.reset();
+    messages_.clear();
+    marks_.clear();
+  }
+
+  /// Approximate retained size (accounting for the checkpoint-interval
+  /// experiment).
+  std::size_t bytes() const noexcept {
+    std::size_t total = 0;
+    if (checkpoint_) total += checkpoint_->payload.size() + checkpoint_->orb_state.size() +
+                              checkpoint_->infra_state.size();
+    for (const Envelope& e : messages_) total += e.payload.size();
+    return total;
+  }
+
+  std::uint64_t checkpoints_taken() const noexcept { return checkpoints_taken_; }
+
+ private:
+  std::optional<Envelope> checkpoint_;
+  std::deque<Envelope> messages_;
+  std::map<std::uint64_t, std::size_t> marks_;  ///< epoch → log position
+  std::uint64_t checkpoints_taken_ = 0;
+};
+
+}  // namespace eternal::core

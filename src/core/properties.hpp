@@ -1,0 +1,42 @@
+// Fault tolerance properties, per the FT-CORBA standard the paper
+// implements: replication style, checkpointing interval, fault monitoring
+// interval, initial and minimum numbers of replicas. Set per replicated
+// object at deployment time (paper §2, §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace eternal::core {
+
+/// Replication styles supported by Eternal (paper §3).
+enum class ReplicationStyle : std::uint8_t {
+  kActive = 0,       ///< every replica executes every operation
+  kWarmPassive = 1,  ///< primary executes; backups get periodic checkpoints
+  kColdPassive = 2,  ///< primary executes; checkpoint+log kept for a restart
+};
+
+inline const char* to_string(ReplicationStyle style) {
+  switch (style) {
+    case ReplicationStyle::kActive: return "active";
+    case ReplicationStyle::kWarmPassive: return "warm-passive";
+    case ReplicationStyle::kColdPassive: return "cold-passive";
+  }
+  return "?";
+}
+
+/// User-specified fault tolerance properties of one replicated object.
+struct FtProperties {
+  ReplicationStyle style = ReplicationStyle::kActive;
+  std::size_t initial_replicas = 2;
+  std::size_t minimum_replicas = 2;
+  /// Checkpoint (state retrieval) period for passive styles. Ignored for
+  /// active replication, which transfers state only at recovery (§3.3).
+  util::Duration checkpoint_interval = util::Duration(50'000'000);  // 50 ms
+  /// Local liveness-ping period of the Fault Detector.
+  util::Duration fault_monitoring_interval = util::Duration(10'000'000);  // 10 ms
+};
+
+}  // namespace eternal::core

@@ -1,0 +1,65 @@
+#include "core/replication_manager.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+namespace {
+constexpr const char* kTag = "repmgr";
+}
+
+ReplicationManager::ReplicationManager(Mechanisms& mechanisms, totem::TotemNode& totem)
+    : mechanisms_(mechanisms), totem_(totem) {
+  mechanisms_.add_event_observer([this](const TableEvent& e) { on_event(e); });
+}
+
+bool ReplicationManager::is_acting_manager() const {
+  const auto& members = totem_.view().members;
+  return !members.empty() && members.front() == mechanisms_.node();
+}
+
+void ReplicationManager::on_event(const TableEvent& event) {
+  switch (event.kind) {
+    case TableEvent::Kind::kReplicaAdded:
+      launch_in_flight_.erase(event.group.value);
+      return;
+    case TableEvent::Kind::kReplicaRemoved:
+      enforce_minimum(event.group);
+      return;
+    default:
+      return;
+  }
+}
+
+void ReplicationManager::enforce_minimum(GroupId group) {
+  if (!is_acting_manager()) return;
+  if (launch_in_flight_.count(group.value) > 0) return;
+  const GroupEntry* entry = mechanisms_.groups().find(group);
+  if (entry == nullptr) return;
+  if (entry->members.size() >= entry->desc.properties.minimum_replicas) return;
+
+  // Passive total loss is handled by the cold-restart path, not by us.
+  if (entry->desc.properties.style != ReplicationStyle::kActive &&
+      entry->primary() == nullptr) {
+    return;
+  }
+
+  // Pick the first live spare: a backup-listed node that is in the current
+  // ring and hosts no replica of this group.
+  const auto& ring = totem_.view().members;
+  for (NodeId candidate : entry->desc.backup_nodes) {
+    if (std::find(ring.begin(), ring.end(), candidate) == ring.end()) continue;
+    if (entry->replica_on(candidate) != nullptr) continue;
+    launch_in_flight_.insert(group.value);
+    stats_.launches_directed += 1;
+    ETERNAL_LOG(kDebug, kTag,
+                "directing " << util::to_string(candidate) << " to launch a replica of "
+                             << util::to_string(group));
+    mechanisms_.request_launch(group, candidate);
+    return;
+  }
+}
+
+}  // namespace eternal::core

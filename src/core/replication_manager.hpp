@@ -1,0 +1,49 @@
+// The Eternal Replication Manager / Resource Manager policy layer
+// (paper §2).
+//
+// The *state* half of group management — the membership table — is fully
+// replicated inside every node's Mechanisms (core/group_table). This class
+// is the *policy* half: it watches the table events on its node and, when
+// its node is the acting manager (the lowest-id live processor — the same
+// deterministic-leader rule used throughout), it enforces the user's fault
+// tolerance properties: when a group falls below its minimum number of
+// replicas, it directs a spare node to launch a new replica.
+//
+// In the real Eternal system the managers are themselves replicated CORBA
+// objects; here the total order makes every node's table identical, so the
+// deterministic-leader rule gives exactly one acting manager per view with
+// automatic failover — the same effect with the machinery we already have.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/mechanisms.hpp"
+
+namespace eternal::core {
+
+struct ReplicationManagerStats {
+  std::uint64_t launches_directed = 0;
+};
+
+class ReplicationManager {
+ public:
+  /// Attaches to the node's mechanisms (installs itself as the table-event
+  /// observer — one ReplicationManager per Mechanisms).
+  ReplicationManager(Mechanisms& mechanisms, totem::TotemNode& totem);
+
+  const ReplicationManagerStats& stats() const noexcept { return stats_; }
+
+ private:
+  void on_event(const TableEvent& event);
+  bool is_acting_manager() const;
+  void enforce_minimum(GroupId group);
+
+  Mechanisms& mechanisms_;
+  totem::TotemNode& totem_;
+  /// Groups with a launch directive in flight (cleared on kReplicaAdded) so
+  /// the manager does not spam directives while a launch is under way.
+  std::unordered_set<std::uint32_t> launch_in_flight_;
+  ReplicationManagerStats stats_;
+};
+
+}  // namespace eternal::core

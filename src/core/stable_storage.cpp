@@ -1,0 +1,123 @@
+#include "core/stable_storage.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xE7E41060;
+constexpr std::uint32_t kVersion = 1;
+constexpr const char* kTag = "storage";
+
+void put_blob(util::CdrWriter& w, const Envelope& e) { w.put_octets(encode_envelope(e)); }
+
+std::optional<Envelope> get_blob(util::CdrReader& r) {
+  return decode_envelope(r.get_octets());
+}
+
+}  // namespace
+
+StableStorage::StableStorage(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path StableStorage::path_of(GroupId group) const {
+  return directory_ / ("group-" + std::to_string(group.value) + ".log");
+}
+
+void StableStorage::persist(const GroupDescriptor& descriptor, const MessageLog& log) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_octets(encode_descriptor(descriptor));
+  w.put_bool(log.checkpoint().has_value());
+  if (log.checkpoint().has_value()) put_blob(w, *log.checkpoint());
+  w.put_u32(static_cast<std::uint32_t>(log.messages().size()));
+  for (const Envelope& e : log.messages()) put_blob(w, e);
+  // End marker: a torn (truncated) write is detectable at load time.
+  w.put_u32(0xE7E4E00F);
+
+  const std::filesystem::path final_path = path_of(descriptor.id);
+  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out.good()) {
+      ETERNAL_LOG(kWarn, kTag, "stable-storage write failed for " << final_path.string());
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path);
+  writes_ += 1;
+}
+
+std::optional<StoredGroup> StableStorage::load(GroupId group) const {
+  const std::filesystem::path path = path_of(group);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  if (size < 16) return std::nullopt;
+  util::Bytes raw(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(raw.data()), size);
+  if (!in.good()) return std::nullopt;
+
+  try {
+    util::CdrReader r(raw, static_cast<util::ByteOrder>(raw[0] & 1));
+    (void)r.get_u8();
+    if (r.get_u32() != kMagic) return std::nullopt;
+    if (r.get_u32() != kVersion) return std::nullopt;
+    auto descriptor = decode_descriptor(r.get_octets());
+    if (!descriptor) return std::nullopt;
+
+    StoredGroup out;
+    out.descriptor = std::move(*descriptor);
+    if (r.get_bool()) {
+      auto ckpt = get_blob(r);
+      if (!ckpt) return std::nullopt;
+      out.checkpoint = std::move(*ckpt);
+    }
+    const std::uint32_t n = r.get_count(4);
+    out.messages.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto msg = get_blob(r);
+      if (!msg) return std::nullopt;
+      out.messages.push_back(std::move(*msg));
+    }
+    if (r.get_u32() != 0xE7E4E00F) return std::nullopt;  // torn write
+    return out;
+  } catch (const util::CdrError&) {
+    ETERNAL_LOG(kWarn, kTag, "corrupt stable-storage record for group " << group.value);
+    return std::nullopt;
+  }
+}
+
+void StableStorage::erase(GroupId group) {
+  std::error_code ec;
+  std::filesystem::remove(path_of(group), ec);
+}
+
+std::vector<GroupId> StableStorage::stored_groups() const {
+  std::vector<GroupId> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("group-", 0) != 0 || entry.path().extension() != ".log") continue;
+    const std::string digits = name.substr(6, name.size() - 6 - 4);
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(digits.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    const GroupId id{static_cast<std::uint32_t>(value)};
+    if (load(id).has_value()) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace eternal::core

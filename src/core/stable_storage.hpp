@@ -1,0 +1,60 @@
+// Stable storage for checkpoint+message logs (paper §3.3).
+//
+// Cold passive replication keeps "the primary's last checkpoint, and the
+// logged messages" available for a replica that is launched only after a
+// failure — which, to survive the failure of the logging processor itself
+// (or a whole-system restart), must live on stable storage, not in memory.
+//
+// One StableStorage instance manages one node's directory. Each group's
+// record holds the group descriptor (so the group can be re-registered
+// after a total restart), the latest checkpoint envelope, and the message
+// tail. Writes are atomic (temp file + rename); torn or corrupt records are
+// detected by magic/length checks and reported as absent rather than
+// crashing recovery.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "core/group_table.hpp"
+#include "core/message_log.hpp"
+
+namespace eternal::core {
+
+/// A group's durable record.
+struct StoredGroup {
+  GroupDescriptor descriptor;
+  std::optional<Envelope> checkpoint;
+  std::vector<Envelope> messages;
+};
+
+class StableStorage {
+ public:
+  /// Opens (creating if needed) the node's storage directory.
+  explicit StableStorage(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const noexcept { return directory_; }
+
+  /// Atomically persists the group's descriptor and current log.
+  void persist(const GroupDescriptor& descriptor, const MessageLog& log);
+
+  /// Loads a group's record; nullopt when absent or unreadable/corrupt.
+  std::optional<StoredGroup> load(GroupId group) const;
+
+  /// Deletes a group's record (e.g. on group destruction).
+  void erase(GroupId group);
+
+  /// Groups with a (readable) record in this directory.
+  std::vector<GroupId> stored_groups() const;
+
+  std::uint64_t writes() const noexcept { return writes_; }
+
+ private:
+  std::filesystem::path path_of(GroupId group) const;
+
+  std::filesystem::path directory_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace eternal::core

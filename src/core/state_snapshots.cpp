@@ -1,0 +1,126 @@
+#include "core/state_snapshots.hpp"
+
+namespace eternal::core {
+
+namespace {
+using util::CdrReader;
+using util::CdrWriter;
+
+void put_endpoint(CdrWriter& w, const orb::Endpoint& e) {
+  w.put_u32(e.host.value);
+  w.put_u16(e.port);
+}
+
+orb::Endpoint get_endpoint(CdrReader& r) {
+  orb::Endpoint e;
+  e.host = util::NodeId{r.get_u32()};
+  e.port = r.get_u16();
+  return e;
+}
+}  // namespace
+
+Bytes encode_orb_state(const OrbLevelState& s) {
+  CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(static_cast<std::uint32_t>(s.client_conns.size()));
+  for (const ClientConnState& c : s.client_conns) {
+    w.put_u32(c.server_group.value);
+    w.put_u64(c.next_group_request_id);
+    w.put_bool(c.handshake_done);
+    w.put_octets(c.handshake_request);
+    w.put_octets(c.handshake_reply);
+  }
+  w.put_u32(static_cast<std::uint32_t>(s.server_conns.size()));
+  for (const ServerConnState& c : s.server_conns) {
+    put_endpoint(w, c.client);
+    w.put_octets(c.handshake_request);
+  }
+  return std::move(w).take();
+}
+
+std::optional<OrbLevelState> decode_orb_state(BytesView data) {
+  try {
+    if (data.empty()) return OrbLevelState{};
+    CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    OrbLevelState s;
+    const std::uint32_t nc = r.get_count(4);
+    for (std::uint32_t i = 0; i < nc; ++i) {
+      ClientConnState c;
+      c.server_group = GroupId{r.get_u32()};
+      c.next_group_request_id = r.get_u64();
+      c.handshake_done = r.get_bool();
+      c.handshake_request = r.get_octets();
+      c.handshake_reply = r.get_octets();
+      s.client_conns.push_back(std::move(c));
+    }
+    const std::uint32_t ns = r.get_count(4);
+    for (std::uint32_t i = 0; i < ns; ++i) {
+      ServerConnState c;
+      c.client = get_endpoint(r);
+      c.handshake_request = r.get_octets();
+      s.server_conns.push_back(std::move(c));
+    }
+    return s;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_infra_state(const InfraLevelState& s) {
+  CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(static_cast<std::uint32_t>(s.requests_seen.size()));
+  for (const auto& rf : s.requests_seen) {
+    w.put_u32(rf.client_group.value);
+    rf.seen.encode(w);
+  }
+  w.put_u32(static_cast<std::uint32_t>(s.replies_seen.size()));
+  for (const auto& rf : s.replies_seen) {
+    w.put_u32(rf.server_group.value);
+    rf.seen.encode(w);
+  }
+  w.put_u32(static_cast<std::uint32_t>(s.outstanding.size()));
+  for (const auto& o : s.outstanding) {
+    w.put_u32(o.server_group.value);
+    w.put_u32(static_cast<std::uint32_t>(o.op_seqs.size()));
+    for (std::uint64_t seq : o.op_seqs) w.put_u64(seq);
+  }
+  return std::move(w).take();
+}
+
+std::optional<InfraLevelState> decode_infra_state(BytesView data) {
+  try {
+    if (data.empty()) return InfraLevelState{};
+    CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    InfraLevelState s;
+    const std::uint32_t nr = r.get_count(4);
+    for (std::uint32_t i = 0; i < nr; ++i) {
+      InfraLevelState::RequestsFrom rf;
+      rf.client_group = GroupId{r.get_u32()};
+      rf.seen = SeqWindow::decode(r);
+      s.requests_seen.push_back(std::move(rf));
+    }
+    const std::uint32_t np = r.get_count(4);
+    for (std::uint32_t i = 0; i < np; ++i) {
+      InfraLevelState::RepliesFrom rf;
+      rf.server_group = GroupId{r.get_u32()};
+      rf.seen = SeqWindow::decode(r);
+      s.replies_seen.push_back(std::move(rf));
+    }
+    const std::uint32_t no = r.get_count(4);
+    for (std::uint32_t i = 0; i < no; ++i) {
+      InfraLevelState::Outstanding o;
+      o.server_group = GroupId{r.get_u32()};
+      const std::uint32_t k = r.get_count(4);
+      for (std::uint32_t j = 0; j < k; ++j) o.op_seqs.push_back(r.get_u64());
+      s.outstanding.push_back(std::move(o));
+    }
+    return s;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace eternal::core

@@ -1,0 +1,88 @@
+// Serializable snapshots of the ORB/POA-level and infrastructure-level
+// state of one replicated object (paper §4.2, §4.3).
+//
+// These are the pieces Eternal "piggybacks" onto the application-level state
+// in the fabricated set_state / checkpoint envelopes, so that the retrieval
+// and assignment of all three kinds of state appear as a single atomic
+// action at one logical point in the total order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/seq_window.hpp"
+#include "orb/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace eternal::core {
+
+using util::Bytes;
+using util::BytesView;
+using util::GroupId;
+
+/// ORB/POA-level state of one *outbound* (client-role) connection of the
+/// group: the per-connection GIOP request_id counter, discovered by parsing
+/// the intercepted request stream (§4.2.1), and the stored handshake
+/// material (§4.2.2).
+struct ClientConnState {
+  GroupId server_group;
+  std::uint64_t next_group_request_id = 0;
+  bool handshake_done = false;
+  Bytes handshake_request;  ///< the group-consistent handshake request bytes
+  Bytes handshake_reply;    ///< the server's stored answer (replayed locally
+                            ///< to a recovering client replica's fresh ORB)
+  bool operator==(const ClientConnState&) const = default;
+};
+
+/// ORB/POA-level state of one *inbound* (server-role) connection: the
+/// client's stored handshake message, re-injected into a new server
+/// replica's ORB ahead of any other request from that client (§4.2.2).
+struct ServerConnState {
+  orb::Endpoint client;
+  Bytes handshake_request;
+  bool operator==(const ServerConnState&) const = default;
+};
+
+/// The complete ORB/POA-level state of one replicated object.
+struct OrbLevelState {
+  std::vector<ClientConnState> client_conns;
+  std::vector<ServerConnState> server_conns;
+  bool operator==(const OrbLevelState&) const = default;
+};
+
+/// Infrastructure-level state (§4.3): the Eternal-generated operation
+/// identifiers that drive duplicate suppression, plus the set of issued
+/// invocations awaiting responses (always empty at a quiescent transfer
+/// point, kept for completeness and assertions).
+struct InfraLevelState {
+  struct RequestsFrom {
+    GroupId client_group;
+    SeqWindow seen;
+    bool operator==(const RequestsFrom&) const = default;
+  };
+  struct RepliesFrom {
+    GroupId server_group;
+    SeqWindow seen;
+    bool operator==(const RepliesFrom&) const = default;
+  };
+  struct Outstanding {
+    GroupId server_group;
+    std::vector<std::uint64_t> op_seqs;
+    bool operator==(const Outstanding&) const = default;
+  };
+
+  std::vector<RequestsFrom> requests_seen;  ///< server-role duplicate filter
+  std::vector<RepliesFrom> replies_seen;    ///< client-role duplicate filter
+  std::vector<Outstanding> outstanding;     ///< invocations awaiting responses
+  bool operator==(const InfraLevelState&) const = default;
+};
+
+Bytes encode_orb_state(const OrbLevelState& s);
+std::optional<OrbLevelState> decode_orb_state(BytesView data);
+
+Bytes encode_infra_state(const InfraLevelState& s);
+std::optional<InfraLevelState> decode_infra_state(BytesView data);
+
+}  // namespace eternal::core

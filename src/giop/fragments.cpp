@@ -1,0 +1,129 @@
+#include "giop/fragments.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace eternal::giop {
+
+namespace {
+
+constexpr std::size_t kHeader = 12;
+constexpr std::uint8_t kFragmentType = 7;
+
+bool looks_giop(BytesView framed) {
+  return framed.size() >= kHeader && framed[0] == 'G' && framed[1] == 'I' &&
+         framed[2] == 'O' && framed[3] == 'P';
+}
+
+util::ByteOrder order_of(BytesView framed) {
+  return static_cast<util::ByteOrder>(framed[6] & 1);
+}
+
+std::uint32_t read_size(BytesView framed) {
+  util::CdrReader r(framed.subspan(8, 4), order_of(framed));
+  return r.get_u32();
+}
+
+void write_size(util::Bytes& framed, std::uint32_t size) {
+  util::CdrWriter w(order_of(framed));
+  w.put_u32(size);
+  std::memcpy(framed.data() + 8, w.bytes().data(), 4);
+}
+
+util::Bytes make_header(BytesView like, std::uint8_t type, bool more, std::uint32_t size) {
+  util::Bytes h(like.begin(), like.begin() + kHeader);
+  h[5] = 1;  // minor version: fragments are GIOP 1.1
+  h[6] = static_cast<std::uint8_t>((h[6] & 1) | (more ? kFlagMoreFragments : 0));
+  h[7] = type;
+  util::Bytes framed = std::move(h);
+  write_size(framed, size);
+  return framed;
+}
+
+}  // namespace
+
+std::optional<Version> version_of(BytesView framed) {
+  if (!looks_giop(framed)) return std::nullopt;
+  return Version{framed[4], framed[5]};
+}
+
+bool has_more_fragments(BytesView framed) {
+  return looks_giop(framed) && framed[4] == 1 && framed[5] >= 1 &&
+         (framed[6] & kFlagMoreFragments) != 0;
+}
+
+std::vector<Bytes> fragment_message(BytesView framed, std::size_t max_frame) {
+  if (!looks_giop(framed)) throw std::invalid_argument("fragment_message: not GIOP");
+  if (max_frame <= kHeader) {
+    throw std::invalid_argument("fragment_message: max_frame below header size");
+  }
+  if (framed.size() <= max_frame) {
+    Bytes whole(framed.begin(), framed.end());
+    whole[5] = std::max<std::uint8_t>(whole[5], 1);  // stamp 1.1
+    return {std::move(whole)};
+  }
+
+  const std::size_t chunk = max_frame - kHeader;
+  std::vector<Bytes> out;
+
+  // Initial message: original header (type preserved), first chunk of body,
+  // more-fragments flag set.
+  BytesView body = framed.subspan(kHeader);
+  {
+    Bytes first = make_header(framed, framed[7], /*more=*/true,
+                              static_cast<std::uint32_t>(chunk));
+    first.insert(first.end(), body.begin(), body.begin() + static_cast<std::ptrdiff_t>(chunk));
+    out.push_back(std::move(first));
+  }
+  // Fragment messages for the rest.
+  std::size_t offset = chunk;
+  while (offset < body.size()) {
+    const std::size_t n = std::min(chunk, body.size() - offset);
+    const bool more = offset + n < body.size();
+    Bytes frag = make_header(framed, kFragmentType, more, static_cast<std::uint32_t>(n));
+    frag.insert(frag.end(), body.begin() + static_cast<std::ptrdiff_t>(offset),
+                body.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    out.push_back(std::move(frag));
+    offset += n;
+  }
+  return out;
+}
+
+std::optional<Bytes> Reassembler::feed(BytesView framed) {
+  if (!looks_giop(framed) || framed.size() != kHeader + read_size(framed)) {
+    protocol_errors_ += 1;
+    partial_.clear();
+    return std::nullopt;
+  }
+  const bool is_fragment = framed[7] == kFragmentType;
+  const bool more = has_more_fragments(framed);
+
+  if (!is_fragment) {
+    if (in_progress()) {
+      // A new message interrupting an unfinished train: drop the train.
+      protocol_errors_ += 1;
+      partial_.clear();
+    }
+    if (!more) return Bytes(framed.begin(), framed.end());
+    partial_.assign(framed.begin(), framed.end());
+    return std::nullopt;
+  }
+
+  // Fragment: must continue a train.
+  if (!in_progress()) {
+    protocol_errors_ += 1;
+    return std::nullopt;
+  }
+  partial_.insert(partial_.end(), framed.begin() + kHeader, framed.end());
+  if (more) return std::nullopt;
+
+  // Train complete: clear the flag, fix the size, emit.
+  Bytes whole = std::move(partial_);
+  partial_.clear();
+  whole[6] = static_cast<std::uint8_t>(whole[6] & ~kFlagMoreFragments);
+  write_size(whole, static_cast<std::uint32_t>(whole.size() - kHeader));
+  trains_completed_ += 1;
+  return whole;
+}
+
+}  // namespace eternal::giop

@@ -1,0 +1,64 @@
+// GIOP 1.1 message fragmentation (CORBA 2.3 §15.4.8).
+//
+// GIOP 1.1 adds a `Fragment` message type and a "more fragments follow"
+// flag (bit 1 of the header flags octet; bit 0 remains the byte order).
+// A large Request/Reply may be sent as an initial message with the flag
+// set, followed by Fragment messages; the final Fragment clears the flag.
+// Fragments carry no identifier in 1.1 — they continue the *immediately
+// preceding* message on the connection, so reassembly is per-connection
+// state (one of the quietly stateful corners of a "stateless" ORB).
+//
+// Our Eternal transport fragments below GIOP (Totem over Ethernet frames),
+// so the mini-ORB keeps whole messages on the wire; this module exists for
+// protocol completeness — a downstream user pointing the codec at real
+// GIOP 1.1 traffic needs it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "giop/giop.hpp"
+
+namespace eternal::giop {
+
+/// Flag bit: more fragments follow (GIOP 1.1+).
+constexpr std::uint8_t kFlagMoreFragments = 0x02;
+
+/// GIOP version of a framed message; nullopt if not GIOP.
+struct Version {
+  std::uint8_t major = 1;
+  std::uint8_t minor = 0;
+  auto operator<=>(const Version&) const = default;
+};
+std::optional<Version> version_of(BytesView framed);
+
+/// True when the framed message has the more-fragments flag set.
+bool has_more_fragments(BytesView framed);
+
+/// Splits a framed GIOP message into an initial message plus Fragment
+/// messages, none larger than `max_frame` on the wire. The input is
+/// upgraded to GIOP 1.1 framing (fragmentation does not exist in 1.0).
+/// Returns a single-element vector when the message already fits.
+/// Throws std::invalid_argument when `max_frame` cannot hold even a header.
+std::vector<Bytes> fragment_message(BytesView framed, std::size_t max_frame);
+
+/// Per-connection reassembly of GIOP 1.1 fragment trains. feed() consumes
+/// one framed message and returns a complete framed message when one is
+/// finished (either an unfragmented input, or a completed train).
+/// Out-of-protocol inputs (a Fragment with no train in progress, a new
+/// message interrupting a train) drop the broken train and report nullopt.
+class Reassembler {
+ public:
+  std::optional<Bytes> feed(BytesView framed);
+
+  bool in_progress() const noexcept { return !partial_.empty(); }
+  std::uint64_t trains_completed() const noexcept { return trains_completed_; }
+  std::uint64_t protocol_errors() const noexcept { return protocol_errors_; }
+
+ private:
+  Bytes partial_;  ///< accumulated initial message (header + body so far)
+  std::uint64_t trains_completed_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace eternal::giop

@@ -1,0 +1,270 @@
+#include "giop/giop.hpp"
+
+namespace eternal::giop {
+
+namespace {
+
+using util::CdrError;
+using util::CdrReader;
+using util::CdrWriter;
+
+constexpr std::uint8_t kVersionMajor = 1;
+constexpr std::uint8_t kVersionMinor = 0;
+constexpr std::size_t kFrameHeaderSize = 12;
+
+/// Writes the 12-byte GIOP header with a placeholder size, returning the
+/// offset of the size field for backpatching.
+std::size_t begin_message(CdrWriter& w, MsgType type, ByteOrder order) {
+  w.put_u8('G');
+  w.put_u8('I');
+  w.put_u8('O');
+  w.put_u8('P');
+  w.put_u8(kVersionMajor);
+  w.put_u8(kVersionMinor);
+  w.put_u8(static_cast<std::uint8_t>(order));
+  w.put_u8(static_cast<std::uint8_t>(type));
+  const std::size_t size_offset = w.size();
+  w.put_u32(0);  // patched in end_message
+  return size_offset;
+}
+
+Bytes end_message(CdrWriter&& w, std::size_t size_offset) {
+  w.patch_u32(size_offset, static_cast<std::uint32_t>(w.size() - kFrameHeaderSize));
+  return std::move(w).take();
+}
+
+void put_contexts(CdrWriter& w, const ServiceContextList& contexts) {
+  w.put_u32(static_cast<std::uint32_t>(contexts.size()));
+  for (const auto& sc : contexts) {
+    w.put_u32(sc.context_id);
+    w.put_octets(sc.data);
+  }
+}
+
+ServiceContextList get_contexts(CdrReader& r) {
+  const std::uint32_t n = r.get_count(8);  // id + length minimum
+  ServiceContextList out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ServiceContext sc;
+    sc.context_id = r.get_u32();
+    sc.data = r.get_octets();
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+struct FrameInfo {
+  ByteOrder order;
+  MsgType type;
+  std::uint32_t size;
+};
+
+std::optional<FrameInfo> read_frame_header(CdrReader& r, BytesView data) {
+  if (data.size() < kFrameHeaderSize) return std::nullopt;
+  if (data[0] != 'G' || data[1] != 'I' || data[2] != 'O' || data[3] != 'P') return std::nullopt;
+  (void)r.get_raw(4);
+  const std::uint8_t major = r.get_u8();
+  (void)r.get_u8();  // minor
+  if (major != kVersionMajor) return std::nullopt;
+  const auto order = static_cast<ByteOrder>(r.get_u8() & 1);
+  const auto type_raw = r.get_u8();
+  if (type_raw > static_cast<std::uint8_t>(MsgType::kMessageError)) return std::nullopt;
+  // The size field must be read in the *message's* byte order, which we only
+  // now know; CdrReader was constructed with a guess. Re-read with a scoped
+  // reader over the 4 size bytes.
+  CdrReader size_reader(data.subspan(8, 4), order);
+  const std::uint32_t size = size_reader.get_u32();
+  (void)r.get_u32();  // consume the bytes in the primary reader
+  return FrameInfo{order, static_cast<MsgType>(type_raw), size};
+}
+
+}  // namespace
+
+bool is_giop(BytesView data) noexcept {
+  try {
+    CdrReader r(data, ByteOrder::kLittle);
+    auto info = read_frame_header(r, data);
+    return info && data.size() == kFrameHeaderSize + info->size;
+  } catch (const CdrError&) {
+    return false;
+  }
+}
+
+Bytes encode(const Request& m, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kRequest, order);
+  put_contexts(w, m.service_context);
+  w.put_u32(m.request_id);
+  w.put_bool(m.response_expected);
+  w.put_octets(m.object_key);
+  w.put_string(m.operation);
+  w.put_octets(Bytes{});  // deprecated Principal
+  w.put_raw(m.body);
+  return end_message(std::move(w), size_offset);
+}
+
+Bytes encode(const Reply& m, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kReply, order);
+  put_contexts(w, m.service_context);
+  w.put_u32(m.request_id);
+  w.put_u32(static_cast<std::uint32_t>(m.reply_status));
+  w.put_raw(m.body);
+  return end_message(std::move(w), size_offset);
+}
+
+Bytes encode(const CancelRequest& m, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kCancelRequest, order);
+  w.put_u32(m.request_id);
+  return end_message(std::move(w), size_offset);
+}
+
+Bytes encode(const LocateRequest& m, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kLocateRequest, order);
+  w.put_u32(m.request_id);
+  w.put_octets(m.object_key);
+  return end_message(std::move(w), size_offset);
+}
+
+Bytes encode(const LocateReply& m, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kLocateReply, order);
+  w.put_u32(m.request_id);
+  w.put_u32(m.locate_status);
+  return end_message(std::move(w), size_offset);
+}
+
+Bytes encode(const CloseConnection&, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kCloseConnection, order);
+  return end_message(std::move(w), size_offset);
+}
+
+Bytes encode(const MessageError&, ByteOrder order) {
+  CdrWriter w(order);
+  const std::size_t size_offset = begin_message(w, MsgType::kMessageError, order);
+  return end_message(std::move(w), size_offset);
+}
+
+std::optional<Message> decode(BytesView data) {
+  try {
+    CdrReader r(data, ByteOrder::kLittle);
+    auto info = read_frame_header(r, data);
+    if (!info) return std::nullopt;
+    if (data.size() != kFrameHeaderSize + info->size) return std::nullopt;
+    // Re-create the reader with the correct order, positioned after the
+    // frame header (alignment stays relative to the message start).
+    CdrReader body(data, info->order);
+    (void)body.get_raw(kFrameHeaderSize);
+
+    Message out;
+    out.order = info->order;
+    switch (info->type) {
+      case MsgType::kRequest: {
+        Request m;
+        m.service_context = get_contexts(body);
+        m.request_id = body.get_u32();
+        m.response_expected = body.get_bool();
+        m.object_key = body.get_octets();
+        m.operation = body.get_string();
+        (void)body.get_octets();  // Principal
+        m.body = body.get_raw(body.remaining());
+        out.body = std::move(m);
+        return out;
+      }
+      case MsgType::kReply: {
+        Reply m;
+        m.service_context = get_contexts(body);
+        m.request_id = body.get_u32();
+        const std::uint32_t status = body.get_u32();
+        if (status > static_cast<std::uint32_t>(ReplyStatus::kLocationForward)) {
+          return std::nullopt;
+        }
+        m.reply_status = static_cast<ReplyStatus>(status);
+        m.body = body.get_raw(body.remaining());
+        out.body = std::move(m);
+        return out;
+      }
+      case MsgType::kCancelRequest: {
+        CancelRequest m;
+        m.request_id = body.get_u32();
+        out.body = m;
+        return out;
+      }
+      case MsgType::kLocateRequest: {
+        LocateRequest m;
+        m.request_id = body.get_u32();
+        m.object_key = body.get_octets();
+        out.body = std::move(m);
+        return out;
+      }
+      case MsgType::kLocateReply: {
+        LocateReply m;
+        m.request_id = body.get_u32();
+        m.locate_status = body.get_u32();
+        out.body = m;
+        return out;
+      }
+      case MsgType::kCloseConnection:
+        out.body = CloseConnection{};
+        return out;
+      case MsgType::kMessageError:
+        out.body = MessageError{};
+        return out;
+    }
+    return std::nullopt;
+  } catch (const CdrError&) {
+    return std::nullopt;
+  }
+}
+
+bool Inspection::has_context(std::uint32_t context_id) const noexcept {
+  for (const auto& sc : service_context) {
+    if (sc.context_id == context_id) return true;
+  }
+  return false;
+}
+
+std::optional<Inspection> inspect(BytesView data) {
+  std::optional<Message> msg = decode(data);
+  if (!msg) return std::nullopt;
+  Inspection out;
+  out.type = msg->type();
+  switch (msg->type()) {
+    case MsgType::kRequest: {
+      auto& m = std::get<Request>(msg->body);
+      out.request_id = m.request_id;
+      out.object_key = std::move(m.object_key);
+      out.operation = std::move(m.operation);
+      out.response_expected = m.response_expected;
+      out.service_context = std::move(m.service_context);
+      break;
+    }
+    case MsgType::kReply: {
+      auto& m = std::get<Reply>(msg->body);
+      out.request_id = m.request_id;
+      out.service_context = std::move(m.service_context);
+      break;
+    }
+    case MsgType::kCancelRequest:
+      out.request_id = std::get<CancelRequest>(msg->body).request_id;
+      break;
+    case MsgType::kLocateRequest: {
+      auto& m = std::get<LocateRequest>(msg->body);
+      out.request_id = m.request_id;
+      out.object_key = std::move(m.object_key);
+      break;
+    }
+    case MsgType::kLocateReply:
+      out.request_id = std::get<LocateReply>(msg->body).request_id;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace eternal::giop

@@ -1,0 +1,80 @@
+#include "giop/ior.hpp"
+
+#include "util/cdr.hpp"
+
+namespace eternal::giop {
+
+namespace {
+using util::CdrReader;
+using util::CdrWriter;
+}  // namespace
+
+util::Bytes encode_ior(const Ior& ior) {
+  CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_string(ior.type_id);
+  w.put_u32(ior.host.value);
+  w.put_u16(ior.port);
+  w.put_octets(ior.object_key);
+  w.put_u32(ior.orb_vendor);
+  w.put_u32(static_cast<std::uint32_t>(ior.code_sets.native_char));
+  w.put_u32(static_cast<std::uint32_t>(ior.code_sets.conversion_char.size()));
+  for (CodeSet cs : ior.code_sets.conversion_char) {
+    w.put_u32(static_cast<std::uint32_t>(cs));
+  }
+  w.put_u32(static_cast<std::uint32_t>(ior.code_sets.native_wchar));
+  return std::move(w).take();
+}
+
+std::optional<Ior> decode_ior(util::BytesView data) {
+  try {
+    if (data.empty()) return std::nullopt;
+    CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    Ior ior;
+    ior.type_id = r.get_string();
+    ior.host = util::NodeId{r.get_u32()};
+    ior.port = r.get_u16();
+    ior.object_key = r.get_octets();
+    ior.orb_vendor = r.get_u32();
+    ior.code_sets.native_char = static_cast<CodeSet>(r.get_u32());
+    const std::uint32_t n = r.get_count(4);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ior.code_sets.conversion_char.push_back(static_cast<CodeSet>(r.get_u32()));
+    }
+    ior.code_sets.native_wchar = static_cast<CodeSet>(r.get_u32());
+    return ior;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+std::string to_string(const Ior& ior) {
+  const util::Bytes raw = encode_ior(ior);
+  std::string out = "IOR:";
+  out += util::to_hex(raw, raw.size());
+  return out;
+}
+
+std::optional<Ior> from_string(const std::string& text) {
+  if (text.rfind("IOR:", 0) != 0) return std::nullopt;
+  const std::string hex = text.substr(4);
+  if (hex.size() % 2 != 0) return std::nullopt;
+  util::Bytes raw;
+  raw.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    raw.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return decode_ior(raw);
+}
+
+}  // namespace eternal::giop

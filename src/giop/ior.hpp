@@ -1,0 +1,59 @@
+// Interoperable Object References.
+//
+// An IOR is how a server object advertises where it lives: host, port,
+// object key, plus tagged components. We model the one component the paper's
+// recovery story needs — the code-set component the server-side ORB embeds
+// so that clients can negotiate character transmission code sets (§4.2.2) —
+// and the ORB vendor tag that enables vendor-specific handshakes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace eternal::giop {
+
+/// Code-set identifiers (OSF registry values).
+enum class CodeSet : std::uint32_t {
+  kIso8859_1 = 0x00010001,
+  kUtf8 = 0x05010001,
+  kUtf16 = 0x00010109,
+  kEbcdic = 0x10020025,  // deliberately exotic: forces real negotiation
+};
+
+/// The code-set component a server publishes in its IOR.
+struct CodeSetComponent {
+  CodeSet native_char = CodeSet::kIso8859_1;
+  std::vector<CodeSet> conversion_char;  ///< additional supported char sets
+  CodeSet native_wchar = CodeSet::kUtf16;
+  bool operator==(const CodeSetComponent&) const = default;
+};
+
+/// An object reference. `orb_vendor` identifies the server's ORB
+/// implementation; same-vendor client ORBs may use vendor shortcuts.
+struct Ior {
+  std::string type_id;          ///< e.g. "IDL:BankAccount:1.0"
+  util::NodeId host;            ///< simulated processor
+  std::uint16_t port = 2809;
+  util::Bytes object_key;
+  std::uint32_t orb_vendor = 0;
+  CodeSetComponent code_sets;
+  bool operator==(const Ior&) const = default;
+};
+
+/// CDR-encodes an IOR (for embedding in messages and logs).
+util::Bytes encode_ior(const Ior& ior);
+
+/// Decodes; nullopt on malformed input.
+std::optional<Ior> decode_ior(util::BytesView data);
+
+/// Stringified form ("IOR:<hex>"), as CORBA::object_to_string produces.
+std::string to_string(const Ior& ior);
+
+/// Parses a stringified IOR; nullopt when the prefix or hex is invalid.
+std::optional<Ior> from_string(const std::string& text);
+
+}  // namespace eternal::giop

@@ -1,0 +1,536 @@
+#include "orb/orb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace eternal::orb {
+
+namespace {
+
+constexpr const char* kTag = "orb";
+
+/// Reserved object key of the in-ORB session-negotiation service.
+const util::Bytes kHandshakeKey{0xFD};
+/// First byte of every negotiated short object key.
+constexpr std::uint8_t kShortKeyPrefix = 0xFE;
+
+std::string key_string(util::BytesView key) {
+  return std::string(reinterpret_cast<const char*>(key.data()), key.size());
+}
+
+bool is_short_key(util::BytesView key) noexcept {
+  return !key.empty() && key[0] == kShortKeyPrefix;
+}
+
+bool supports(const giop::CodeSetComponent& sets, giop::CodeSet cs) noexcept {
+  if (sets.native_char == cs) return true;
+  return std::find(sets.conversion_char.begin(), sets.conversion_char.end(), cs) !=
+         sets.conversion_char.end();
+}
+
+/// CDR payload of the vendor handshake ServiceContext (client → server).
+util::Bytes encode_handshake_offer(std::uint32_t vendor, giop::CodeSet char_cs,
+                                   giop::CodeSet wchar_cs, util::BytesView full_key) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(vendor);
+  w.put_u32(static_cast<std::uint32_t>(char_cs));
+  w.put_u32(static_cast<std::uint32_t>(wchar_cs));
+  w.put_octets(full_key);
+  return std::move(w).take();
+}
+
+struct HandshakeOffer {
+  std::uint32_t vendor = 0;
+  giop::CodeSet char_cs = giop::CodeSet::kIso8859_1;
+  giop::CodeSet wchar_cs = giop::CodeSet::kUtf16;
+  util::Bytes full_key;
+};
+
+std::optional<HandshakeOffer> decode_handshake_offer(util::BytesView data) {
+  try {
+    if (data.empty()) return std::nullopt;
+    util::CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    HandshakeOffer offer;
+    offer.vendor = r.get_u32();
+    offer.char_cs = static_cast<giop::CodeSet>(r.get_u32());
+    offer.wchar_cs = static_cast<giop::CodeSet>(r.get_u32());
+    offer.full_key = r.get_octets();
+    return offer;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+/// CDR payload of the handshake reply body (server → client).
+util::Bytes encode_handshake_answer(util::BytesView short_key, giop::CodeSet char_cs,
+                                    giop::CodeSet wchar_cs) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_octets(short_key);
+  w.put_u32(static_cast<std::uint32_t>(char_cs));
+  w.put_u32(static_cast<std::uint32_t>(wchar_cs));
+  return std::move(w).take();
+}
+
+struct HandshakeAnswer {
+  util::Bytes short_key;
+  giop::CodeSet char_cs = giop::CodeSet::kIso8859_1;
+  giop::CodeSet wchar_cs = giop::CodeSet::kUtf16;
+};
+
+std::optional<HandshakeAnswer> decode_handshake_answer(util::BytesView data) {
+  try {
+    if (data.empty()) return std::nullopt;
+    util::CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    HandshakeAnswer ans;
+    ans.short_key = r.get_octets();
+    ans.char_cs = static_cast<giop::CodeSet>(r.get_u32());
+    ans.wchar_cs = static_cast<giop::CodeSet>(r.get_u32());
+    return ans;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_codeset_context(giop::CodeSet char_cs, giop::CodeSet wchar_cs) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u32(static_cast<std::uint32_t>(char_cs));
+  w.put_u32(static_cast<std::uint32_t>(wchar_cs));
+  return std::move(w).take();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ ObjectRef
+
+void ObjectRef::invoke(const std::string& operation, util::Bytes args,
+                       ReplyHandler on_reply) const {
+  if (orb_ == nullptr) throw std::logic_error("ObjectRef: invoke on nil reference");
+  orb_->send_invocation(ior_, operation, std::move(args), true, std::move(on_reply));
+}
+
+void ObjectRef::oneway(const std::string& operation, util::Bytes args) const {
+  if (orb_ == nullptr) throw std::logic_error("ObjectRef: oneway on nil reference");
+  orb_->send_invocation(ior_, operation, std::move(args), false, nullptr);
+}
+
+// ------------------------------------------------------------------------ Poa
+
+giop::Ior Poa::activate(const std::string& object_id, std::shared_ptr<Servant> servant,
+                        const std::string& type_id) {
+  if (servant == nullptr) throw std::invalid_argument("Poa: null servant");
+  if (!object_id.empty() && (static_cast<std::uint8_t>(object_id[0]) == 0xFD ||
+                             static_cast<std::uint8_t>(object_id[0]) == 0xFE)) {
+    throw std::invalid_argument("Poa: object id uses reserved prefix");
+  }
+  ActiveObject obj;
+  obj.servant = std::move(servant);
+  obj.type_id = type_id;
+  objects_[object_id] = std::move(obj);
+
+  giop::Ior ior;
+  ior.type_id = type_id;
+  ior.host = orb_.node();
+  ior.port = orb_.config().port;
+  ior.object_key = util::bytes_of(object_id);
+  ior.orb_vendor = orb_.config().vendor_id;
+  ior.code_sets = orb_.config().code_sets;
+  return ior;
+}
+
+void Poa::deactivate(const std::string& object_id) { objects_.erase(object_id); }
+
+bool Poa::is_active(const std::string& object_id) const {
+  return objects_.count(object_id) > 0;
+}
+
+std::size_t Poa::busy_objects() const {
+  std::size_t n = 0;
+  for (const auto& [key, obj] : objects_) {
+    if (obj.busy) ++n;
+  }
+  return n;
+}
+
+void Poa::dispatch(const Endpoint& from, giop::Request request) {
+  const std::string key = key_string(request.object_key);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    ETERNAL_LOG(kDebug, kTag, "POA: no active object for key; OBJECT_NOT_EXIST");
+    if (request.response_expected) {
+      util::CdrWriter w;
+      w.put_u8(static_cast<std::uint8_t>(w.order()));
+      w.put_string("IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0");
+      giop::Reply reply;
+      reply.request_id = request.request_id;
+      reply.reply_status = giop::ReplyStatus::kSystemException;
+      reply.body = std::move(w).take();
+      orb_.stats_.replies_sent += 1;
+      orb_.transport_->send(from, giop::encode(reply));
+    }
+    return;
+  }
+  ActiveObject& obj = it->second;
+  if (obj.busy) {
+    // SINGLE_THREAD_MODEL: serialize invocations per object.
+    obj.queue.push_back(PendingDispatch{from, std::move(request)});
+    return;
+  }
+  obj.busy = true;
+
+  const std::uint32_t request_id = request.request_id;
+  const bool response_expected = request.response_expected;
+  const Endpoint reply_to = from;
+  auto completion = [this, key, request_id, response_expected, reply_to](
+                        bool user_exception, util::Bytes body) {
+    if (response_expected) {
+      orb_.send_reply(reply_to, request_id, user_exception, std::move(body));
+    }
+    run_next(key);
+  };
+  orb_.stats_.requests_dispatched += 1;
+  auto server_request = std::make_shared<ServerRequest>(
+      std::move(request.operation), std::move(request.body), std::move(completion));
+  obj.servant->invoke(std::move(server_request));
+}
+
+void Poa::run_next(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return;  // deactivated mid-flight
+  it->second.busy = false;
+  if (it->second.queue.empty()) return;
+  PendingDispatch next = std::move(it->second.queue.front());
+  it->second.queue.pop_front();
+  dispatch(next.from, std::move(next.request));
+}
+
+// ------------------------------------------------------------------------ Orb
+
+Orb::Orb(sim::Simulator& sim, NodeId node, OrbConfig config)
+    : sim_(sim), node_(node), config_(config), poa_(*this) {}
+
+Orb::~Orb() = default;
+
+std::size_t Orb::outstanding_requests() const {
+  std::size_t n = 0;
+  for (const auto& [endpoint, conn] : client_conns_) n += conn.pending.size();
+  return n;
+}
+
+Orb::ClientConnection& Orb::connection_to(const Endpoint& server, const giop::Ior& ior) {
+  auto [it, inserted] = client_conns_.try_emplace(server);
+  ClientConnection& conn = it->second;
+  if (inserted) {
+    // Connection setup: decide the vendor shortcut and the code sets, from
+    // the IOR alone (paper §4.2.2: code sets come from the published IOR).
+    if (config_.vendor_shortcuts && ior.orb_vendor == config_.vendor_id) {
+      conn.handshake = HandshakeState::kRequired;
+    } else {
+      conn.handshake = HandshakeState::kNotNeeded;
+    }
+    conn.char_code_set = supports(ior.code_sets, config_.code_sets.native_char)
+                             ? config_.code_sets.native_char
+                             : giop::CodeSet::kIso8859_1;
+    conn.wchar_code_set = ior.code_sets.native_wchar;
+  }
+  return conn;
+}
+
+void Orb::send_invocation(const giop::Ior& ior, const std::string& operation,
+                          util::Bytes args, bool response_expected, ReplyHandler handler) {
+  if (transport_ == nullptr) throw std::logic_error("Orb: no transport plugged");
+  const Endpoint server{ior.host, ior.port};
+  ClientConnection& conn = connection_to(server, ior);
+
+  QueuedInvocation inv;
+  inv.object_key = ior.object_key;
+  inv.operation = operation;
+  inv.args = std::move(args);
+  inv.response_expected = response_expected;
+  inv.handler = std::move(handler);
+
+  switch (conn.handshake) {
+    case HandshakeState::kRequired:
+      conn.awaiting_handshake.push_back(std::move(inv));
+      begin_handshake(server, conn, ior);
+      return;
+    case HandshakeState::kPending:
+      conn.awaiting_handshake.push_back(std::move(inv));
+      return;
+    case HandshakeState::kNotNeeded:
+    case HandshakeState::kDone:
+      transmit_invocation(server, conn, std::move(inv));
+      return;
+  }
+}
+
+void Orb::begin_handshake(const Endpoint& to, ClientConnection& conn, const giop::Ior& ior) {
+  conn.handshake = HandshakeState::kPending;
+  conn.handshake_request_id = conn.next_request_id++;
+  conn.negotiated_full_key = ior.object_key;
+
+  giop::Request request;
+  request.request_id = conn.handshake_request_id;
+  request.response_expected = true;
+  request.object_key = kHandshakeKey;
+  request.operation = "_negotiate_session";
+  request.service_context.push_back(giop::ServiceContext{
+      giop::kVendorHandshakeContextId,
+      encode_handshake_offer(config_.vendor_id, config_.code_sets.native_char,
+                             config_.code_sets.native_wchar, ior.object_key)});
+  stats_.handshakes_initiated += 1;
+  stats_.requests_sent += 1;
+  conn.first_request_sent = true;
+  transport_->send(to, giop::encode(request));
+}
+
+void Orb::transmit_invocation(const Endpoint& to, ClientConnection& conn,
+                              QueuedInvocation inv) {
+  giop::Request request;
+  request.request_id = conn.next_request_id++;
+  request.response_expected = inv.response_expected;
+  request.operation = std::move(inv.operation);
+  request.body = std::move(inv.args);
+
+  // Vendor shortcut: after the handshake, the negotiated short key replaces
+  // the full key it covers (this is the §4.2.2 hazard carrier).
+  if (conn.handshake == HandshakeState::kDone && inv.object_key == conn.negotiated_full_key &&
+      !conn.negotiated_short_key.empty()) {
+    request.object_key = conn.negotiated_short_key;
+  } else {
+    request.object_key = std::move(inv.object_key);
+  }
+
+  // Code-set ServiceContext rides only on the connection's first request.
+  if (!conn.first_request_sent) {
+    conn.first_request_sent = true;
+    request.service_context.push_back(giop::ServiceContext{
+        giop::kCodeSetsContextId,
+        encode_codeset_context(conn.char_code_set, conn.wchar_code_set)});
+  }
+
+  if (inv.response_expected) {
+    conn.pending.emplace(request.request_id,
+                         PendingReply{std::move(inv.handler), request.operation});
+    stats_.requests_sent += 1;
+  } else {
+    stats_.oneways_sent += 1;
+  }
+  transport_->send(to, giop::encode(request));
+}
+
+void Orb::on_message(const Endpoint& from, BytesView iiop) {
+  // Model the ORB's demarshal/dispatch CPU cost as a scheduling delay.
+  auto copy = std::make_shared<util::Bytes>(iiop.begin(), iiop.end());
+  sim_.schedule(config_.dispatch_overhead, [this, from, copy] {
+    std::optional<giop::Message> msg = giop::decode(*copy);
+    if (!msg) {
+      stats_.decode_errors += 1;
+      return;
+    }
+    switch (msg->type()) {
+      case giop::MsgType::kRequest:
+        handle_request(from, std::move(std::get<giop::Request>(msg->body)));
+        break;
+      case giop::MsgType::kReply:
+        handle_reply(from, std::move(std::get<giop::Reply>(msg->body)));
+        break;
+      case giop::MsgType::kLocateRequest: {
+        // GIOP object location: OBJECT_HERE when the POA has it active.
+        const auto& m = std::get<giop::LocateRequest>(msg->body);
+        giop::LocateReply reply;
+        reply.request_id = m.request_id;
+        reply.locate_status = poa_.is_active(key_string(m.object_key)) ? 1u : 0u;
+        transport_->send(from, giop::encode(reply));
+        break;
+      }
+      default:
+        break;  // Cancel/LocateReply/Close are accepted and ignored
+    }
+  });
+}
+
+void Orb::handle_request(const Endpoint& from, giop::Request request) {
+  // In-ORB session negotiation service.
+  if (request.object_key == kHandshakeKey) {
+    serve_handshake(from, request);
+    return;
+  }
+
+  ServerConnection& sconn = server_conns_[from];
+
+  // Record the peer's code-set choice (first-request ServiceContext).
+  for (const auto& sc : request.service_context) {
+    if (sc.context_id == giop::kCodeSetsContextId && sc.data.size() >= 9) {
+      util::CdrReader r(sc.data, static_cast<util::ByteOrder>(sc.data[0] & 1));
+      (void)r.get_u8();
+      sconn.char_code_set = static_cast<giop::CodeSet>(r.get_u32());
+      sconn.wchar_code_set = static_cast<giop::CodeSet>(r.get_u32());
+    }
+  }
+
+  // Vendor shortcut resolution: a short key from a client this ORB never
+  // handshook with is uninterpretable — the request is discarded (§4.2.2).
+  if (is_short_key(request.object_key)) {
+    auto it = sconn.short_to_full.find(key_string(request.object_key));
+    if (it == sconn.short_to_full.end()) {
+      stats_.requests_discarded_unknown_key += 1;
+      ETERNAL_LOG(kDebug, kTag,
+                  util::to_string(node_) << " discarding request with unknown short key");
+      return;
+    }
+    request.object_key = it->second;
+  }
+
+  poa_.dispatch(from, std::move(request));
+}
+
+void Orb::serve_handshake(const Endpoint& from, const giop::Request& request) {
+  std::optional<HandshakeOffer> offer;
+  for (const auto& sc : request.service_context) {
+    if (sc.context_id == giop::kVendorHandshakeContextId) {
+      offer = decode_handshake_offer(sc.data);
+      break;
+    }
+  }
+  if (!offer) {
+    stats_.decode_errors += 1;
+    return;
+  }
+
+  ServerConnection& sconn = server_conns_[from];
+  sconn.handshaken = true;
+  sconn.peer_vendor = offer->vendor;
+  sconn.char_code_set =
+      supports(config_.code_sets, offer->char_cs) ? offer->char_cs : giop::CodeSet::kIso8859_1;
+  sconn.wchar_code_set = offer->wchar_cs;
+
+  // Deterministic short-key assignment: a replayed handshake on a recovered
+  // replica reproduces the same key the original negotiation produced.
+  util::Bytes short_key{kShortKeyPrefix};
+  util::CdrWriter idw;
+  idw.put_u32(sconn.next_short_id++);
+  util::append(short_key, idw.bytes());
+  sconn.short_to_full[key_string(short_key)] = offer->full_key;
+
+  giop::Reply reply;
+  reply.request_id = request.request_id;
+  reply.reply_status = giop::ReplyStatus::kNoException;
+  reply.service_context.push_back(
+      giop::ServiceContext{giop::kVendorHandshakeContextId, util::Bytes{}});
+  reply.body = encode_handshake_answer(short_key, sconn.char_code_set, sconn.wchar_code_set);
+  stats_.handshakes_served += 1;
+  stats_.replies_sent += 1;
+  transport_->send(from, giop::encode(reply));
+}
+
+void Orb::handle_reply(const Endpoint& from, giop::Reply reply) {
+  auto conn_it = client_conns_.find(from);
+  if (conn_it == client_conns_.end()) {
+    stats_.replies_discarded_request_id += 1;
+    return;
+  }
+  ClientConnection& conn = conn_it->second;
+
+  if (conn.handshake == HandshakeState::kPending &&
+      reply.request_id == conn.handshake_request_id) {
+    complete_handshake(from, conn, reply);
+    return;
+  }
+
+  auto pending_it = conn.pending.find(reply.request_id);
+  if (pending_it == conn.pending.end()) {
+    // The Fig. 4 failure mode: the reply is valid but its request_id matches
+    // no outstanding request on this connection, so the ORB drops it.
+    stats_.replies_discarded_request_id += 1;
+    ETERNAL_LOG(kDebug, kTag,
+                util::to_string(node_) << " discarding reply with request_id "
+                                       << reply.request_id << " (no matching request)");
+    return;
+  }
+  PendingReply pending = std::move(pending_it->second);
+  conn.pending.erase(pending_it);
+  stats_.replies_received += 1;
+  if (pending.handler) {
+    ReplyOutcome outcome{reply.reply_status, std::move(reply.body)};
+    pending.handler(outcome);
+  }
+}
+
+void Orb::complete_handshake(const Endpoint& from, ClientConnection& conn,
+                             const giop::Reply& reply) {
+  std::optional<HandshakeAnswer> answer = decode_handshake_answer(reply.body);
+  if (!answer) {
+    stats_.decode_errors += 1;
+    return;
+  }
+  conn.handshake = HandshakeState::kDone;
+  conn.negotiated_short_key = answer->short_key;
+  conn.char_code_set = answer->char_cs;
+  conn.wchar_code_set = answer->wchar_cs;
+  stats_.replies_received += 1;
+
+  while (!conn.awaiting_handshake.empty()) {
+    QueuedInvocation inv = std::move(conn.awaiting_handshake.front());
+    conn.awaiting_handshake.pop_front();
+    transmit_invocation(from, conn, std::move(inv));
+  }
+}
+
+void Orb::send_reply(const Endpoint& to, std::uint32_t request_id, bool user_exception,
+                     util::Bytes body) {
+  giop::Reply reply;
+  reply.request_id = request_id;
+  reply.reply_status =
+      user_exception ? giop::ReplyStatus::kUserException : giop::ReplyStatus::kNoException;
+  reply.body = std::move(body);
+  stats_.replies_sent += 1;
+  transport_->send(to, giop::encode(reply));
+}
+
+// -------------------------------------------------------------------- testing
+
+namespace testing {
+
+std::optional<std::uint32_t> OrbProbe::next_request_id(const Orb& orb, const Endpoint& server) {
+  auto it = orb.client_conns_.find(server);
+  if (it == orb.client_conns_.end()) return std::nullopt;
+  return it->second.next_request_id;
+}
+
+std::optional<util::Bytes> OrbProbe::negotiated_short_key(const Orb& orb,
+                                                          const Endpoint& server) {
+  auto it = orb.client_conns_.find(server);
+  if (it == orb.client_conns_.end() ||
+      it->second.handshake != Orb::HandshakeState::kDone) {
+    return std::nullopt;
+  }
+  return it->second.negotiated_short_key;
+}
+
+std::optional<giop::CodeSet> OrbProbe::client_char_code_set(const Orb& orb,
+                                                            const Endpoint& server) {
+  auto it = orb.client_conns_.find(server);
+  if (it == orb.client_conns_.end()) return std::nullopt;
+  return it->second.char_code_set;
+}
+
+bool OrbProbe::server_handshaken(const Orb& orb, const Endpoint& client) {
+  auto it = orb.server_conns_.find(client);
+  return it != orb.server_conns_.end() && it->second.handshaken;
+}
+
+std::size_t OrbProbe::server_short_key_count(const Orb& orb, const Endpoint& client) {
+  auto it = orb.server_conns_.find(client);
+  return it == orb.server_conns_.end() ? 0 : it->second.short_to_full.size();
+}
+
+}  // namespace testing
+
+}  // namespace eternal::orb

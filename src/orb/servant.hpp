@@ -1,0 +1,65 @@
+// Server-side application programming model.
+//
+// A Servant is the implementation of a CORBA object. The POA hands it a
+// ServerRequest; the servant must eventually complete it with `reply()` or
+// `reply_exception()`. Completion may happen synchronously inside
+// `invoke()`, or later from a scheduled event (modelling execution time), or
+// after nested invocations on other objects (multi-tier scenarios).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace eternal::orb {
+
+/// An in-progress invocation on a servant.
+class ServerRequest {
+ public:
+  using CompletionFn = std::function<void(bool user_exception, util::Bytes body)>;
+
+  ServerRequest(std::string operation, util::Bytes args, CompletionFn on_complete)
+      : operation_(std::move(operation)),
+        args_(std::move(args)),
+        on_complete_(std::move(on_complete)) {}
+
+  const std::string& operation() const noexcept { return operation_; }
+  const util::Bytes& args() const noexcept { return args_; }
+
+  /// Completes the invocation normally with an encoded result.
+  void reply(util::Bytes result) { complete(false, std::move(result)); }
+
+  /// Completes the invocation with a user exception (repository id encoded
+  /// by the caller into `body`).
+  void reply_exception(util::Bytes body) { complete(true, std::move(body)); }
+
+  bool completed() const noexcept { return completed_; }
+
+ private:
+  void complete(bool user_exception, util::Bytes body) {
+    if (completed_) return;  // idempotent: late duplicate completions ignored
+    completed_ = true;
+    if (on_complete_) on_complete_(user_exception, std::move(body));
+  }
+
+  std::string operation_;
+  util::Bytes args_;
+  CompletionFn on_complete_;
+  bool completed_ = false;
+};
+
+using ServerRequestPtr = std::shared_ptr<ServerRequest>;
+
+/// Base class for application object implementations.
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// Handles one invocation. Must (eventually) complete `request`.
+  virtual void invoke(ServerRequestPtr request) = 0;
+};
+
+}  // namespace eternal::orb

@@ -1,0 +1,56 @@
+// Convenience servant base for synchronous application logic with modelled
+// execution time: subclass, implement `serve()`, optionally override
+// `execution_time()`. The adapter completes the request after the modelled
+// execution delay — the window in which the object is non-quiescent.
+#pragma once
+
+#include <functional>
+
+#include "orb/servant.hpp"
+#include "sim/simulator.hpp"
+#include "util/cdr.hpp"
+
+namespace eternal::orb {
+
+/// Thrown by SyncServant::serve to signal a CORBA user exception; the
+/// repository id is marshaled into the reply body.
+struct UserException {
+  std::string repository_id;
+};
+
+class SyncServant : public Servant {
+ public:
+  explicit SyncServant(sim::Simulator& sim) : sim_(sim) {}
+
+  void invoke(ServerRequestPtr request) final {
+    const util::Duration delay = execution_time(request->operation());
+    sim_.schedule(delay, [this, request] {
+      try {
+        request->reply(serve(request->operation(), request->args()));
+      } catch (const UserException& ex) {
+        util::CdrWriter w;
+        w.put_u8(static_cast<std::uint8_t>(w.order()));
+        w.put_string(ex.repository_id);
+        request->reply_exception(std::move(w).take());
+      }
+    });
+  }
+
+ protected:
+  /// Application logic: consume args, mutate state, return the encoded
+  /// result. Runs at the modelled completion instant.
+  virtual util::Bytes serve(const std::string& operation, util::BytesView args) = 0;
+
+  /// Modelled execution time of one operation. Defaults to 100 us.
+  virtual util::Duration execution_time(const std::string& operation) const {
+    (void)operation;
+    return util::Duration(100'000);
+  }
+
+  sim::Simulator& sim() noexcept { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+}  // namespace eternal::orb

@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+namespace eternal::sim {
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id{next_id_++};
+  queue_.push(Entry{when, next_seq_++, id});
+  handlers_.emplace(id.value, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (handlers_.erase(id.value) > 0) cancelled_.insert(id.value);
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(top.id.value) > 0) continue;  // was cancelled
+    auto it = handlers_.find(top.id.value);
+    if (it == handlers_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = top.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && fire_next()) ++n;
+  return n;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    if (cancelled_.count(top.id.value) > 0) {
+      queue_.pop();
+      cancelled_.erase(top.id.value);
+      continue;
+    }
+    if (top.when > deadline) break;
+    fire_next();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace eternal::sim

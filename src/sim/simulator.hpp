@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulation core.
+//
+// Everything above the physical layer — Totem token rotation, ORB dispatch,
+// replica execution, fault injection, recovery — runs as events on this one
+// queue, in virtual time. Two runs with the same seed execute the identical
+// event sequence, which is what makes the recovery experiments replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace eternal::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Handle to a scheduled event, usable to cancel it (e.g. a fault-detector
+/// timeout that is superseded by a heartbeat).
+struct EventId {
+  std::uint64_t value = 0;
+  auto operator<=>(const EventId&) const = default;
+};
+
+/// The event queue and virtual clock.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO),
+/// which keeps runs deterministic without relying on container tie-breaks.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero.
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute instant (clamped to `now()`).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown event
+  /// is a harmless no-op (the common race with timeouts).
+  void cancel(EventId id);
+
+  /// Runs the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue empties or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = kDefaultEventLimit);
+
+  /// Runs events with timestamps <= `deadline`, then sets now() = deadline.
+  void run_until(TimePoint deadline);
+
+  /// Runs for `d` of virtual time from now.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Number of events executed so far (diagnostic).
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// True when no events are pending.
+  bool idle() const noexcept { return queue_.size() == cancelled_.size(); }
+
+  static constexpr std::size_t kDefaultEventLimit = 50'000'000;
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace eternal::sim

@@ -1,0 +1,194 @@
+#include "totem/frames.hpp"
+
+namespace eternal::totem {
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x70CE;  // "TOtem CEll"
+
+using util::CdrReader;
+using util::CdrWriter;
+
+CdrWriter begin_frame(NodeId sender, FrameType type) {
+  CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u16(kMagic);
+  w.put_u32(sender.value);
+  return w;
+}
+
+void put_nodes(CdrWriter& w, const std::vector<NodeId>& nodes) {
+  w.put_u32(static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) w.put_u32(n.value);
+}
+
+std::vector<NodeId> get_nodes(CdrReader& r) {
+  const std::uint32_t n = r.get_count(4);
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(NodeId{r.get_u32()});
+  return out;
+}
+
+void put_seqs(CdrWriter& w, const std::vector<std::uint64_t>& seqs) {
+  w.put_u32(static_cast<std::uint32_t>(seqs.size()));
+  for (std::uint64_t s : seqs) w.put_u64(s);
+}
+
+std::vector<std::uint64_t> get_seqs(CdrReader& r) {
+  const std::uint32_t n = r.get_count(4);  // u64s are 8B but may be aligned-4
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.get_u64());
+  return out;
+}
+
+}  // namespace
+
+Bytes encode_frame(NodeId sender, const DataFrame& f) {
+  CdrWriter w = begin_frame(sender, FrameType::kData);
+  w.put_u64(f.view.value);
+  w.put_u64(f.ring_id);
+  w.put_u32(f.origin.value);
+  w.put_u64(f.seq);
+  w.put_u64(f.msg_id);
+  w.put_u32(f.frag_index);
+  w.put_u32(f.frag_count);
+  w.put_bool(f.retransmission);
+  w.put_octets(f.payload);
+  return std::move(w).take();
+}
+
+Bytes encode_frame(NodeId sender, const TokenFrame& f) {
+  CdrWriter w = begin_frame(sender, FrameType::kToken);
+  w.put_u64(f.view.value);
+  w.put_u64(f.ring_id);
+  w.put_u32(f.target.value);
+  w.put_u64(f.round);
+  w.put_u64(f.next_seq);
+  w.put_u64(f.aru);
+  w.put_u32(f.aru_setter.value);
+  put_seqs(w, f.rtr);
+  return std::move(w).take();
+}
+
+Bytes encode_frame(NodeId sender, const JoinFrame& f) {
+  CdrWriter w = begin_frame(sender, FrameType::kJoin);
+  put_nodes(w, f.alive);
+  w.put_u64(f.highest_seq);
+  w.put_u64(f.highest_view);
+  w.put_u64(f.ring_id);
+  return std::move(w).take();
+}
+
+Bytes encode_frame(NodeId sender, const CommitFrame& f) {
+  CdrWriter w = begin_frame(sender, FrameType::kCommit);
+  w.put_u64(f.new_view.value);
+  put_nodes(w, f.members);
+  w.put_u64(f.base_seq);
+  w.put_u64(f.surviving_ring);
+  put_seqs(w, f.surviving_ancestors);
+  return std::move(w).take();
+}
+
+Bytes encode_frame(NodeId sender, const ReadyFrame& f) {
+  CdrWriter w = begin_frame(sender, FrameType::kReady);
+  w.put_u64(f.new_view.value);
+  put_seqs(w, f.missing);
+  return std::move(w).take();
+}
+
+Bytes encode_frame(NodeId sender, const InstallFrame& f) {
+  CdrWriter w = begin_frame(sender, FrameType::kInstall);
+  w.put_u64(f.new_view.value);
+  put_nodes(w, f.members);
+  w.put_u64(f.next_seq);
+  return std::move(w).take();
+}
+
+Bytes encode_frame(NodeId sender, const JoinRequestFrame&) {
+  CdrWriter w = begin_frame(sender, FrameType::kJoinRequest);
+  return std::move(w).take();
+}
+
+std::optional<Frame> decode_frame(BytesView data) {
+  try {
+    if (data.size() < 8) return std::nullopt;
+    CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    const auto type = static_cast<FrameType>(r.get_u8());
+    if (r.get_u16() != kMagic) return std::nullopt;
+    const NodeId sender{r.get_u32()};
+
+    switch (type) {
+      case FrameType::kData: {
+        DataFrame f;
+        f.view = ViewId{r.get_u64()};
+        f.ring_id = r.get_u64();
+        f.origin = NodeId{r.get_u32()};
+        f.seq = r.get_u64();
+        f.msg_id = r.get_u64();
+        f.frag_index = r.get_u32();
+        f.frag_count = r.get_u32();
+        f.retransmission = r.get_bool();
+        f.payload = r.get_octets();
+        return Frame{sender, std::move(f)};
+      }
+      case FrameType::kToken: {
+        TokenFrame f;
+        f.view = ViewId{r.get_u64()};
+        f.ring_id = r.get_u64();
+        f.target = NodeId{r.get_u32()};
+        f.round = r.get_u64();
+        f.next_seq = r.get_u64();
+        f.aru = r.get_u64();
+        f.aru_setter = NodeId{r.get_u32()};
+        f.rtr = get_seqs(r);
+        return Frame{sender, std::move(f)};
+      }
+      case FrameType::kJoin: {
+        JoinFrame f;
+        f.alive = get_nodes(r);
+        f.highest_seq = r.get_u64();
+        f.highest_view = r.get_u64();
+        f.ring_id = r.get_u64();
+        return Frame{sender, std::move(f)};
+      }
+      case FrameType::kCommit: {
+        CommitFrame f;
+        f.new_view = ViewId{r.get_u64()};
+        f.members = get_nodes(r);
+        f.base_seq = r.get_u64();
+        f.surviving_ring = r.get_u64();
+        f.surviving_ancestors = get_seqs(r);
+        return Frame{sender, std::move(f)};
+      }
+      case FrameType::kReady: {
+        ReadyFrame f;
+        f.new_view = ViewId{r.get_u64()};
+        f.missing = get_seqs(r);
+        return Frame{sender, std::move(f)};
+      }
+      case FrameType::kInstall: {
+        InstallFrame f;
+        f.new_view = ViewId{r.get_u64()};
+        f.members = get_nodes(r);
+        f.next_seq = r.get_u64();
+        return Frame{sender, std::move(f)};
+      }
+      case FrameType::kJoinRequest:
+        return Frame{sender, JoinRequestFrame{}};
+    }
+    return std::nullopt;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+std::size_t data_frame_overhead() {
+  static const std::size_t overhead = encode_frame(NodeId{0}, DataFrame{}).size();
+  return overhead;
+}
+
+}  // namespace eternal::totem

@@ -1,0 +1,143 @@
+// Wire formats of the Totem-like single-ring protocol.
+//
+// Six frame kinds circulate on the simulated Ethernet:
+//   Data        — one fragment of a sequenced multicast message
+//   Token       — the circulating ring token (sequencing + retransmission
+//                 requests + all-received-up-to for garbage collection)
+//   Join        — membership gossip after a token loss / join request
+//   Commit      — the membership leader's proposed new ring
+//   Ready       — a member reporting it holds every message up to base_seq
+//   Install     — the leader's final view installation
+//   JoinRequest — a (re)starting processor asking to be let into the ring
+//
+// All frames are CDR-encoded; every frame begins with (magic, type, sender).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/cdr.hpp"
+#include "util/ids.hpp"
+
+namespace eternal::totem {
+
+using util::Bytes;
+using util::BytesView;
+using util::NodeId;
+using util::ViewId;
+
+enum class FrameType : std::uint8_t {
+  kData = 1,
+  kToken,
+  kJoin,
+  kCommit,
+  kReady,
+  kInstall,
+  kJoinRequest,
+};
+
+/// One fragment of a multicast message, stamped with its global sequence
+/// number. Fragments of one message share (sender, msg_id) and carry their
+/// index/count; the message's delivery position is its last fragment's seq.
+struct DataFrame {
+  ViewId view;
+  std::uint64_t ring_id = 0;  ///< identity of the ring that sequenced this
+  NodeId origin;              ///< original sender (stable across retransmission)
+  std::uint64_t seq = 0;      ///< global total-order sequence number
+  std::uint64_t msg_id = 0;   ///< origin-local message identifier
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 1;
+  bool retransmission = false;
+  Bytes payload;
+};
+
+/// The ring token. Only the node named `target` acts on it; others ignore it
+/// (the medium is broadcast, the token is logically point-to-point).
+struct TokenFrame {
+  ViewId view;
+  std::uint64_t ring_id = 0;
+  NodeId target;
+  std::uint64_t round = 0;     ///< rotation counter (diagnostics, dedupe)
+  std::uint64_t next_seq = 1;  ///< next sequence number to assign
+  std::uint64_t aru = 0;       ///< all-received-up-to (min over the ring)
+  NodeId aru_setter;           ///< who last lowered aru
+  std::vector<std::uint64_t> rtr;  ///< sequence numbers requested for retransmission
+};
+
+/// Membership gossip: the sender's view of who is alive, the highest global
+/// sequence number it has seen, and the highest view it has installed.
+struct JoinFrame {
+  std::vector<NodeId> alive;
+  std::uint64_t highest_seq = 0;
+  std::uint64_t highest_view = 0;
+  /// Ring the sender last belonged to (0 = none). After a partition heals,
+  /// gathers span *different* rings; only the history of the leader's ring
+  /// survives the merge — members of other rings re-enter fresh.
+  std::uint64_t ring_id = 0;
+};
+
+/// The leader's proposed ring. base_seq is the highest sequence number any
+/// gathered member reported; all members must hold 1..base_seq (or be new)
+/// before the view installs.
+struct CommitFrame {
+  ViewId new_view;
+  std::vector<NodeId> members;
+  std::uint64_t base_seq = 0;
+  /// The ring whose history this commit continues (the leader's). Members
+  /// coming from any other lineage demote to fresh before installing.
+  std::uint64_t surviving_ring = 0;
+  /// Recent ancestors of the surviving ring: a member whose current ring
+  /// appears here merely missed an install (same lineage) and is not
+  /// demoted — it catches up through the recovery exchange instead.
+  std::vector<std::uint64_t> surviving_ancestors;
+};
+
+/// A member's recovery-exchange report. `missing` lists the sequence numbers
+/// up to base_seq the member still lacks (holders rebroadcast them); an empty
+/// list means the member is ready for the view to install.
+struct ReadyFrame {
+  ViewId new_view;
+  std::vector<std::uint64_t> missing;
+};
+
+/// Final installation of the new ring; sequencing resumes at next_seq.
+struct InstallFrame {
+  ViewId new_view;
+  std::vector<NodeId> members;
+  std::uint64_t next_seq = 1;
+};
+
+/// A restarting processor announcing itself to the ring.
+struct JoinRequestFrame {};
+
+/// A decoded frame plus its sender.
+struct Frame {
+  NodeId sender;
+  std::variant<DataFrame, TokenFrame, JoinFrame, CommitFrame, ReadyFrame, InstallFrame,
+               JoinRequestFrame>
+      body;
+
+  FrameType type() const noexcept { return static_cast<FrameType>(body.index() + 1); }
+};
+
+/// Encodes a frame for the wire.
+Bytes encode_frame(NodeId sender, const DataFrame& f);
+Bytes encode_frame(NodeId sender, const TokenFrame& f);
+Bytes encode_frame(NodeId sender, const JoinFrame& f);
+Bytes encode_frame(NodeId sender, const CommitFrame& f);
+Bytes encode_frame(NodeId sender, const ReadyFrame& f);
+Bytes encode_frame(NodeId sender, const InstallFrame& f);
+Bytes encode_frame(NodeId sender, const JoinRequestFrame& f);
+
+/// Decodes any frame; returns nullopt on malformed input (corrupt frames are
+/// dropped, as a real NIC drops bad-FCS frames).
+std::optional<Frame> decode_frame(BytesView data);
+
+/// Bytes of Totem header per Data frame (used by the fragmenter to size
+/// fragment payloads against the Ethernet MTU).
+std::size_t data_frame_overhead();
+
+}  // namespace eternal::totem

@@ -1,0 +1,644 @@
+#include "totem/totem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace eternal::totem {
+
+namespace {
+constexpr const char* kTag = "totem";
+
+std::vector<NodeId> sorted(std::set<NodeId> nodes) {
+  return std::vector<NodeId>(nodes.begin(), nodes.end());
+}
+}  // namespace
+
+TotemNode::TotemNode(Simulator& sim, Ethernet& ethernet, NodeId node, TotemConfig config,
+                     TotemListener* listener)
+    : sim_(sim), ethernet_(ethernet), node_(node), config_(config), listener_(listener) {
+  if (listener_ == nullptr) throw std::invalid_argument("TotemNode: null listener");
+}
+
+TotemNode::~TotemNode() {
+  if (state_ != State::kDown) crash();
+}
+
+std::size_t TotemNode::fragment_capacity() const {
+  const std::size_t overhead = data_frame_overhead();
+  const std::size_t max_payload = ethernet_.max_payload();
+  if (max_payload <= overhead + 8) throw std::logic_error("TotemNode: MTU too small");
+  return max_payload - overhead;
+}
+
+void TotemNode::broadcast(util::Bytes frame) { ethernet_.broadcast(node_, std::move(frame)); }
+
+// ---------------------------------------------------------------- lifecycle
+
+void TotemNode::start(const std::vector<NodeId>& initial_members) {
+  if (state_ != State::kDown) throw std::logic_error("TotemNode: start() while running");
+  if (std::find(initial_members.begin(), initial_members.end(), node_) ==
+      initial_members.end()) {
+    throw std::invalid_argument("TotemNode: start() without self in member list");
+  }
+  ethernet_.attach(node_, this);
+
+  InstallFrame bootstrap;
+  bootstrap.new_view = ViewId{1};
+  bootstrap.members = initial_members;
+  std::sort(bootstrap.members.begin(), bootstrap.members.end());
+  bootstrap.next_seq = 1;
+  state_ = State::kRecovery;  // install_view expects a non-operational state
+  fresh_member_ = true;
+  bootstrapping_ = true;
+  install_view(bootstrap);
+  bootstrapping_ = false;
+}
+
+void TotemNode::join() {
+  if (state_ != State::kDown) throw std::logic_error("TotemNode: join() while running");
+  ethernet_.attach(node_, this);
+  state_ = State::kJoining;
+  fresh_member_ = true;
+
+  // Announce until a view containing us installs.
+  auto announce = [this](auto&& self_fn) -> void {
+    if (state_ != State::kJoining) return;
+    broadcast(encode_frame(node_, JoinRequestFrame{}));
+    join_request_timer_ = sim_.schedule(config_.join_request_interval,
+                                        [this, self_fn] { self_fn(self_fn); });
+  };
+  announce(announce);
+}
+
+void TotemNode::crash() {
+  ethernet_.detach(node_);
+  sim_.cancel(token_timer_);
+  sim_.cancel(pass_timer_);
+  sim_.cancel(settle_timer_);
+  sim_.cancel(rebroadcast_timer_);
+  sim_.cancel(recovery_timer_);
+  sim_.cancel(join_request_timer_);
+  state_ = State::kDown;
+  view_ = View{};
+  ever_installed_ = false;
+  delivered_up_to_ = 0;
+  store_.clear();
+  partial_.clear();
+  send_queue_.clear();
+  next_msg_id_ = 1;
+  highest_seen_seq_ = 0;
+  held_token_.reset();
+  gather_alive_.clear();
+  gather_highest_seq_ = 0;
+  gather_highest_view_ = 0;
+  commit_.reset();
+  ready_members_.clear();
+  last_heard_.clear();
+  ancestor_rings_.clear();
+  fresh_member_ = true;
+}
+
+void TotemNode::multicast(util::Bytes payload) {
+  if (state_ == State::kDown) throw std::logic_error("TotemNode: multicast() while down");
+  const std::size_t cap = fragment_capacity();
+  const std::uint64_t msg_id = next_msg_id_++;
+  const std::size_t count = payload.empty() ? 1 : (payload.size() + cap - 1) / cap;
+  for (std::size_t i = 0; i < count; ++i) {
+    PendingFragment frag;
+    frag.msg_id = msg_id;
+    frag.frag_index = static_cast<std::uint32_t>(i);
+    frag.frag_count = static_cast<std::uint32_t>(count);
+    const std::size_t begin = i * cap;
+    const std::size_t end = std::min(payload.size(), begin + cap);
+    frag.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                        payload.begin() + static_cast<std::ptrdiff_t>(end));
+    send_queue_.push_back(std::move(frag));
+  }
+  stats_.multicasts += 1;
+}
+
+// ---------------------------------------------------------------- frame I/O
+
+void TotemNode::on_frame(NodeId from, util::BytesView raw) {
+  if (state_ == State::kDown) return;
+  std::optional<Frame> frame = decode_frame(raw);
+  if (!frame) return;
+  last_heard_[from] = sim_.now();
+  if (state_ == State::kOperational) arm_token_timer();
+
+  std::visit(
+      [&](auto&& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, DataFrame>) {
+          handle_data(body);
+        } else if constexpr (std::is_same_v<T, TokenFrame>) {
+          handle_token(from, body);
+        } else if constexpr (std::is_same_v<T, JoinFrame>) {
+          handle_join(from, body);
+        } else if constexpr (std::is_same_v<T, CommitFrame>) {
+          handle_commit(from, body);
+        } else if constexpr (std::is_same_v<T, ReadyFrame>) {
+          handle_ready(from, body);
+        } else if constexpr (std::is_same_v<T, InstallFrame>) {
+          handle_install(from, body);
+        } else if constexpr (std::is_same_v<T, JoinRequestFrame>) {
+          handle_join_request(from);
+        }
+      },
+      frame->body);
+}
+
+// ---------------------------------------------------------------- data path
+
+void TotemNode::handle_data(const DataFrame& f) {
+  if (state_ == State::kJoining) return;  // no history yet; state transfer covers us
+  if (f.ring_id != view_.ring_id && ancestor_rings_.count(f.ring_id) == 0) {
+    // Sequenced by a ring whose history we do not continue (a healed
+    // partition's other component, or a stale frame at a demoted member).
+    // Ignore; merge detection happens on token frames, which are always
+    // stamped with the live ring.
+    return;
+  }
+  if (f.seq == 0) return;
+  highest_seen_seq_ = std::max(highest_seen_seq_, f.seq);
+  if (f.seq <= delivered_up_to_ || store_.count(f.seq) > 0) return;  // duplicate
+  store_.emplace(f.seq, f);
+  advance_delivery();
+
+  // Recovery exchange: once the wave of sequence numbers we last asked for
+  // has fully arrived, report again (ready, or the next wave of missing).
+  if (state_ == State::kRecovery && commit_.has_value() && !requested_missing_check_.empty()) {
+    bool wave_done = true;
+    for (std::uint64_t s : requested_missing_check_) {
+      if (s > delivered_up_to_ && store_.count(s) == 0) {
+        wave_done = false;
+        break;
+      }
+    }
+    if (wave_done) send_ready();
+  }
+}
+
+void TotemNode::advance_delivery() {
+  while (true) {
+    auto it = store_.find(delivered_up_to_ + 1);
+    if (it == store_.end()) break;
+    delivered_up_to_ += 1;
+    deliver_frame(it->second);
+  }
+}
+
+void TotemNode::deliver_frame(const DataFrame& f) {
+  const auto key = std::make_pair(f.origin.value, f.msg_id);
+  if (f.frag_count <= 1) {
+    Delivery d{f.origin, f.view, f.seq, f.payload};
+    stats_.deliveries += 1;
+    listener_->on_deliver(d);
+    return;
+  }
+  util::Bytes& acc = partial_[key];
+  util::append(acc, f.payload);
+  if (f.frag_index + 1 == f.frag_count) {
+    Delivery d{f.origin, f.view, f.seq, std::move(acc)};
+    partial_.erase(key);
+    stats_.deliveries += 1;
+    listener_->on_deliver(d);
+  }
+}
+
+// ---------------------------------------------------------------- token path
+
+void TotemNode::handle_token(NodeId /*from*/, TokenFrame token) {
+  if (state_ == State::kOperational && token.ring_id != view_.ring_id &&
+      ancestor_rings_.count(token.ring_id) == 0) {
+    // A live token from a ring we are not part of: a healed partition.
+    ETERNAL_LOG(kDebug, kTag, util::to_string(node_) << " foreign ring token -> gather");
+    enter_gather();
+    return;
+  }
+  if (state_ != State::kOperational) return;
+  if (token.view != view_.id) return;
+  if (token.target != node_) return;  // token is logically point-to-point
+  stats_.tokens_handled += 1;
+
+  bool did_work = false;
+
+  // 1. Serve retransmission requests we can satisfy.
+  const std::size_t before_rtr = token.rtr.size();
+  serve_retransmissions(token.rtr);
+  did_work |= token.rtr.size() != before_rtr;
+
+  // 2. Add our own missing sequence numbers.
+  request_missing(token);
+
+  // 3. Originate pending fragments, consuming sequence numbers.
+  const std::uint64_t before_seq = token.next_seq;
+  send_fragments(token);
+  did_work |= token.next_seq != before_seq;
+
+  // 4. All-received-up-to bookkeeping (drives garbage collection).
+  if (delivered_up_to_ < token.aru) {
+    token.aru = delivered_up_to_;
+    token.aru_setter = node_;
+  } else if (token.aru_setter == node_) {
+    token.aru = delivered_up_to_;
+  }
+  if (token.aru > config_.gc_margin) {
+    store_.erase(store_.begin(), store_.lower_bound(token.aru - config_.gc_margin));
+  }
+
+  // 5. Pass to the successor.
+  pass_token(std::move(token), /*idle=*/!did_work && send_queue_.empty());
+}
+
+void TotemNode::send_fragments(TokenFrame& token) {
+  std::size_t sent = 0;
+  while (!send_queue_.empty() && sent < config_.max_frags_per_token) {
+    PendingFragment frag = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    DataFrame f;
+    f.view = view_.id;
+    f.ring_id = view_.ring_id;
+    f.origin = node_;
+    f.seq = token.next_seq++;
+    f.msg_id = frag.msg_id;
+    f.frag_index = frag.frag_index;
+    f.frag_count = frag.frag_count;
+    f.payload = std::move(frag.payload);
+    broadcast(encode_frame(node_, f));
+    stats_.fragments_sent += 1;
+    highest_seen_seq_ = std::max(highest_seen_seq_, f.seq);
+    store_.emplace(f.seq, std::move(f));  // self-delivery
+    ++sent;
+  }
+  advance_delivery();
+}
+
+void TotemNode::serve_retransmissions(std::vector<std::uint64_t>& rtr) {
+  std::vector<std::uint64_t> still_missing;
+  still_missing.reserve(rtr.size());
+  for (std::uint64_t seq : rtr) {
+    auto it = store_.find(seq);
+    if (it == store_.end()) {
+      still_missing.push_back(seq);
+      continue;
+    }
+    DataFrame copy = it->second;
+    copy.retransmission = true;
+    broadcast(encode_frame(node_, copy));
+    stats_.retransmissions += 1;
+  }
+  rtr = std::move(still_missing);
+}
+
+void TotemNode::request_missing(TokenFrame& token) {
+  for (std::uint64_t seq = delivered_up_to_ + 1;
+       seq < token.next_seq && token.rtr.size() < config_.max_rtr_per_token; ++seq) {
+    if (store_.count(seq) == 0 &&
+        std::find(token.rtr.begin(), token.rtr.end(), seq) == token.rtr.end()) {
+      token.rtr.push_back(seq);
+    }
+  }
+}
+
+NodeId TotemNode::successor_of(NodeId node) const {
+  const auto& ring = view_.members;
+  auto it = std::find(ring.begin(), ring.end(), node);
+  if (it == ring.end() || std::next(it) == ring.end()) return ring.front();
+  return *std::next(it);
+}
+
+void TotemNode::pass_token(TokenFrame token, bool idle) {
+  token.round += 1;
+  token.target = successor_of(node_);
+  const Duration delay = idle ? config_.idle_pass_delay : Duration::zero();
+  const ViewId expected_view = view_.id;
+  if (token.target == node_) {
+    // Single-member ring: the token cannot traverse the medium back to us.
+    pass_timer_ = sim_.schedule(std::max(delay, config_.idle_pass_delay),
+                                [this, token, expected_view] {
+                                  if (state_ == State::kOperational && view_.id == expected_view) {
+                                    arm_token_timer();
+                                    handle_token(node_, token);
+                                  }
+                                });
+    return;
+  }
+  pass_timer_ = sim_.schedule(delay, [this, token, expected_view] {
+    if (state_ == State::kOperational && view_.id == expected_view) {
+      broadcast(encode_frame(node_, token));
+    }
+  });
+}
+
+void TotemNode::arm_token_timer() {
+  sim_.cancel(token_timer_);
+  token_timer_ = sim_.schedule(config_.token_timeout, [this] {
+    if (state_ == State::kOperational) {
+      ETERNAL_LOG(kDebug, kTag, util::to_string(node_) << " token timeout -> gather");
+      enter_gather();
+    }
+  });
+}
+
+// ---------------------------------------------------------------- membership
+
+void TotemNode::enter_gather() {
+  if (state_ == State::kDown) return;
+  state_ = State::kGather;
+  sim_.cancel(token_timer_);
+  sim_.cancel(pass_timer_);
+  sim_.cancel(settle_timer_);
+  sim_.cancel(rebroadcast_timer_);
+  sim_.cancel(recovery_timer_);
+  held_token_.reset();
+  commit_.reset();
+  ready_members_.clear();
+  requested_missing_check_.clear();
+  gather_alive_ = {node_};
+  gather_highest_seq_ = highest_seen_seq_;
+  gather_highest_view_ = ever_installed_ ? view_.id.value : 0;
+  broadcast_join();
+  settle_timer_ = sim_.schedule(config_.join_settle, [this] { settle_elapsed(); });
+
+  // Periodic re-gossip guards against lost Join frames.
+  auto regossip = [this](auto&& self_fn) -> void {
+    if (state_ != State::kGather) return;
+    broadcast_join();
+    rebroadcast_timer_ =
+        sim_.schedule(config_.join_rebroadcast, [this, self_fn] { self_fn(self_fn); });
+  };
+  rebroadcast_timer_ =
+      sim_.schedule(config_.join_rebroadcast, [this, regossip] { regossip(regossip); });
+}
+
+void TotemNode::broadcast_join() {
+  JoinFrame f;
+  f.alive = sorted(gather_alive_);
+  f.highest_seq = gather_highest_seq_;
+  f.highest_view = gather_highest_view_;
+  f.ring_id = ever_installed_ ? view_.ring_id : 0;
+  broadcast(encode_frame(node_, f));
+}
+
+void TotemNode::handle_join(NodeId from, const JoinFrame& f) {
+  if (state_ == State::kOperational || state_ == State::kJoining ||
+      state_ == State::kRecovery) {
+    enter_gather();
+  }
+  if (state_ != State::kGather) return;
+
+  bool grew = gather_alive_.insert(from).second;
+  for (NodeId n : f.alive) grew |= gather_alive_.insert(n).second;
+  if (ever_installed_ && f.ring_id == view_.ring_id) {
+    gather_highest_seq_ = std::max(gather_highest_seq_, f.highest_seq);
+  }
+  gather_highest_view_ = std::max(gather_highest_view_, f.highest_view);
+  if (grew) {
+    broadcast_join();
+    sim_.cancel(settle_timer_);
+    settle_timer_ = sim_.schedule(config_.join_settle, [this] { settle_elapsed(); });
+  }
+}
+
+void TotemNode::settle_elapsed() {
+  if (state_ != State::kGather) return;
+  const NodeId leader = *gather_alive_.begin();
+  arm_recovery_timer();
+  if (leader != node_) return;  // wait for the leader's Commit
+
+  CommitFrame commit;
+  commit.new_view = ViewId{std::max(gather_highest_view_, view_.id.value) + 1};
+  commit.members = sorted(gather_alive_);
+  commit.base_seq = std::max(gather_highest_seq_, highest_seen_seq_);
+  commit.surviving_ring = ever_installed_ ? view_.ring_id : 0;
+  commit.surviving_ancestors.assign(ancestor_rings_.begin(), ancestor_rings_.end());
+  broadcast(encode_frame(node_, commit));
+  handle_commit(node_, commit);
+}
+
+void TotemNode::handle_commit(NodeId /*from*/, const CommitFrame& f) {
+  if (state_ == State::kDown) return;
+  if (commit_.has_value() && commit_->new_view.value >= f.new_view.value) return;
+  const bool included =
+      std::find(f.members.begin(), f.members.end(), node_) != f.members.end();
+  if (!included) {
+    // Excluded from the ring: fall back to joining from scratch, carrying
+    // our unsequenced messages with us.
+    ETERNAL_LOG(kWarn, kTag, util::to_string(node_) << " excluded from commit; rejoining");
+    auto unsent = std::move(send_queue_);
+    crash();
+    join();
+    send_queue_ = std::move(unsent);
+    return;
+  }
+  state_ = State::kRecovery;
+  sim_.cancel(settle_timer_);
+  sim_.cancel(rebroadcast_timer_);
+  sim_.cancel(join_request_timer_);
+  commit_ = f;
+  ready_members_.clear();
+  arm_recovery_timer();
+
+  // Partition merge: only the leader's ring's history survives. A member
+  // arriving from any other ring re-enters fresh (its sequence numbering is
+  // incomparable); Eternal-level mechanisms rebuild its replicas' state.
+  const bool same_lineage =
+      f.surviving_ring == view_.ring_id || ancestor_rings_.count(f.surviving_ring) > 0 ||
+      std::find(f.surviving_ancestors.begin(), f.surviving_ancestors.end(),
+                view_.ring_id) != f.surviving_ancestors.end();
+  if (ever_installed_ && !same_lineage) {
+    ETERNAL_LOG(kInfo, kTag,
+                util::to_string(node_) << " merging from ring " << view_.ring_id
+                                       << " into foreign ring; demoting to fresh");
+    fresh_member_ = true;
+    store_.clear();
+    partial_.clear();
+    // send_queue_ survives: unsequenced messages belong to no ring and are
+    // submitted to the merged ring.
+    delivered_up_to_ = 0;
+    highest_seen_seq_ = 0;
+    ancestor_rings_.clear();
+  }
+  // Divergence safety net: we delivered past the ring's agreed history.
+  if (delivered_up_to_ > f.base_seq) {
+    ETERNAL_LOG(kWarn, kTag,
+                util::to_string(node_) << " diverged (delivered " << delivered_up_to_
+                                       << " > base " << f.base_seq << "); demoting to fresh");
+    fresh_member_ = true;
+    store_.clear();
+    partial_.clear();
+  }
+  send_ready();
+}
+
+std::vector<std::uint64_t> TotemNode::compute_missing(std::uint64_t up_to) const {
+  std::vector<std::uint64_t> missing;
+  if (fresh_member_) return missing;
+  for (std::uint64_t seq = delivered_up_to_ + 1;
+       seq <= up_to && missing.size() < config_.max_rtr_per_token; ++seq) {
+    if (store_.count(seq) == 0) missing.push_back(seq);
+  }
+  return missing;
+}
+
+void TotemNode::send_ready() {
+  if (!commit_.has_value()) return;
+  ReadyFrame f;
+  f.new_view = commit_->new_view;
+  f.missing = compute_missing(commit_->base_seq);
+  requested_missing_check_ = f.missing;
+  broadcast(encode_frame(node_, f));
+  if (f.missing.empty()) {
+    ready_members_.insert(node_);
+    maybe_install();
+  }
+}
+
+void TotemNode::handle_ready(NodeId from, const ReadyFrame& f) {
+  if (state_ != State::kRecovery || !commit_.has_value()) return;
+  if (f.new_view != commit_->new_view) return;
+  if (f.missing.empty()) {
+    ready_members_.insert(from);
+    maybe_install();
+    return;
+  }
+  // Serve what we hold.
+  for (std::uint64_t seq : f.missing) {
+    auto it = store_.find(seq);
+    if (it == store_.end()) continue;
+    DataFrame copy = it->second;
+    copy.retransmission = true;
+    broadcast(encode_frame(node_, copy));
+    stats_.retransmissions += 1;
+  }
+}
+
+void TotemNode::maybe_install() {
+  if (state_ != State::kRecovery || !commit_.has_value()) return;
+  if (*commit_->members.begin() != node_) return;  // only the leader installs
+  for (NodeId m : commit_->members) {
+    if (ready_members_.count(m) == 0) return;
+  }
+  InstallFrame f;
+  f.new_view = commit_->new_view;
+  f.members = commit_->members;
+  f.next_seq = commit_->base_seq + 1;
+  broadcast(encode_frame(node_, f));
+  install_view(f);
+}
+
+void TotemNode::handle_install(NodeId /*from*/, const InstallFrame& f) {
+  if (state_ == State::kDown) return;
+  if (ever_installed_ && f.new_view.value <= view_.id.value) return;
+  const bool included =
+      std::find(f.members.begin(), f.members.end(), node_) != f.members.end();
+  if (!included) {
+    auto unsent = std::move(send_queue_);
+    crash();
+    join();
+    send_queue_ = std::move(unsent);
+    return;
+  }
+  install_view(f);
+}
+
+void TotemNode::install_view(const InstallFrame& f) {
+  if (state_ == State::kOperational && ever_installed_ && f.new_view.value <= view_.id.value) {
+    return;
+  }
+
+  View next;
+  next.id = f.new_view;
+  {
+    util::CdrWriter idw;
+    idw.put_u64(f.new_view.value);
+    for (NodeId m : f.members) idw.put_u32(m.value);
+    next.ring_id = util::fnv1a(idw.bytes());
+  }
+  next.members = f.members;
+  // Bootstrap is the system's very first view, not a history-losing rejoin.
+  next.self_rejoined_fresh = fresh_member_ && !bootstrapping_;
+  for (NodeId m : f.members) {
+    if (std::find(view_.members.begin(), view_.members.end(), m) == view_.members.end()) {
+      next.joined.push_back(m);
+    }
+  }
+  for (NodeId m : view_.members) {
+    if (std::find(f.members.begin(), f.members.end(), m) == f.members.end()) {
+      next.departed.push_back(m);
+    }
+  }
+  if (!ever_installed_) next.joined = f.members;
+
+  if (delivered_up_to_ < f.next_seq - 1) {
+    if (!fresh_member_) {
+      ETERNAL_LOG(kWarn, kTag,
+                  util::to_string(node_) << " installed view while missing messages");
+    }
+    delivered_up_to_ = f.next_seq - 1;
+  }
+  // Reassembly state from members that left or re-entered is stale.
+  for (NodeId m : next.departed) {
+    std::erase_if(partial_, [m](const auto& kv) { return kv.first.first == m.value; });
+  }
+  for (NodeId m : next.joined) {
+    std::erase_if(partial_, [m](const auto& kv) { return kv.first.first == m.value; });
+  }
+
+  if (ever_installed_) ancestor_rings_.insert(view_.ring_id);
+  view_ = next;
+  ever_installed_ = true;
+  fresh_member_ = false;
+  state_ = State::kOperational;
+  stats_.view_changes += 1;
+  sim_.cancel(settle_timer_);
+  sim_.cancel(rebroadcast_timer_);
+  sim_.cancel(recovery_timer_);
+  sim_.cancel(join_request_timer_);
+  commit_.reset();
+  ready_members_.clear();
+  arm_token_timer();
+
+  ETERNAL_LOG(kDebug, kTag,
+              util::to_string(node_) << " installed view " << f.new_view.value << " with "
+                                     << f.members.size() << " members");
+
+  listener_->on_view_change(view_);
+
+  // The leader regenerates the token for the new ring.
+  if (view_.members.front() == node_) {
+    TokenFrame token;
+    token.view = view_.id;
+    token.ring_id = view_.ring_id;
+    token.target = node_;
+    token.next_seq = f.next_seq;
+    token.aru = f.next_seq - 1;
+    token.aru_setter = node_;
+    const ViewId expected = view_.id;
+    sim_.schedule(Duration::zero(), [this, token, expected] {
+      if (state_ == State::kOperational && view_.id == expected) handle_token(node_, token);
+    });
+  }
+}
+
+void TotemNode::arm_recovery_timer() {
+  sim_.cancel(recovery_timer_);
+  recovery_timer_ = sim_.schedule(config_.recovery_timeout, [this] {
+    if (state_ == State::kGather || state_ == State::kRecovery) {
+      ETERNAL_LOG(kDebug, kTag, util::to_string(node_) << " recovery timeout -> re-gather");
+      enter_gather();
+    }
+  });
+}
+
+void TotemNode::handle_join_request(NodeId from) {
+  if (state_ == State::kOperational) {
+    ETERNAL_LOG(kDebug, kTag,
+                util::to_string(node_) << " join request from " << util::to_string(from));
+    enter_gather();
+  }
+}
+
+}  // namespace eternal::totem

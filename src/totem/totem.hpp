@@ -1,0 +1,220 @@
+// Totem-like reliable totally-ordered multicast (single ring).
+//
+// Guarantees provided to the layer above (Eternal's Replication Mechanisms):
+//   - *agreed delivery*: every operational ring member delivers the same
+//     messages in the same global sequence order, gap-free;
+//   - *self-delivery*: a sender delivers its own messages at their ordered
+//     position, like everyone else;
+//   - *virtual synchrony-style views*: membership changes are announced as
+//     views; all surviving members deliver the same set of messages before
+//     the next view installs;
+//   - *fragmentation*: messages larger than an Ethernet frame are split into
+//     multiple sequenced Data frames and reassembled before delivery (this
+//     is the transport behaviour behind the paper's Figure 6).
+//
+// The protocol is token-based: the ring token carries the next sequence
+// number, retransmission requests and the all-received-up-to watermark.
+// Membership loss (token timeout, crash, join request) triggers a
+// gather/commit/recovery-exchange/install reformation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ethernet.hpp"
+#include "sim/simulator.hpp"
+#include "totem/frames.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace eternal::totem {
+
+using sim::Ethernet;
+using sim::Simulator;
+using util::Duration;
+using util::TimePoint;
+
+/// Protocol timing and flow-control parameters.
+struct TotemConfig {
+  Duration idle_pass_delay = Duration(20'000);        ///< 20 us token hold when idle
+  Duration token_timeout = Duration(5'000'000);       ///< 5 ms: no token/frame → gather
+  Duration join_settle = Duration(1'000'000);         ///< 1 ms gossip settle
+  Duration join_rebroadcast = Duration(300'000);      ///< re-gossip interval in gather
+  Duration recovery_timeout = Duration(10'000'000);   ///< 10 ms: stuck recovery → re-gather
+  Duration join_request_interval = Duration(1'000'000);  ///< joiner announcement period
+  std::size_t max_frags_per_token = 16;               ///< fragments sent per token visit
+  std::size_t max_rtr_per_token = 64;                 ///< retransmission requests per token
+  std::uint64_t gc_margin = 4096;                     ///< retained seqs behind aru
+};
+
+/// An installed membership view.
+struct View {
+  ViewId id;
+  std::uint64_t ring_id = 0;         ///< unique identity of this ring incarnation
+  std::vector<NodeId> members;       ///< sorted ring order
+  std::vector<NodeId> joined;        ///< members not in the previous view
+  std::vector<NodeId> departed;      ///< previous members no longer present
+  bool self_rejoined_fresh = false;  ///< this node re-entered without history
+};
+
+/// A totally-ordered, reassembled message handed to the layer above.
+struct Delivery {
+  NodeId sender;
+  ViewId view;
+  std::uint64_t seq = 0;  ///< sequence number of the message's last fragment
+  util::Bytes payload;
+};
+
+/// Callbacks into the layer above. Invoked from simulation events; the
+/// callee may multicast further messages re-entrantly (they are queued).
+class TotemListener {
+ public:
+  virtual ~TotemListener() = default;
+  virtual void on_deliver(const Delivery& delivery) = 0;
+  virtual void on_view_change(const View& view) = 0;
+};
+
+/// Traffic/behaviour counters for the resource-usage experiments.
+struct TotemStats {
+  std::uint64_t multicasts = 0;         ///< messages submitted locally
+  std::uint64_t fragments_sent = 0;     ///< Data frames originated (no rtx)
+  std::uint64_t retransmissions = 0;    ///< Data frames re-sent on request
+  std::uint64_t deliveries = 0;         ///< messages delivered to listener
+  std::uint64_t view_changes = 0;
+  std::uint64_t tokens_handled = 0;
+};
+
+/// One ring endpoint, living on one simulated processor.
+class TotemNode : public sim::Station {
+ public:
+  TotemNode(Simulator& sim, Ethernet& ethernet, NodeId node, TotemConfig config,
+            TotemListener* listener);
+  ~TotemNode() override;
+
+  TotemNode(const TotemNode&) = delete;
+  TotemNode& operator=(const TotemNode&) = delete;
+
+  NodeId node() const noexcept { return node_; }
+
+  /// Bootstraps the ring out-of-band: every initial member calls start()
+  /// with the same member list; the lowest id creates the first token.
+  void start(const std::vector<NodeId>& initial_members);
+
+  /// (Re)joins a running ring: announces JoinRequest until a view that
+  /// contains this node installs. The node enters with no message history.
+  void join();
+
+  /// Crash: detaches from the medium and discards all protocol state.
+  void crash();
+
+  /// True once a view containing this node is installed.
+  bool operational() const noexcept { return state_ == State::kOperational; }
+  bool is_down() const noexcept { return state_ == State::kDown; }
+
+  /// Queues a message for agreed delivery to all members (including self).
+  /// Accepts any size; fragments as needed. Must not be called while down.
+  void multicast(util::Bytes payload);
+
+  /// Messages queued locally but not yet sequenced.
+  std::size_t backlog() const noexcept { return send_queue_.size(); }
+
+  const View& view() const noexcept { return view_; }
+  const TotemStats& stats() const noexcept { return stats_; }
+
+  /// Largest fragment payload that fits one Ethernet frame.
+  std::size_t fragment_capacity() const;
+
+  // sim::Station
+  void on_frame(NodeId from, util::BytesView frame) override;
+
+ private:
+  enum class State { kDown, kJoining, kOperational, kGather, kRecovery };
+
+  struct PendingFragment {
+    std::uint64_t msg_id;
+    std::uint32_t frag_index;
+    std::uint32_t frag_count;
+    util::Bytes payload;
+  };
+
+  // ---- frame handlers ----
+  void handle_data(const DataFrame& f);
+  void handle_token(NodeId from, TokenFrame token);
+  void handle_join(NodeId from, const JoinFrame& f);
+  void handle_commit(NodeId from, const CommitFrame& f);
+  void handle_ready(NodeId from, const ReadyFrame& f);
+  void handle_install(NodeId from, const InstallFrame& f);
+  void handle_join_request(NodeId from);
+
+  // ---- normal operation ----
+  void advance_delivery();
+  void deliver_frame(const DataFrame& f);
+  void send_fragments(TokenFrame& token);
+  void serve_retransmissions(std::vector<std::uint64_t>& rtr);
+  void request_missing(TokenFrame& token);
+  void pass_token(TokenFrame token, bool idle);
+  NodeId successor_of(NodeId node) const;
+  void arm_token_timer();
+  void broadcast(util::Bytes frame);
+
+  // ---- membership ----
+  void enter_gather();
+  void broadcast_join();
+  void settle_elapsed();
+  void maybe_install();
+  void send_ready();
+  std::vector<std::uint64_t> compute_missing(std::uint64_t up_to) const;
+  void install_view(const InstallFrame& f);
+  void arm_recovery_timer();
+
+  Simulator& sim_;
+  Ethernet& ethernet_;
+  NodeId node_;
+  TotemConfig config_;
+  TotemListener* listener_;
+
+  State state_ = State::kDown;
+  View view_;
+  bool ever_installed_ = false;
+  bool bootstrapping_ = false;  ///< inside start()'s initial install
+  /// Rings whose history the current ring continues. Retransmitted frames
+  /// sequenced under an ancestor are accepted; frames from an unknown ring
+  /// (a healed partition's other component) are foreign.
+  std::set<std::uint64_t> ancestor_rings_;
+
+  // Sequencing / delivery.
+  std::uint64_t delivered_up_to_ = 0;  ///< aru: contiguous prefix delivered
+  std::map<std::uint64_t, DataFrame> store_;  ///< frames by seq (delivery + rtx)
+  std::map<std::pair<std::uint32_t, std::uint64_t>, util::Bytes> partial_;  ///< reassembly
+  std::deque<PendingFragment> send_queue_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t highest_seen_seq_ = 0;
+
+  // Token state.
+  sim::EventId token_timer_{};
+  sim::EventId pass_timer_{};
+  std::optional<TokenFrame> held_token_;
+
+  // Gather/recovery state.
+  std::set<NodeId> gather_alive_;
+  std::uint64_t gather_highest_seq_ = 0;  ///< max over joins of *this* ring
+  std::uint64_t gather_highest_view_ = 0;
+  sim::EventId settle_timer_{};
+  sim::EventId rebroadcast_timer_{};
+  sim::EventId recovery_timer_{};
+  sim::EventId join_request_timer_{};
+  std::optional<CommitFrame> commit_;
+  std::set<NodeId> ready_members_;
+  std::vector<std::uint64_t> requested_missing_check_;  ///< last Ready's missing wave
+  bool fresh_member_ = true;  ///< entering without history (new or demoted)
+
+  std::unordered_map<NodeId, TimePoint> last_heard_;
+  TotemStats stats_;
+};
+
+}  // namespace eternal::totem

@@ -1,0 +1,189 @@
+#include "util/any.hpp"
+
+namespace eternal::util {
+
+Any Any::of_bool(bool v) {
+  Any a;
+  a.value_ = v;
+  return a;
+}
+Any Any::of_long(std::int32_t v) {
+  Any a;
+  a.value_ = v;
+  return a;
+}
+Any Any::of_ulonglong(std::uint64_t v) {
+  Any a;
+  a.value_ = v;
+  return a;
+}
+Any Any::of_double(double v) {
+  Any a;
+  a.value_ = v;
+  return a;
+}
+Any Any::of_string(std::string v) {
+  Any a;
+  a.value_ = std::move(v);
+  return a;
+}
+Any Any::of_octets(Bytes v) {
+  Any a;
+  a.value_ = std::move(v);
+  return a;
+}
+Any Any::of_sequence(Sequence v) {
+  Any a;
+  a.value_ = std::move(v);
+  return a;
+}
+Any Any::of_struct(Struct v) {
+  Any a;
+  a.value_ = std::move(v);
+  return a;
+}
+
+AnyKind Any::kind() const noexcept { return static_cast<AnyKind>(value_.index()); }
+
+namespace {
+[[noreturn]] void kind_error(const char* want) { throw CdrError(std::string("Any: not a ") + want); }
+}  // namespace
+
+bool Any::as_bool() const {
+  if (auto* p = std::get_if<bool>(&value_)) return *p;
+  kind_error("boolean");
+}
+std::int32_t Any::as_long() const {
+  if (auto* p = std::get_if<std::int32_t>(&value_)) return *p;
+  kind_error("long");
+}
+std::uint64_t Any::as_ulonglong() const {
+  if (auto* p = std::get_if<std::uint64_t>(&value_)) return *p;
+  kind_error("ulonglong");
+}
+double Any::as_double() const {
+  if (auto* p = std::get_if<double>(&value_)) return *p;
+  kind_error("double");
+}
+const std::string& Any::as_string() const {
+  if (auto* p = std::get_if<std::string>(&value_)) return *p;
+  kind_error("string");
+}
+const Bytes& Any::as_octets() const {
+  if (auto* p = std::get_if<Bytes>(&value_)) return *p;
+  kind_error("octet sequence");
+}
+const Any::Sequence& Any::as_sequence() const {
+  if (auto* p = std::get_if<Sequence>(&value_)) return *p;
+  kind_error("sequence");
+}
+const Any::Struct& Any::as_struct() const {
+  if (auto* p = std::get_if<Struct>(&value_)) return *p;
+  kind_error("struct");
+}
+
+const Any& Any::field(std::string_view name) const {
+  for (const auto& [member, value] : as_struct()) {
+    if (member == name) return value;
+  }
+  throw CdrError(std::string("Any: no struct member named ") + std::string(name));
+}
+
+bool Any::operator==(const Any& other) const noexcept { return value_ == other.value_; }
+
+void Any::encode(CdrWriter& w) const {
+  w.put_u8(static_cast<std::uint8_t>(kind()));
+  switch (kind()) {
+    case AnyKind::kNull:
+      break;
+    case AnyKind::kBoolean:
+      w.put_bool(std::get<bool>(value_));
+      break;
+    case AnyKind::kLong:
+      w.put_i32(std::get<std::int32_t>(value_));
+      break;
+    case AnyKind::kULongLong:
+      w.put_u64(std::get<std::uint64_t>(value_));
+      break;
+    case AnyKind::kDouble:
+      w.put_f64(std::get<double>(value_));
+      break;
+    case AnyKind::kString:
+      w.put_string(std::get<std::string>(value_));
+      break;
+    case AnyKind::kOctets:
+      w.put_octets(std::get<Bytes>(value_));
+      break;
+    case AnyKind::kSequence: {
+      const auto& seq = std::get<Sequence>(value_);
+      w.put_u32(static_cast<std::uint32_t>(seq.size()));
+      for (const auto& item : seq) item.encode(w);
+      break;
+    }
+    case AnyKind::kStruct: {
+      const auto& members = std::get<Struct>(value_);
+      w.put_u32(static_cast<std::uint32_t>(members.size()));
+      for (const auto& [name, value] : members) {
+        w.put_string(name);
+        value.encode(w);
+      }
+      break;
+    }
+  }
+}
+
+Any Any::decode(CdrReader& r) {
+  const auto kind = static_cast<AnyKind>(r.get_u8());
+  switch (kind) {
+    case AnyKind::kNull:
+      return Any();
+    case AnyKind::kBoolean:
+      return of_bool(r.get_bool());
+    case AnyKind::kLong:
+      return of_long(r.get_i32());
+    case AnyKind::kULongLong:
+      return of_ulonglong(r.get_u64());
+    case AnyKind::kDouble:
+      return of_double(r.get_f64());
+    case AnyKind::kString:
+      return of_string(r.get_string());
+    case AnyKind::kOctets:
+      return of_octets(r.get_octets());
+    case AnyKind::kSequence: {
+      const std::uint32_t n = r.get_count();
+      Sequence seq;
+      seq.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) seq.push_back(decode(r));
+      return of_sequence(std::move(seq));
+    }
+    case AnyKind::kStruct: {
+      const std::uint32_t n = r.get_count();
+      Struct members;
+      members.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = r.get_string();
+        members.emplace_back(std::move(name), decode(r));
+      }
+      return of_struct(std::move(members));
+    }
+  }
+  throw CdrError("Any: unknown kind tag");
+}
+
+Bytes Any::to_bytes() const {
+  CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  encode(w);
+  return std::move(w).take();
+}
+
+Any Any::from_bytes(BytesView data) {
+  if (data.empty()) throw CdrError("Any: empty buffer");
+  CdrReader r(data, static_cast<ByteOrder>(data[0] & 1));
+  (void)r.get_u8();
+  return decode(r);
+}
+
+std::size_t Any::encoded_size() const { return to_bytes().size(); }
+
+}  // namespace eternal::util

@@ -1,0 +1,92 @@
+// A CORBA `any`-like self-describing value.
+//
+// The FT-CORBA Checkpointable interface defines `typedef any State` because
+// no fixed format can anticipate every application's state (paper §4.1).
+// This Any carries its own type tag (a TypeCode-lite) so a checkpoint can be
+// marshaled, multicast, logged and re-assigned without the infrastructure
+// understanding its contents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/cdr.hpp"
+
+namespace eternal::util {
+
+/// Type tag of an Any value (subset of CORBA TCKind).
+enum class AnyKind : std::uint8_t {
+  kNull = 0,
+  kBoolean,
+  kLong,      // int32
+  kULongLong, // uint64
+  kDouble,
+  kString,
+  kOctets,    // sequence<octet>
+  kSequence,  // sequence<any>
+  kStruct,    // ordered (name, any) members
+};
+
+/// Self-describing value. Deep value semantics: copies copy the tree.
+class Any {
+ public:
+  using Sequence = std::vector<Any>;
+  using Struct = std::vector<std::pair<std::string, Any>>;
+
+  /// Null value.
+  Any() = default;
+
+  static Any of_bool(bool v);
+  static Any of_long(std::int32_t v);
+  static Any of_ulonglong(std::uint64_t v);
+  static Any of_double(double v);
+  static Any of_string(std::string v);
+  static Any of_octets(Bytes v);
+  static Any of_sequence(Sequence v);
+  static Any of_struct(Struct v);
+
+  AnyKind kind() const noexcept;
+  bool is_null() const noexcept { return kind() == AnyKind::kNull; }
+
+  /// Accessors throw CdrError when the kind does not match — the same
+  /// failure an application sees as the InvalidState exception.
+  bool as_bool() const;
+  std::int32_t as_long() const;
+  std::uint64_t as_ulonglong() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Bytes& as_octets() const;
+  const Sequence& as_sequence() const;
+  const Struct& as_struct() const;
+
+  /// Struct member lookup by name; throws CdrError when absent.
+  const Any& field(std::string_view name) const;
+
+  bool operator==(const Any& other) const noexcept;
+
+  /// Marshals this value (tag + payload) into `w`.
+  void encode(CdrWriter& w) const;
+
+  /// Unmarshals one Any from `r`.
+  static Any decode(CdrReader& r);
+
+  /// Convenience: full round trip through a fresh CDR stream.
+  Bytes to_bytes() const;
+  static Any from_bytes(BytesView data);
+
+  /// Approximate marshaled size in bytes (used by workload generators to
+  /// build states of a target size).
+  std::size_t encoded_size() const;
+
+ private:
+  using Value = std::variant<std::monostate, bool, std::int32_t, std::uint64_t, double,
+                             std::string, Bytes, Sequence, Struct>;
+  Value value_;
+};
+
+}  // namespace eternal::util

@@ -1,0 +1,38 @@
+#include "util/bytes.hpp"
+
+namespace eternal::util {
+
+void append(Bytes& dst, BytesView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+std::string to_hex(BytesView data, std::size_t max_bytes) {
+  static constexpr char digits[] = "0123456789abcdef";
+  const std::size_t n = std::min(data.size(), max_bytes);
+  std::string out;
+  out.reserve(2 * n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0x0f]);
+  }
+  if (data.size() > max_bytes) out += "..";
+  return out;
+}
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(text.data()),
+               reinterpret_cast<const std::uint8_t*>(text.data()) + text.size());
+}
+
+std::string text_of(BytesView data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+std::uint64_t fnv1a(BytesView data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace eternal::util

@@ -1,0 +1,36 @@
+// Byte-buffer primitives shared by the wire-format, transport and logging
+// layers. A `Bytes` value is the unit of everything Eternal moves around:
+// IIOP messages, Totem frames, checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eternal::util {
+
+/// Owning, contiguous byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes (read side of codecs and transports).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends `src` to the end of `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Renders at most `max_bytes` of `data` as a lowercase hex string,
+/// appending ".." when truncated. Intended for diagnostics only.
+std::string to_hex(BytesView data, std::size_t max_bytes = 64);
+
+/// Builds a buffer from a string literal / std::string payload.
+Bytes bytes_of(std::string_view text);
+
+/// Interprets the whole buffer as text (for tests and examples).
+std::string text_of(BytesView data);
+
+/// FNV-1a 64-bit hash, used for content digests in tests and the
+/// infrastructure-level duplicate filter.
+std::uint64_t fnv1a(BytesView data) noexcept;
+
+}  // namespace eternal::util

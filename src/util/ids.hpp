@@ -1,0 +1,82 @@
+// Strongly typed identifiers used across the stack. Kept in util because the
+// transport (Totem), the ORB and the replication mechanisms all stamp
+// messages with them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace eternal::util {
+
+/// A processor (host) in the simulated network. Each node runs one ORB, one
+/// set of Eternal mechanisms, and any number of replicas.
+struct NodeId {
+  std::uint32_t value = 0;
+  auto operator<=>(const NodeId&) const = default;
+};
+
+/// An object group: the set of replicas of one replicated CORBA object.
+struct GroupId {
+  std::uint32_t value = 0;
+  auto operator<=>(const GroupId&) const = default;
+};
+
+/// One replica of an object group (unique across the system lifetime; a
+/// relaunched replica gets a fresh ReplicaId).
+struct ReplicaId {
+  std::uint64_t value = 0;
+  auto operator<=>(const ReplicaId&) const = default;
+};
+
+/// Eternal-generated operation identifier (paper §4.3): identifies an
+/// invocation (and its response) *across* the copies issued by the replicas
+/// of a replicated client, so duplicates can be filtered. It is independent
+/// of the GIOP request_id, which is per-connection ORB state.
+struct OperationId {
+  GroupId issuer;             ///< group that issued the invocation
+  std::uint64_t sequence = 0; ///< issuer-local operation sequence number
+  auto operator<=>(const OperationId&) const = default;
+};
+
+/// A Totem membership view.
+struct ViewId {
+  std::uint64_t value = 0;
+  auto operator<=>(const ViewId&) const = default;
+};
+
+inline std::string to_string(NodeId id) { return "N" + std::to_string(id.value); }
+inline std::string to_string(GroupId id) { return "G" + std::to_string(id.value); }
+inline std::string to_string(ReplicaId id) { return "R" + std::to_string(id.value); }
+inline std::string to_string(OperationId id) {
+  return to_string(id.issuer) + "#" + std::to_string(id.sequence);
+}
+
+}  // namespace eternal::util
+
+template <>
+struct std::hash<eternal::util::NodeId> {
+  std::size_t operator()(eternal::util::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<eternal::util::GroupId> {
+  std::size_t operator()(eternal::util::GroupId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<eternal::util::ReplicaId> {
+  std::size_t operator()(eternal::util::ReplicaId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<eternal::util::OperationId> {
+  std::size_t operator()(const eternal::util::OperationId& id) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(id.issuer.value) << 32) ^
+                                      id.sequence);
+  }
+};

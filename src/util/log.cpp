@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace eternal::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* name_of(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Log::level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void Log::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::fprintf(stderr, "[%s] %-9.*s %.*s\n", name_of(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace eternal::util

@@ -1,0 +1,37 @@
+// Minimal leveled logger. Kept deliberately simple: benchmarks run with the
+// logger silenced, tests may raise the level to debug a failure. Messages are
+// tagged with the emitting component ("totem", "orb", "recovery", ...).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace eternal::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  /// Sets the minimum level that is emitted. Defaults to kWarn.
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Emits one line (used by the ETERNAL_LOG macro below).
+  static void write(LogLevel level, std::string_view component, std::string_view message);
+};
+
+}  // namespace eternal::util
+
+/// Streams `expr` into the log when `lvl` is enabled, e.g.
+///   ETERNAL_LOG(kDebug, "totem", "token seq=" << seq);
+#define ETERNAL_LOG(lvl, component, expr)                                              \
+  do {                                                                                 \
+    if (::eternal::util::Log::level() <= ::eternal::util::LogLevel::lvl) {             \
+      std::ostringstream eternal_log_os_;                                              \
+      eternal_log_os_ << expr;                                                         \
+      ::eternal::util::Log::write(::eternal::util::LogLevel::lvl, component,           \
+                                  eternal_log_os_.str());                              \
+    }                                                                                  \
+  } while (false)

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation (splitmix64). Every source
+// of randomness in the simulation — loss injection, jitter, workload
+// generators — draws from a seeded Rng so that runs replay exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace eternal::util {
+
+/// Small, fast, seedable PRNG (splitmix64). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace eternal::util

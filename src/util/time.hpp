@@ -1,0 +1,34 @@
+// Virtual-time types for the discrete-event simulation. All latencies and
+// timestamps in Eternal are expressed in these units so that experiments are
+// deterministic and independent of wall-clock speed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace eternal::util {
+
+/// A span of virtual time, in nanoseconds.
+using Duration = std::chrono::nanoseconds;
+
+/// An instant of virtual time (nanoseconds since simulation start).
+using TimePoint = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;
+
+/// Renders a duration as a human-friendly string ("1.250 ms").
+inline std::string format_duration(Duration d) {
+  const double us = static_cast<double>(d.count()) / 1000.0;
+  char buf[64];
+  if (us < 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3f us", us);
+  } else if (us < 1'000'000.0) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", us / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", us / 1'000'000.0);
+  }
+  return buf;
+}
+
+}  // namespace eternal::util

@@ -1,0 +1,263 @@
+// Eternal envelope + descriptor + snapshot wire formats, SeqWindow, and the
+// MessageLog's checkpoint-overwrite semantics.
+#include <gtest/gtest.h>
+
+#include "core/envelope.hpp"
+#include "core/group_table.hpp"
+#include "core/message_log.hpp"
+#include "core/seq_window.hpp"
+#include "core/state_snapshots.hpp"
+
+namespace eternal::core {
+namespace {
+
+using util::Bytes;
+using util::GroupId;
+using util::NodeId;
+using util::ReplicaId;
+
+TEST(Envelope, FullRoundTrip) {
+  Envelope e;
+  e.kind = EnvelopeKind::kSetState;
+  e.client_group = GroupId{3};
+  e.target_group = GroupId{9};
+  e.op_seq = 0xDEADBEEF12ULL;
+  e.subject = ReplicaId{77};
+  e.subject_node = NodeId{4};
+  e.control_op = ControlOp::kAddReplica;
+  e.payload = Bytes{1, 2, 3};
+  e.orb_state = Bytes{4, 5};
+  e.infra_state = Bytes{6};
+  e.control_data = Bytes{7, 8, 9, 10};
+
+  auto d = decode_envelope(encode_envelope(e));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, e.kind);
+  EXPECT_EQ(d->client_group, e.client_group);
+  EXPECT_EQ(d->target_group, e.target_group);
+  EXPECT_EQ(d->op_seq, e.op_seq);
+  EXPECT_EQ(d->subject, e.subject);
+  EXPECT_EQ(d->subject_node, e.subject_node);
+  EXPECT_EQ(d->control_op, e.control_op);
+  EXPECT_EQ(d->payload, e.payload);
+  EXPECT_EQ(d->orb_state, e.orb_state);
+  EXPECT_EQ(d->infra_state, e.infra_state);
+  EXPECT_EQ(d->control_data, e.control_data);
+}
+
+TEST(Envelope, RejectsMalformed) {
+  EXPECT_FALSE(decode_envelope(Bytes{}).has_value());
+  EXPECT_FALSE(decode_envelope(Bytes{0, 1}).has_value());
+  Bytes wire = encode_envelope(Envelope{});
+  wire[1] = 99;  // bad kind
+  EXPECT_FALSE(decode_envelope(wire).has_value());
+}
+
+TEST(Envelope, InitialMembersRoundTrip) {
+  std::vector<InitialMember> members{{ReplicaId{1}, NodeId{10}}, {ReplicaId{2}, NodeId{20}}};
+  auto decoded = decode_initial_members(encode_initial_members(members));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[1].id, ReplicaId{2});
+  EXPECT_EQ(decoded[1].node, NodeId{20});
+  EXPECT_TRUE(decode_initial_members(Bytes{}).empty());
+}
+
+TEST(Descriptor, RoundTrip) {
+  GroupDescriptor d;
+  d.id = GroupId{5};
+  d.object_id = "ledger";
+  d.type_id = "IDL:Ledger:1.0";
+  d.properties.style = ReplicationStyle::kColdPassive;
+  d.properties.initial_replicas = 1;
+  d.properties.minimum_replicas = 1;
+  d.properties.checkpoint_interval = util::Duration(123'456);
+  d.properties.fault_monitoring_interval = util::Duration(789);
+  d.backup_nodes = {NodeId{2}, NodeId{3}};
+
+  auto decoded = decode_descriptor(encode_descriptor(d));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, d.id);
+  EXPECT_EQ(decoded->object_id, "ledger");
+  EXPECT_EQ(decoded->properties.style, ReplicationStyle::kColdPassive);
+  EXPECT_EQ(decoded->properties.checkpoint_interval, util::Duration(123'456));
+  EXPECT_EQ(decoded->backup_nodes.size(), 2u);
+}
+
+TEST(SeqWindow, DetectsDuplicatesAndCompacts) {
+  SeqWindow w;
+  EXPECT_TRUE(w.test_and_insert(0));
+  EXPECT_TRUE(w.test_and_insert(1));
+  EXPECT_FALSE(w.test_and_insert(0));
+  EXPECT_FALSE(w.test_and_insert(1));
+  EXPECT_EQ(w.contiguous_prefix(), 2u);
+  EXPECT_EQ(w.sparse_size(), 0u);
+}
+
+TEST(SeqWindow, OutOfOrderInsertsCompactLater) {
+  SeqWindow w;
+  EXPECT_TRUE(w.test_and_insert(2));
+  EXPECT_TRUE(w.test_and_insert(0));
+  EXPECT_EQ(w.contiguous_prefix(), 1u);
+  EXPECT_EQ(w.sparse_size(), 1u);
+  EXPECT_TRUE(w.test_and_insert(1));
+  EXPECT_EQ(w.contiguous_prefix(), 3u);
+  EXPECT_EQ(w.sparse_size(), 0u);
+  EXPECT_FALSE(w.test_and_insert(2));
+}
+
+TEST(SeqWindow, SeenQueries) {
+  SeqWindow w;
+  w.test_and_insert(0);
+  w.test_and_insert(5);
+  EXPECT_TRUE(w.seen(0));
+  EXPECT_TRUE(w.seen(5));
+  EXPECT_FALSE(w.seen(3));
+}
+
+TEST(SeqWindow, EncodeDecodePreservesState) {
+  SeqWindow w;
+  w.test_and_insert(0);
+  w.test_and_insert(1);
+  w.test_and_insert(7);
+  util::CdrWriter enc;
+  w.encode(enc);
+  util::CdrReader r(enc.bytes(), enc.order());
+  SeqWindow d = SeqWindow::decode(r);
+  EXPECT_EQ(d, w);
+  EXPECT_FALSE(d.test_and_insert(7));
+  EXPECT_TRUE(d.test_and_insert(2));
+}
+
+TEST(MessageLog, CheckpointOverwritesAndTruncates) {
+  MessageLog log;
+  Envelope m1, m2;
+  m1.op_seq = 1;
+  m2.op_seq = 2;
+  log.append(m1);
+  log.append(m2);
+  EXPECT_EQ(log.messages().size(), 2u);
+
+  Envelope ckpt;
+  ckpt.kind = EnvelopeKind::kCheckpoint;
+  ckpt.op_seq = 10;
+  log.set_checkpoint(ckpt);
+  // No mark recorded for epoch 10 → everything logged so far is covered.
+  EXPECT_TRUE(log.messages().empty());
+  ASSERT_TRUE(log.checkpoint().has_value());
+  EXPECT_EQ(log.checkpoints_taken(), 1u);
+}
+
+TEST(MessageLog, MarkLimitsTruncation) {
+  MessageLog log;
+  Envelope m1, m2, m3;
+  m1.op_seq = 1;
+  m2.op_seq = 2;
+  m3.op_seq = 3;
+  log.append(m1);
+  log.mark(/*epoch=*/5);  // the checkpoint's get_state position: covers m1 only
+  log.append(m2);
+  log.append(m3);
+
+  Envelope ckpt;
+  ckpt.op_seq = 5;
+  log.set_checkpoint(ckpt);
+  ASSERT_EQ(log.messages().size(), 2u);
+  EXPECT_EQ(log.messages()[0].op_seq, 2u);
+  EXPECT_EQ(log.messages()[1].op_seq, 3u);
+}
+
+TEST(MessageLog, LaterMarksRebasedAfterTruncation) {
+  MessageLog log;
+  Envelope m;
+  m.op_seq = 1;
+  log.append(m);
+  log.mark(5);
+  m.op_seq = 2;
+  log.append(m);
+  log.mark(6);
+  m.op_seq = 3;
+  log.append(m);
+
+  Envelope ckpt5;
+  ckpt5.op_seq = 5;
+  log.set_checkpoint(ckpt5);  // drops message 1; mark 6 rebases to cover message 2
+  ASSERT_EQ(log.messages().size(), 2u);
+
+  Envelope ckpt6;
+  ckpt6.op_seq = 6;
+  log.set_checkpoint(ckpt6);
+  ASSERT_EQ(log.messages().size(), 1u);
+  EXPECT_EQ(log.messages()[0].op_seq, 3u);
+}
+
+TEST(MessageLog, TakeFrontReplaysInOrder) {
+  MessageLog log;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    Envelope m;
+    m.op_seq = i;
+    log.append(m);
+  }
+  EXPECT_EQ(log.take_front().op_seq, 1u);
+  EXPECT_EQ(log.take_front().op_seq, 2u);
+  EXPECT_EQ(log.take_front().op_seq, 3u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(MessageLog, BytesAccountsCheckpointAndMessages) {
+  MessageLog log;
+  Envelope m;
+  m.payload = Bytes(100, 1);
+  log.append(m);
+  EXPECT_EQ(log.bytes(), 100u);
+  Envelope ckpt;
+  ckpt.payload = Bytes(500, 2);
+  ckpt.orb_state = Bytes(50, 3);
+  log.set_checkpoint(ckpt);
+  EXPECT_EQ(log.bytes(), 550u);
+}
+
+TEST(Snapshots, OrbLevelRoundTrip) {
+  OrbLevelState s;
+  ClientConnState c;
+  c.server_group = GroupId{4};
+  c.next_group_request_id = 351;
+  c.handshake_done = true;
+  c.handshake_request = Bytes{1, 2};
+  c.handshake_reply = Bytes{3, 4, 5};
+  s.client_conns.push_back(c);
+  ServerConnState sv;
+  sv.client = orb::Endpoint{NodeId{0xFF000001}, 2809};
+  sv.handshake_request = Bytes{9, 9};
+  s.server_conns.push_back(sv);
+
+  auto d = decode_orb_state(encode_orb_state(s));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, s);
+}
+
+TEST(Snapshots, InfraLevelRoundTrip) {
+  InfraLevelState s;
+  InfraLevelState::RequestsFrom rf;
+  rf.client_group = GroupId{2};
+  rf.seen.test_and_insert(0);
+  rf.seen.test_and_insert(1);
+  rf.seen.test_and_insert(9);
+  s.requests_seen.push_back(rf);
+  InfraLevelState::RepliesFrom pf;
+  pf.server_group = GroupId{5};
+  pf.seen.test_and_insert(0);
+  s.replies_seen.push_back(pf);
+  s.outstanding.push_back(InfraLevelState::Outstanding{GroupId{5}, {42, 43}});
+
+  auto d = decode_infra_state(encode_infra_state(s));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, s);
+}
+
+TEST(Snapshots, EmptyBlobsDecodeToEmptyState) {
+  EXPECT_TRUE(decode_orb_state(Bytes{})->client_conns.empty());
+  EXPECT_TRUE(decode_infra_state(Bytes{})->requests_seen.empty());
+}
+
+}  // namespace
+}  // namespace eternal::core

@@ -1,0 +1,204 @@
+// Processor crashes, the fault detector, the Replication/Resource Manager's
+// minimum-replica enforcement, and recovery re-coordination after the
+// coordinator itself fails.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "support/counter_servant.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+struct Rig {
+  explicit Rig(std::size_t nodes, std::size_t replicas, std::size_t min_replicas) {
+    SystemConfig cfg;
+    cfg.nodes = nodes;
+    sys = std::make_unique<System>(cfg);
+    FtProperties props;
+    props.style = ReplicationStyle::kActive;
+    props.initial_replicas = replicas;
+    props.minimum_replicas = min_replicas;
+    props.fault_monitoring_interval = Duration(5'000'000);
+    std::vector<NodeId> placement;
+    for (std::size_t i = 1; i <= replicas; ++i) placement.push_back(NodeId{(std::uint32_t)i});
+    group = sys->deploy("svc", "IDL:Svc:1.0", props, placement, [this](NodeId n) {
+      auto s = std::make_shared<CounterServant>(sys->sim());
+      servants[n.value] = s;
+      return s;
+    });
+    client_node = NodeId{static_cast<std::uint32_t>(nodes)};
+    sys->deploy_client("app", client_node, {group});
+    ref = sys->client(client_node, group);
+  }
+
+  bool invoke(std::int32_t delta) {
+    bool done = false;
+    ref.invoke("inc", CounterServant::encode_i32(delta),
+               [&done](const orb::ReplyOutcome&) { done = true; });
+    return sys->run_until([&] { return done; }, Duration(500'000'000));
+  }
+
+  std::size_t members() {
+    for (NodeId n : sys->all_nodes()) {
+      const auto* e = sys->mech(n).groups().find(group);
+      if (e != nullptr && sys->totem(n).operational()) return e->members.size();
+    }
+    return 0;
+  }
+
+  std::unique_ptr<System> sys;
+  GroupId group;
+  NodeId client_node;
+  orb::ObjectRef ref;
+  std::array<std::shared_ptr<CounterServant>, 8> servants{};
+};
+
+TEST(FaultInjection, ProcessorCrashDetectedViaRingView) {
+  Rig rig(5, 3, 2);
+  ASSERT_TRUE(rig.invoke(1));
+
+  rig.sys->crash_node(NodeId{3});
+  // Totem reforms; the survivors' tables drop the replica on node 3.
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        const auto* e = rig.sys->mech(NodeId{1}).groups().find(rig.group);
+        return e != nullptr && e->replica_on(NodeId{3}) == nullptr;
+      },
+      Duration(2'000'000'000)));
+
+  // Service continues on the survivors.
+  ASSERT_TRUE(rig.invoke(1));
+  EXPECT_EQ(rig.servants[1]->value(), 2);
+  EXPECT_EQ(rig.servants[2]->value(), 2);
+}
+
+TEST(FaultInjection, ResourceManagerRestoresMinimumReplicas) {
+  // 3 replicas on nodes 1-3, minimum 3, spare node 4: killing one replica
+  // must make the acting manager direct a launch on the spare.
+  SystemConfig cfg;
+  cfg.nodes = 5;
+  System sys(cfg);
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 3;
+  props.minimum_replicas = 3;
+  props.fault_monitoring_interval = Duration(5'000'000);
+  std::array<std::shared_ptr<CounterServant>, 6> servants{};
+  const GroupId group = sys.deploy(
+      "svc", "IDL:Svc:1.0", props, {NodeId{1}, NodeId{2}, NodeId{3}},
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim());
+        servants[n.value] = s;
+        return s;
+      },
+      {NodeId{4}});  // spare
+  sys.deploy_client("app", NodeId{5}, {group});
+  orb::ObjectRef ref = sys.client(NodeId{5}, group);
+
+  bool done = false;
+  ref.invoke("inc", CounterServant::encode_i32(7),
+             [&done](const orb::ReplyOutcome&) { done = true; });
+  ASSERT_TRUE(sys.run_until([&] { return done; }, Duration(500'000'000)));
+
+  sys.kill_replica(NodeId{2}, group);
+
+  // The spare gets launched and recovered automatically.
+  ASSERT_TRUE(sys.run_until([&] { return sys.mech(NodeId{4}).hosts_operational(group); },
+                            Duration(2'000'000'000)));
+  EXPECT_GE(sys.manager(NodeId{1}).stats().launches_directed, 1u);
+  ASSERT_NE(servants[4], nullptr);
+  EXPECT_EQ(servants[4]->value(), 7);  // state transferred to the spare
+
+  done = false;
+  ref.invoke("inc", CounterServant::encode_i32(1),
+             [&done](const orb::ReplyOutcome&) { done = true; });
+  ASSERT_TRUE(sys.run_until([&] { return done; }, Duration(500'000'000)));
+  EXPECT_EQ(servants[4]->value(), 8);
+}
+
+TEST(FaultInjection, CoordinatorCrashMidRecoveryIsRetried) {
+  Rig rig(5, 2, 1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rig.invoke(1));
+
+  // Start a recovery on node 3 but crash the coordinator (node 1, the
+  // lowest-id host of an operational replica) right away.
+  rig.sys->mech(NodeId{3}).register_factory(rig.group, [&] {
+    auto s = std::make_shared<CounterServant>(rig.sys->sim());
+    rig.servants[3] = s;
+    return s;
+  });
+  rig.sys->relaunch_replica(NodeId{3}, rig.group);
+  rig.sys->crash_node(NodeId{1});
+
+  // The new coordinator (node 2) re-issues the get_state; recovery finishes.
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{3}).hosts_operational(rig.group); },
+      Duration(3'000'000'000)));
+  EXPECT_EQ(rig.servants[3]->value(), 3);
+}
+
+TEST(FaultInjection, FaultDetectorReportsWithinMonitoringInterval) {
+  Rig rig(4, 2, 1);
+  ASSERT_TRUE(rig.invoke(1));
+  const util::TimePoint killed_at = rig.sys->sim().now();
+  rig.sys->kill_replica(NodeId{2}, rig.group);
+  ASSERT_TRUE(rig.sys->run_until([&] { return rig.members() == 1; }, Duration(500'000'000)));
+  const util::Duration detection = rig.sys->sim().now() - killed_at;
+  // One monitoring interval (5 ms) plus multicast/ring slack.
+  EXPECT_LE(detection, Duration(20'000'000));
+}
+
+TEST(FaultInjection, BackToBackFailuresOfBothReplicas) {
+  Rig rig(4, 2, 1);
+  ASSERT_TRUE(rig.invoke(1));
+
+  rig.sys->kill_replica(NodeId{2}, rig.group);
+  ASSERT_TRUE(rig.invoke(1));
+  rig.sys->relaunch_replica(NodeId{2}, rig.group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.group); },
+      Duration(2'000'000'000)));
+
+  // Now the other one.
+  rig.sys->kill_replica(NodeId{1}, rig.group);
+  ASSERT_TRUE(rig.invoke(1));
+  rig.sys->relaunch_replica(NodeId{1}, rig.group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{1}).hosts_operational(rig.group); },
+      Duration(2'000'000'000)));
+
+  ASSERT_TRUE(rig.invoke(1));
+  EXPECT_EQ(rig.servants[1]->value(), 4);
+  EXPECT_EQ(rig.servants[2]->value(), 4);
+}
+
+TEST(FaultInjection, RepeatedKillRelaunchCyclesStayConsistent) {
+  Rig rig(4, 2, 1);
+  std::int32_t expected = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_TRUE(rig.invoke(1));
+    ++expected;
+    rig.sys->kill_replica(NodeId{2}, rig.group);
+    ASSERT_TRUE(rig.invoke(1));
+    ++expected;
+    rig.sys->relaunch_replica(NodeId{2}, rig.group);
+    ASSERT_TRUE(rig.sys->run_until(
+        [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.group); },
+        Duration(2'000'000'000)))
+        << "cycle " << cycle;
+    EXPECT_EQ(rig.servants[2]->value(), expected) << "cycle " << cycle;
+  }
+  EXPECT_EQ(rig.servants[1]->value(), expected);
+}
+
+}  // namespace
+}  // namespace eternal

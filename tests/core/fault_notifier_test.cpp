@@ -1,0 +1,102 @@
+// The FT-CORBA Fault Notifier: consumers observe the agreed fault/
+// membership report sequence.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/fault_notifier.hpp"
+#include "support/counter_servant.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FaultNotifier;
+using core::FaultReport;
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+struct NotifierRig {
+  NotifierRig() {
+    SystemConfig cfg;
+    cfg.nodes = 4;
+    sys = std::make_unique<System>(cfg);
+    notifier = std::make_unique<FaultNotifier>(sys->sim(), sys->mech(NodeId{4}));
+    notifier2 = std::make_unique<FaultNotifier>(sys->sim(), sys->mech(NodeId{3}));
+
+    FtProperties props;
+    props.style = ReplicationStyle::kWarmPassive;
+    props.initial_replicas = 2;
+    props.minimum_replicas = 1;
+    props.fault_monitoring_interval = Duration(5'000'000);
+    group = sys->deploy("svc", "IDL:Svc:1.0", props, {NodeId{1}, NodeId{2}},
+                        [this](NodeId) { return std::make_shared<CounterServant>(sys->sim()); });
+  }
+
+  std::unique_ptr<System> sys;
+  std::unique_ptr<FaultNotifier> notifier;   // observes from node 4
+  std::unique_ptr<FaultNotifier> notifier2;  // observes from node 3
+  GroupId group;
+};
+
+TEST(FaultNotifier, ReportsCrashAndPromotion) {
+  NotifierRig rig;
+  std::vector<FaultReport::Kind> kinds;
+  rig.notifier->connect([&](const FaultReport& r) { kinds.push_back(r.kind); });
+
+  rig.sys->kill_replica(NodeId{1}, rig.group);
+  ASSERT_TRUE(rig.sys->run_until([&] { return kinds.size() >= 2; }, Duration(1'000'000'000)));
+
+  // Crash of the primary produces: ObjectCrashed + GroupPrimaryFailed (the
+  // promoted backup was already an operational member, so promotion itself
+  // is not a recovery report).
+  EXPECT_EQ(kinds[0], FaultReport::Kind::kObjectCrashed);
+  EXPECT_EQ(kinds[1], FaultReport::Kind::kGroupPrimaryFailed);
+
+  // Re-launching the failed replica produces MemberAdded + ObjectRecovered.
+  rig.sys->relaunch_replica(NodeId{1}, rig.group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        return std::count(kinds.begin(), kinds.end(),
+                          FaultReport::Kind::kMemberAdded) >= 1 &&
+               std::count(kinds.begin(), kinds.end(),
+                          FaultReport::Kind::kObjectRecovered) >= 1;
+      },
+      Duration(2'000'000'000)));
+}
+
+TEST(FaultNotifier, AllNodesObserveTheSameSequence) {
+  NotifierRig rig;
+  rig.sys->kill_replica(NodeId{1}, rig.group);
+  rig.sys->run_for(Duration(200'000'000));
+  rig.sys->relaunch_replica(NodeId{1}, rig.group);
+  rig.sys->run_for(Duration(500'000'000));
+
+  const auto& a = rig.notifier->history();
+  const auto& b = rig.notifier2->history();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].replica, b[i].replica) << i;
+    EXPECT_EQ(a[i].node, b[i].node) << i;
+  }
+  EXPECT_GE(a.size(), 3u);  // crash, primary-failed, recover(ies), member add
+}
+
+TEST(FaultNotifier, DisconnectStopsDelivery) {
+  NotifierRig rig;
+  int count = 0;
+  const std::size_t id = rig.notifier->connect([&](const FaultReport&) { ++count; });
+  rig.notifier->disconnect(id);
+  rig.sys->kill_replica(NodeId{2}, rig.group);
+  rig.sys->run_for(Duration(200'000'000));
+  EXPECT_EQ(count, 0);
+  EXPECT_GE(rig.notifier->history().size(), 1u);  // history still recorded
+}
+
+}  // namespace
+}  // namespace eternal

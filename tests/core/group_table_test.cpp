@@ -1,0 +1,212 @@
+// The replicated group table: deterministic membership transitions,
+// primary/coordinator derivation, promotion events.
+#include <gtest/gtest.h>
+
+#include "core/group_table.hpp"
+
+namespace eternal::core {
+namespace {
+
+using util::GroupId;
+using util::NodeId;
+using util::ReplicaId;
+
+Envelope create_envelope(GroupId id, ReplicationStyle style,
+                         std::vector<NodeId> backups = {}) {
+  GroupDescriptor desc;
+  desc.id = id;
+  desc.object_id = "obj";
+  desc.type_id = "IDL:Obj:1.0";
+  desc.properties.style = style;
+  desc.backup_nodes = std::move(backups);
+  Envelope e;
+  e.kind = EnvelopeKind::kControl;
+  e.control_op = ControlOp::kCreateGroup;
+  e.target_group = id;
+  e.control_data = encode_descriptor(desc);
+  return e;
+}
+
+Envelope control(ControlOp op, GroupId g, ReplicaId r, NodeId n) {
+  Envelope e;
+  e.kind = EnvelopeKind::kControl;
+  e.control_op = op;
+  e.target_group = g;
+  e.subject = r;
+  e.subject_node = n;
+  return e;
+}
+
+struct GroupTableTest : ::testing::Test {
+  GroupTable table;
+  const GroupId g{1};
+
+  void create(ReplicationStyle style = ReplicationStyle::kActive) {
+    auto events = table.apply_control(create_envelope(g, style));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, TableEvent::Kind::kGroupCreated);
+  }
+
+  void add(std::uint64_t rid, std::uint32_t node, bool operational = false) {
+    table.apply_control(control(ControlOp::kAddReplica, g, ReplicaId{rid}, NodeId{node}));
+    if (operational) {
+      table.apply_control(
+          control(ControlOp::kReplicaOperational, g, ReplicaId{rid}, NodeId{node}));
+    }
+  }
+};
+
+TEST_F(GroupTableTest, CreateThenLookup) {
+  create();
+  const GroupEntry* entry = table.find(g);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->desc.object_id, "obj");
+  EXPECT_EQ(table.find(GroupId{99}), nullptr);
+}
+
+TEST_F(GroupTableTest, AddReplicaStartsRecovering) {
+  create();
+  add(10, 1);
+  const GroupEntry* entry = table.find(g);
+  ASSERT_EQ(entry->members.size(), 1u);
+  EXPECT_EQ(entry->members[0].status, ReplicaStatus::kRecovering);
+  EXPECT_EQ(entry->operational_count(), 0u);
+  EXPECT_FALSE(entry->coordinator().has_value());
+}
+
+TEST_F(GroupTableTest, DuplicateAddIgnored) {
+  create();
+  add(10, 1);
+  auto events = table.apply_control(control(ControlOp::kAddReplica, g, ReplicaId{10}, NodeId{1}));
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(table.find(g)->members.size(), 1u);
+}
+
+TEST_F(GroupTableTest, SetStateMarksOperationalAndBumpsEpoch) {
+  create();
+  add(10, 1);
+  Envelope set;
+  set.kind = EnvelopeKind::kSetState;
+  set.target_group = g;
+  set.op_seq = 7;
+  set.subject = ReplicaId{10};
+  auto events = table.apply_state_transfer(set);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TableEvent::Kind::kReplicaOperational);
+  EXPECT_EQ(table.find(g)->members[0].status, ReplicaStatus::kOperational);
+  EXPECT_EQ(table.find(g)->next_epoch, 8u);
+}
+
+TEST_F(GroupTableTest, GetStateOnlyBumpsEpoch) {
+  create();
+  add(10, 1, true);
+  Envelope get;
+  get.kind = EnvelopeKind::kGetState;
+  get.target_group = g;
+  get.op_seq = 3;
+  EXPECT_TRUE(table.apply_state_transfer(get).empty());
+  EXPECT_EQ(table.find(g)->next_epoch, 4u);
+}
+
+TEST_F(GroupTableTest, CoordinatorIsLowestOperationalNode) {
+  create();
+  add(10, 3, true);
+  add(11, 1, true);
+  add(12, 2);  // recovering: not eligible
+  ASSERT_TRUE(table.find(g)->coordinator().has_value());
+  EXPECT_EQ(*table.find(g)->coordinator(), NodeId{1});
+}
+
+TEST_F(GroupTableTest, PassivePrimaryIsFirstOperationalInJoinOrder) {
+  create(ReplicationStyle::kWarmPassive);
+  add(10, 2, true);
+  add(11, 1, true);
+  const ReplicaInfo* primary = table.find(g)->primary();
+  ASSERT_NE(primary, nullptr);
+  EXPECT_EQ(primary->id, ReplicaId{10});  // join order, not node order
+  EXPECT_EQ(table.find(g)->executor_nodes(), std::vector<NodeId>{NodeId{2}});
+}
+
+TEST_F(GroupTableTest, ActiveExecutorsAreAllOperational) {
+  create(ReplicationStyle::kActive);
+  add(10, 2, true);
+  add(11, 1, true);
+  add(12, 3);
+  EXPECT_EQ(table.find(g)->executor_nodes().size(), 2u);
+}
+
+TEST_F(GroupTableTest, RemovePrimaryEmitsPrimaryFailed) {
+  create(ReplicationStyle::kWarmPassive);
+  add(10, 1, true);
+  add(11, 2, true);
+  auto events = table.apply_control(control(ControlOp::kRemoveReplica, g, ReplicaId{10}, NodeId{1}));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TableEvent::Kind::kReplicaRemoved);
+  EXPECT_EQ(events[1].kind, TableEvent::Kind::kPrimaryFailed);
+  EXPECT_EQ(table.find(g)->primary()->id, ReplicaId{11});
+  EXPECT_EQ(table.find(g)->promotions, 1u);
+}
+
+TEST_F(GroupTableTest, RemoveBackupIsQuiet) {
+  create(ReplicationStyle::kWarmPassive);
+  add(10, 1, true);
+  add(11, 2, true);
+  auto events = table.apply_control(control(ControlOp::kRemoveReplica, g, ReplicaId{11}, NodeId{2}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TableEvent::Kind::kReplicaRemoved);
+}
+
+TEST_F(GroupTableTest, ActiveRemovalNeverEmitsPrimaryFailed) {
+  create(ReplicationStyle::kActive);
+  add(10, 1, true);
+  add(11, 2, true);
+  auto events = table.apply_control(control(ControlOp::kRemoveReplica, g, ReplicaId{10}, NodeId{1}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TableEvent::Kind::kReplicaRemoved);
+}
+
+TEST_F(GroupTableTest, RemoveNodeSweepsAllItsReplicas) {
+  create(ReplicationStyle::kWarmPassive);
+  add(10, 1, true);
+  add(11, 2, true);
+  Envelope other = create_envelope(GroupId{2}, ReplicationStyle::kActive);
+  table.apply_control(other);
+  table.apply_control(control(ControlOp::kAddReplica, GroupId{2}, ReplicaId{20}, NodeId{1}));
+
+  auto events = table.remove_node(NodeId{1});
+  // Group 1 primary removed (+PrimaryFailed) and group 2 member removed.
+  EXPECT_EQ(events.size(), 3u);
+  EXPECT_EQ(table.find(g)->members.size(), 1u);
+  EXPECT_TRUE(table.find(GroupId{2})->members.empty());
+}
+
+TEST_F(GroupTableTest, LaunchDirectiveForwarded) {
+  create();
+  auto events =
+      table.apply_control(control(ControlOp::kLaunchReplica, g, ReplicaId{}, NodeId{3}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TableEvent::Kind::kLaunchDirective);
+  EXPECT_EQ(events[0].node, NodeId{3});
+}
+
+TEST_F(GroupTableTest, MalformedCreateIgnored) {
+  Envelope bad;
+  bad.kind = EnvelopeKind::kControl;
+  bad.control_op = ControlOp::kCreateGroup;
+  bad.target_group = g;
+  bad.control_data = util::Bytes{1, 2, 3};
+  EXPECT_TRUE(table.apply_control(bad).empty());
+  EXPECT_EQ(table.find(g), nullptr);
+}
+
+TEST_F(GroupTableTest, OperationsOnUnknownGroupAreQuiet) {
+  EXPECT_TRUE(
+      table.apply_control(control(ControlOp::kAddReplica, g, ReplicaId{1}, NodeId{1})).empty());
+  Envelope set;
+  set.kind = EnvelopeKind::kSetState;
+  set.target_group = g;
+  EXPECT_TRUE(table.apply_state_transfer(set).empty());
+}
+
+}  // namespace
+}  // namespace eternal::core

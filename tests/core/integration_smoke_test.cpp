@@ -1,0 +1,150 @@
+// End-to-end smoke tests: a full Eternal deployment on the simulated
+// network — deploy, invoke, fail, recover.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "support/counter_servant.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::GroupId;
+using util::NodeId;
+
+class IntegrationSmoke : public ::testing::Test {
+ protected:
+  SystemConfig base_config(std::size_t nodes = 4) {
+    SystemConfig cfg;
+    cfg.nodes = nodes;
+    return cfg;
+  }
+};
+
+TEST_F(IntegrationSmoke, DeployActiveGroupAndInvoke) {
+  System sys(base_config());
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 3;
+  props.minimum_replicas = 2;
+
+  std::vector<std::shared_ptr<CounterServant>> servants(5);
+  const GroupId server = sys.deploy(
+      "counter", "IDL:Counter:1.0", props, {NodeId{1}, NodeId{2}, NodeId{3}},
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim());
+        servants[n.value] = s;
+        return s;
+      });
+  const GroupId client_group = sys.deploy_client("driver", NodeId{4}, {server});
+  (void)client_group;
+
+  orb::ObjectRef ref = sys.client(NodeId{4}, server);
+  std::int32_t result = -1;
+  ref.invoke("inc", CounterServant::encode_i32(5), [&](const orb::ReplyOutcome& out) {
+    ASSERT_EQ(out.status, giop::ReplyStatus::kNoException);
+    result = CounterServant::decode_i32(out.body);
+  });
+  ASSERT_TRUE(sys.run_until([&] { return result != -1; }, util::Duration(100'000'000)));
+  EXPECT_EQ(result, 5);
+
+  // Every active replica executed the operation exactly once.
+  for (std::uint32_t n = 1; n <= 3; ++n) {
+    ASSERT_NE(servants[n], nullptr);
+    EXPECT_EQ(servants[n]->value(), 5) << "replica on node " << n;
+  }
+}
+
+TEST_F(IntegrationSmoke, ActiveReplicaFailureIsMasked) {
+  System sys(base_config());
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 3;
+  props.minimum_replicas = 1;
+
+  std::vector<std::shared_ptr<CounterServant>> servants(5);
+  const GroupId server = sys.deploy(
+      "counter", "IDL:Counter:1.0", props, {NodeId{1}, NodeId{2}, NodeId{3}},
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim());
+        servants[n.value] = s;
+        return s;
+      });
+  sys.deploy_client("driver", NodeId{4}, {server});
+  orb::ObjectRef ref = sys.client(NodeId{4}, server);
+
+  int replies = 0;
+  auto fire = [&] {
+    ref.invoke("inc", CounterServant::encode_i32(1),
+               [&](const orb::ReplyOutcome&) { ++replies; });
+  };
+  fire();
+  ASSERT_TRUE(sys.run_until([&] { return replies == 1; }, util::Duration(100'000'000)));
+
+  // Kill one replica; the remaining replicas keep serving transparently.
+  sys.kill_replica(NodeId{2}, server);
+  fire();
+  ASSERT_TRUE(sys.run_until([&] { return replies == 2; }, util::Duration(100'000'000)));
+  EXPECT_EQ(servants[1]->value(), 2);
+  EXPECT_EQ(servants[3]->value(), 2);
+}
+
+TEST_F(IntegrationSmoke, RecoveredReplicaGetsStateAndProcessesNewWork) {
+  System sys(base_config());
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 2;
+  props.minimum_replicas = 1;
+
+  std::vector<std::shared_ptr<CounterServant>> servants(5);
+  const GroupId server = sys.deploy(
+      "counter", "IDL:Counter:1.0", props, {NodeId{1}, NodeId{2}},
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim());
+        servants[n.value] = s;
+        return s;
+      });
+  sys.deploy_client("driver", NodeId{4}, {server});
+  orb::ObjectRef ref = sys.client(NodeId{4}, server);
+
+  int replies = 0;
+  auto fire = [&] {
+    ref.invoke("inc", CounterServant::encode_i32(10),
+               [&](const orb::ReplyOutcome&) { ++replies; });
+  };
+  fire();
+  ASSERT_TRUE(sys.run_until([&] { return replies == 1; }, util::Duration(100'000'000)));
+
+  sys.kill_replica(NodeId{2}, server);
+  // Let the fault detector report the death.
+  ASSERT_TRUE(sys.run_until(
+      [&] {
+        const auto* entry = sys.mech(NodeId{1}).groups().find(server);
+        return entry != nullptr && entry->members.size() == 1;
+      },
+      util::Duration(200'000'000)));
+
+  fire();
+  ASSERT_TRUE(sys.run_until([&] { return replies == 2; }, util::Duration(100'000'000)));
+
+  // Relaunch on the same node; the new replica must be brought to value 20.
+  sys.relaunch_replica(NodeId{2}, server);
+  ASSERT_TRUE(sys.run_until([&] { return sys.mech(NodeId{2}).hosts_operational(server); },
+                            util::Duration(500'000'000)));
+  EXPECT_EQ(servants[2]->value(), 20);
+  EXPECT_GE(servants[2]->set_state_calls(), 1u);
+  ASSERT_EQ(sys.mech(NodeId{2}).recoveries().size(), 1u);
+
+  // And it processes new work in step with the existing replica.
+  fire();
+  ASSERT_TRUE(sys.run_until([&] { return replies == 3; }, util::Duration(100'000'000)));
+  EXPECT_EQ(servants[1]->value(), 30);
+  EXPECT_EQ(servants[2]->value(), 30);
+}
+
+}  // namespace
+}  // namespace eternal

@@ -1,0 +1,255 @@
+// ORB/POA-level state recovery (paper §4.2).
+//
+// These tests reproduce the paper's two failure scenarios with the relevant
+// mechanism DISABLED, and show the mechanism curing them when enabled:
+//   - §4.2.1 / Figure 4: GIOP request_id divergence after a client replica
+//     recovers without request_id synchronization → replies discarded, the
+//     existing replica waits forever;
+//   - §4.2.2: a new server replica that missed the client-server handshake
+//     discards negotiated (short-object-key) requests unless the stored
+//     handshake is re-injected.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "orb/orb.hpp"
+#include "support/counter_servant.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+/// Two-way replicated client (nodes 1,2) invoking a replicated server
+/// (node 3); the client replicas run identical deterministic "apps" (the
+/// test fires the same invocation at both, as the paper's deterministic
+/// replicas would).
+struct ReplicatedClientRig {
+  explicit ReplicatedClientRig(bool sync_request_ids) {
+    SystemConfig cfg;
+    cfg.nodes = 4;
+    cfg.mechanisms.sync_request_ids = sync_request_ids;
+    sys = std::make_unique<System>(cfg);
+
+    FtProperties server_props;
+    server_props.style = ReplicationStyle::kActive;
+    server_props.initial_replicas = 1;
+    server_props.minimum_replicas = 1;
+    server = sys->deploy("backend", "IDL:Backend:1.0", server_props, {NodeId{3}},
+                         [this](NodeId) {
+                           servant = std::make_shared<CounterServant>(sys->sim());
+                           return servant;
+                         });
+
+    FtProperties client_props;
+    client_props.style = ReplicationStyle::kActive;
+    client_props.initial_replicas = 2;
+    client_props.minimum_replicas = 1;
+    client_group = sys->deploy(
+        "driver", "IDL:Driver:1.0", client_props, {NodeId{1}, NodeId{2}},
+        [](NodeId) { return std::make_shared<core::NullServant>(); });
+    sys->bind_client(NodeId{1}, client_group, server);
+    sys->bind_client(NodeId{2}, client_group, server);
+    ref1 = sys->client(NodeId{1}, server);
+    ref2 = sys->client(NodeId{2}, server);
+  }
+
+  /// Fires the same logical invocation from both client replicas; waits for
+  /// the reply at replica 1 (the paper's "existing" replica).
+  bool invoke_from_both(std::int32_t delta) {
+    bool done1 = false;
+    ref1.invoke("inc", CounterServant::encode_i32(delta),
+                [&done1](const orb::ReplyOutcome&) { done1 = true; });
+    ref2.invoke("inc", CounterServant::encode_i32(delta),
+                [](const orb::ReplyOutcome&) {});
+    return sys->run_until([&] { return done1; }, Duration(300'000'000));
+  }
+
+  std::unique_ptr<System> sys;
+  GroupId server;
+  GroupId client_group;
+  std::shared_ptr<CounterServant> servant;
+  orb::ObjectRef ref1, ref2;
+};
+
+TEST(RequestIdSync, ConsistentIdsAfterClientRecovery) {
+  ReplicatedClientRig rig(/*sync_request_ids=*/true);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(rig.invoke_from_both(1));
+  EXPECT_EQ(rig.servant->value(), 5) << "duplicates must be suppressed";
+
+  // Fail and recover client replica 2.
+  rig.sys->kill_replica(NodeId{2}, rig.client_group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        const auto* e = rig.sys->mech(NodeId{1}).groups().find(rig.client_group);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(300'000'000)));
+  rig.sys->relaunch_replica(NodeId{2}, rig.client_group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.client_group); },
+      Duration(500'000'000)));
+  // The recovered replica's app re-resolves its reference (fresh process).
+  rig.ref2 = rig.sys->client(NodeId{2}, rig.server);
+
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rig.invoke_from_both(1));
+
+  // Exactly once per logical operation...
+  EXPECT_EQ(rig.servant->value(), 8);
+  // ...and nobody's ORB discarded a reply or is stuck waiting (Fig. 4 cured).
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        return rig.sys->orb(NodeId{1}).outstanding_requests() == 0 &&
+               rig.sys->orb(NodeId{2}).outstanding_requests() == 0;
+      },
+      Duration(300'000'000)));
+  EXPECT_EQ(rig.sys->orb(NodeId{1}).stats().replies_discarded_request_id, 0u);
+  EXPECT_EQ(rig.sys->orb(NodeId{2}).stats().replies_discarded_request_id, 0u);
+}
+
+TEST(RequestIdSync, Figure4FailureWithoutSynchronization) {
+  ReplicatedClientRig rig(/*sync_request_ids=*/false);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(rig.invoke_from_both(1));
+  EXPECT_EQ(rig.servant->value(), 5);
+
+  rig.sys->kill_replica(NodeId{2}, rig.client_group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        const auto* e = rig.sys->mech(NodeId{1}).groups().find(rig.client_group);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(300'000'000)));
+  rig.sys->relaunch_replica(NodeId{2}, rig.client_group);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.client_group); },
+      Duration(500'000'000)));
+  rig.ref2 = rig.sys->client(NodeId{2}, rig.server);
+
+  // Both replicas issue the next logical invocation. Their ORBs now hold
+  // different request_id counters (the recovered one restarted near 0), so
+  // the copies no longer carry the same identifier.
+  ASSERT_TRUE(rig.invoke_from_both(1));
+  rig.sys->run_for(Duration(100'000'000));
+
+  // The recovered replica reused an old id: its request is either treated
+  // as a duplicate or its reply cannot match — it waits forever (Fig. 4).
+  EXPECT_GE(rig.sys->orb(NodeId{2}).outstanding_requests(), 1u)
+      << "the recovered client replica should be stuck waiting for a reply";
+}
+
+/// Same-vendor client and a replicated server: exercises the short-object-
+/// key shortcut negotiated in the initial handshake (§4.2.2).
+struct HandshakeRig {
+  explicit HandshakeRig(bool replay_handshakes) {
+    SystemConfig cfg;
+    cfg.nodes = 4;
+    cfg.mechanisms.replay_handshakes = replay_handshakes;
+    sys = std::make_unique<System>(cfg);
+
+    FtProperties props;
+    props.style = ReplicationStyle::kActive;
+    props.initial_replicas = 2;
+    props.minimum_replicas = 1;
+    server = sys->deploy("svc", "IDL:Svc:1.0", props, {NodeId{1}, NodeId{2}},
+                         [this](NodeId n) {
+                           auto s = std::make_shared<CounterServant>(sys->sim());
+                           servants[n.value] = s;
+                           return s;
+                         });
+    sys->deploy_client("app", NodeId{4}, {server});
+    ref = sys->client(NodeId{4}, server);
+  }
+
+  bool invoke(std::int32_t delta) {
+    bool done = false;
+    ref.invoke("inc", CounterServant::encode_i32(delta),
+               [&done](const orb::ReplyOutcome&) { done = true; });
+    return sys->run_until([&] { return done; }, Duration(300'000'000));
+  }
+
+  std::unique_ptr<System> sys;
+  GroupId server;
+  std::array<std::shared_ptr<CounterServant>, 5> servants{};
+  orb::ObjectRef ref;
+};
+
+TEST(HandshakeReplay, ClientUsesShortKeyAfterHandshake) {
+  HandshakeRig rig(/*replay_handshakes=*/true);
+  ASSERT_TRUE(rig.invoke(1));
+  // The client ORB negotiated a short key with the (logical) server.
+  auto short_key = orb::testing::OrbProbe::negotiated_short_key(
+      rig.sys->orb(NodeId{4}), orb::group_endpoint(rig.server));
+  ASSERT_TRUE(short_key.has_value());
+  EXPECT_FALSE(short_key->empty());
+  // And the handshake was stored by the mechanisms for future recovery.
+  EXPECT_GE(rig.sys->mech(NodeId{1}).stats().handshakes_stored, 1u);
+}
+
+TEST(HandshakeReplay, NewServerReplicaServesNegotiatedRequests) {
+  HandshakeRig rig(/*replay_handshakes=*/true);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rig.invoke(1));
+
+  rig.sys->kill_replica(NodeId{2}, rig.server);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        const auto* e = rig.sys->mech(NodeId{1}).groups().find(rig.server);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(300'000'000)));
+  rig.sys->relaunch_replica(NodeId{2}, rig.server);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.server); },
+      Duration(500'000'000)));
+  EXPECT_GE(rig.sys->mech(NodeId{2}).stats().handshakes_injected, 1u);
+
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(rig.invoke(1));
+  // The recovered replica interpreted the short-key requests and kept up.
+  EXPECT_EQ(rig.servants[2]->value(), 5);
+  EXPECT_EQ(rig.sys->orb(NodeId{2}).stats().requests_discarded_unknown_key, 0u);
+}
+
+TEST(HandshakeReplay, WithoutReplayNewReplicaDiscardsRequests) {
+  HandshakeRig rig(/*replay_handshakes=*/false);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rig.invoke(1));
+
+  rig.sys->kill_replica(NodeId{2}, rig.server);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] {
+        const auto* e = rig.sys->mech(NodeId{1}).groups().find(rig.server);
+        return e != nullptr && e->members.size() == 1;
+      },
+      Duration(300'000'000)));
+  rig.sys->relaunch_replica(NodeId{2}, rig.server);
+  ASSERT_TRUE(rig.sys->run_until(
+      [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.server); },
+      Duration(500'000'000)));
+
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(rig.invoke(1));
+  rig.sys->run_for(Duration(50'000'000));
+
+  // The client still gets replies (the existing replica serves), but the
+  // recovered replica cannot interpret the negotiated requests: it discards
+  // them and its state diverges — the paper's §4.2.2 failure.
+  EXPECT_GE(rig.sys->orb(NodeId{2}).stats().requests_discarded_unknown_key, 1u);
+  EXPECT_LT(rig.servants[2]->value(), 5);
+  EXPECT_EQ(rig.servants[1]->value(), 5);
+}
+
+TEST(HandshakeReplay, CodeSetsNegotiatedFromIor) {
+  HandshakeRig rig(/*replay_handshakes=*/true);
+  ASSERT_TRUE(rig.invoke(1));
+  auto cs = orb::testing::OrbProbe::client_char_code_set(rig.sys->orb(NodeId{4}),
+                                                         orb::group_endpoint(rig.server));
+  ASSERT_TRUE(cs.has_value());
+  // Same-vendor ORBs share the native char code set.
+  EXPECT_EQ(*cs, rig.sys->config().orb.code_sets.native_char);
+}
+
+}  // namespace
+}  // namespace eternal

@@ -1,0 +1,189 @@
+// Property sweeps (TEST_P): the recovery invariants hold across replication
+// styles, state sizes, replica counts and fault timings.
+//
+// Invariants checked after every scenario:
+//   I1  exactly-once: the servers' applied-operation count equals the
+//       client's completed-invocation count;
+//   I2  convergence: all live replicas end in the same application state;
+//   I3  liveness: no client invocation is left waiting forever;
+//   I4  recovery transfers all three kinds of state (no ORB-level discards).
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "support/counter_servant.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+struct Scenario {
+  ReplicationStyle style;
+  std::size_t state_bytes;
+  std::size_t replicas;
+};
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  std::string out = core::to_string(info.param.style);
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out + "_" + std::to_string(info.param.state_bytes) + "B_" +
+         std::to_string(info.param.replicas) + "r";
+}
+
+class RecoveryProperty : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RecoveryProperty, FaultAndRecoveryPreserveInvariants) {
+  const Scenario sc = GetParam();
+  SystemConfig cfg;
+  cfg.nodes = sc.replicas + 2;
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = sc.style;
+  props.initial_replicas = sc.style == ReplicationStyle::kColdPassive ? 1 : sc.replicas;
+  props.minimum_replicas = 1;
+  props.checkpoint_interval = Duration(10'000'000);
+  props.fault_monitoring_interval = Duration(5'000'000);
+
+  std::vector<NodeId> placement;
+  const std::size_t placed =
+      sc.style == ReplicationStyle::kColdPassive ? 1 : sc.replicas;
+  for (std::size_t i = 1; i <= placed; ++i) placement.push_back(NodeId{(std::uint32_t)i});
+  std::vector<NodeId> backups;
+  for (std::size_t i = 2; i <= sc.replicas + 1; ++i) backups.push_back(NodeId{(std::uint32_t)i});
+
+  std::array<std::shared_ptr<CounterServant>, 12> servants{};
+  const GroupId group = sys.deploy(
+      "obj", "IDL:Obj:1.0", props, placement,
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim(), sc.state_bytes,
+                                                  Duration(100'000));
+        servants[n.value] = s;
+        return s;
+      },
+      backups);
+  const NodeId client_node{static_cast<std::uint32_t>(sc.replicas + 2)};
+  sys.deploy_client("app", client_node, {group});
+  orb::ObjectRef ref = sys.client(client_node, group);
+
+  int completed = 0;
+  auto invoke = [&] {
+    bool done = false;
+    ref.invoke("inc", CounterServant::encode_i32(1), [&](const orb::ReplyOutcome&) {
+      done = true;
+      ++completed;
+    });
+    return sys.run_until([&] { return done; }, Duration(3'000'000'000));
+  };
+
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(invoke());
+
+  // Fault: kill the executing replica (node 1 executes in every style).
+  sys.kill_replica(NodeId{1}, group);
+
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(invoke()) << "post-fault invocation " << i;
+
+  // For active replication also exercise the re-launch recovery path.
+  if (sc.style == ReplicationStyle::kActive) {
+    ASSERT_TRUE(sys.run_until(
+        [&] {
+          const auto* e = sys.mech(NodeId{2}).groups().find(group);
+          return e != nullptr && e->replica_on(NodeId{1}) == nullptr;
+        },
+        Duration(1'000'000'000)));
+    sys.relaunch_replica(NodeId{1}, group);
+    ASSERT_TRUE(sys.run_until([&] { return sys.mech(NodeId{1}).hosts_operational(group); },
+                              Duration(5'000'000'000)));
+    for (int i = 0; i < 2; ++i) ASSERT_TRUE(invoke());
+  }
+  sys.run_for(Duration(100'000'000));
+
+  // I3: nothing is stuck.
+  for (NodeId n : sys.all_nodes()) {
+    EXPECT_EQ(sys.orb(n).outstanding_requests(), 0u) << "node " << n.value;
+  }
+
+  // I1+I2: all live replicas hold exactly `completed`.
+  int live = 0;
+  for (std::uint32_t n = 1; n <= sc.replicas + 1; ++n) {
+    if (!sys.mech(NodeId{n}).hosts_operational(group)) continue;
+    ASSERT_NE(servants[n], nullptr);
+    EXPECT_EQ(servants[n]->value(), completed) << "replica on node " << n;
+    ++live;
+  }
+  EXPECT_GE(live, 1);
+
+  // I4: no ORB-level state mismatches anywhere.
+  for (NodeId n : sys.all_nodes()) {
+    EXPECT_EQ(sys.orb(n).stats().replies_discarded_request_id, 0u) << "node " << n.value;
+    EXPECT_EQ(sys.orb(n).stats().requests_discarded_unknown_key, 0u) << "node " << n.value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryProperty,
+    ::testing::Values(
+        Scenario{ReplicationStyle::kActive, 10, 2},
+        Scenario{ReplicationStyle::kActive, 10'000, 2},
+        Scenario{ReplicationStyle::kActive, 150'000, 2},
+        Scenario{ReplicationStyle::kActive, 10'000, 3},
+        Scenario{ReplicationStyle::kActive, 10, 4},
+        Scenario{ReplicationStyle::kWarmPassive, 10, 2},
+        Scenario{ReplicationStyle::kWarmPassive, 10'000, 2},
+        Scenario{ReplicationStyle::kWarmPassive, 150'000, 2},
+        Scenario{ReplicationStyle::kWarmPassive, 10'000, 3},
+        Scenario{ReplicationStyle::kColdPassive, 10, 2},
+        Scenario{ReplicationStyle::kColdPassive, 10'000, 2},
+        Scenario{ReplicationStyle::kColdPassive, 150'000, 3}),
+    scenario_name);
+
+// Determinism: the whole distributed system replays identically per seed.
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismProperty, WholeSystemRunsAreReproducible) {
+  auto run = [&]() -> std::pair<std::int32_t, std::uint64_t> {
+    SystemConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = GetParam();
+    System sys(cfg);
+    FtProperties props;
+    props.style = ReplicationStyle::kActive;
+    props.initial_replicas = 2;
+    props.minimum_replicas = 1;
+    std::shared_ptr<CounterServant> servant;
+    const GroupId group = sys.deploy("obj", "IDL:Obj:1.0", props, {NodeId{1}, NodeId{2}},
+                                     [&](NodeId n) {
+                                       auto s = std::make_shared<CounterServant>(sys.sim());
+                                       if (n == NodeId{1}) servant = s;
+                                       return s;
+                                     });
+    sys.deploy_client("app", NodeId{4}, {group});
+    orb::ObjectRef ref = sys.client(NodeId{4}, group);
+    int completed = 0;
+    for (int i = 0; i < 6; ++i) {
+      bool done = false;
+      ref.invoke("inc", CounterServant::encode_i32(i), [&](const orb::ReplyOutcome&) {
+        done = true;
+        ++completed;
+      });
+      sys.run_until([&] { return done; }, Duration(1'000'000'000));
+      if (i == 2) sys.kill_replica(NodeId{2}, group);
+    }
+    return {servant->value(), sys.ethernet().stats().frames_sent};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty, ::testing::Values(1, 42, 0xE7E4));
+
+}  // namespace
+}  // namespace eternal

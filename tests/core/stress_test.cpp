@@ -1,0 +1,163 @@
+// Randomized fault-schedule stress (TEST_P over seeds): arbitrary
+// interleavings of invocations, kills, re-launches and idle gaps must
+// preserve the end-to-end invariants — exactly-once execution, replica
+// convergence, and no stuck clients.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "support/counter_servant.hpp"
+#include "util/rng.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+using util::Rng;
+
+struct StressCase {
+  std::uint64_t seed;
+  ReplicationStyle style;
+};
+
+std::string case_name(const ::testing::TestParamInfo<StressCase>& info) {
+  std::string s = core::to_string(info.param.style);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s + "_seed" + std::to_string(info.param.seed);
+}
+
+class RandomFaultSchedule : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(RandomFaultSchedule, InvariantsHoldUnderArbitraryFaults) {
+  const StressCase param = GetParam();
+  Rng rng(param.seed);
+
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.seed = param.seed;
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = param.style;
+  props.initial_replicas = 2;
+  props.minimum_replicas = 1;
+  props.checkpoint_interval = Duration(15'000'000);
+  props.fault_monitoring_interval = Duration(5'000'000);
+  std::array<std::shared_ptr<CounterServant>, 5> servants{};
+  const GroupId group = sys.deploy("svc", "IDL:Svc:1.0", props, {NodeId{1}, NodeId{2}},
+                                   [&](NodeId n) {
+                                     auto s = std::make_shared<CounterServant>(sys.sim(), 512);
+                                     servants[n.value] = s;
+                                     return s;
+                                   },
+                                   {NodeId{1}, NodeId{2}});
+  sys.deploy_client("app", NodeId{4}, {group});
+  orb::ObjectRef ref = sys.client(NodeId{4}, group);
+
+  int completed = 0;
+  std::array<bool, 3> alive{false, true, true};  // index 1,2 = nodes 1,2
+
+  auto live_count = [&] { return (alive[1] ? 1 : 0) + (alive[2] ? 1 : 0); };
+
+  const bool verbose = std::getenv("ETERNAL_STRESS_VERBOSE") != nullptr;
+  for (int step = 0; step < 40; ++step) {
+    if (verbose) {
+      std::fprintf(stderr, "[step %02d] completed=%d v1=%d(%d) v2=%d(%d)\n", step, completed,
+                   servants[1] ? servants[1]->value() : -1, alive[1] ? 1 : 0,
+                   servants[2] ? servants[2]->value() : -1, alive[2] ? 1 : 0);
+    }
+    const std::uint64_t dice = rng.below(10);
+    if (dice < 6) {
+      // Invoke and wait (the common case).
+      bool done = false;
+      ref.invoke("inc", CounterServant::encode_i32(1), [&](const orb::ReplyOutcome&) {
+        done = true;
+        ++completed;
+      });
+      ASSERT_TRUE(sys.run_until([&] { return done; }, Duration(5'000'000'000)))
+          << "stuck at step " << step << " (seed " << param.seed << ")";
+    } else if (dice < 8) {
+      // Kill a random live replica — but never destroy the group's state:
+      // active replication logs nothing (paper §3.3), so the last
+      // *operational* active replica must survive; passive styles can
+      // always be restored from the log.
+      if (live_count() > 1) {
+        const std::uint32_t victim = alive[1] && (rng.below(2) == 0 || !alive[2]) ? 1 : 2;
+        const std::uint32_t other = victim == 1 ? 2 : 1;
+        const bool safe = param.style != ReplicationStyle::kActive ||
+                          sys.mech(NodeId{other}).hosts_operational(group);
+        if (safe) {
+          sys.kill_replica(NodeId{victim}, group);
+          alive[victim] = false;
+        }
+      }
+    } else if (dice < 9) {
+      // Re-launch a dead replica (after its removal is agreed).
+      const std::uint32_t dead = !alive[1] ? 1 : (!alive[2] ? 2 : 0);
+      if (dead != 0) {
+        ASSERT_TRUE(sys.run_until(
+            [&] {
+              const auto* e = sys.mech(NodeId{4}).groups().find(group);
+              return e != nullptr && e->replica_on(NodeId{dead}) == nullptr;
+            },
+            Duration(2'000'000'000)));
+        sys.relaunch_replica(NodeId{dead}, group);
+        alive[dead] = true;
+      }
+    } else {
+      // Idle gap (lets checkpoints, recoveries, promotions complete).
+      sys.run_for(Duration(rng.between(1, 30) * 1'000'000));
+    }
+  }
+
+  // Settle: every live replica fully recovered.
+  for (std::uint32_t n = 1; n <= 2; ++n) {
+    if (!alive[n]) continue;
+    ASSERT_TRUE(sys.run_until([&] { return sys.mech(NodeId{n}).hosts_operational(group); },
+                              Duration(5'000'000'000)))
+        << "replica on node " << n << " never recovered (seed " << param.seed << ")";
+  }
+  sys.run_for(Duration(300'000'000));
+
+  // I1/I2: every operational replica holds exactly the completed count.
+  for (std::uint32_t n = 1; n <= 2; ++n) {
+    if (!sys.mech(NodeId{n}).hosts_operational(group)) continue;
+    EXPECT_EQ(servants[n]->value(), completed)
+        << "node " << n << " diverged (seed " << param.seed << ")";
+  }
+  // I3: the client is not stuck.
+  EXPECT_EQ(sys.orb(NodeId{4}).outstanding_requests(), 0u);
+  // I4: no ORB-level discards anywhere.
+  for (NodeId n : sys.all_nodes()) {
+    EXPECT_EQ(sys.orb(n).stats().replies_discarded_request_id, 0u) << n.value;
+    EXPECT_EQ(sys.orb(n).stats().requests_discarded_unknown_key, 0u) << n.value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomFaultSchedule,
+    ::testing::Values(StressCase{1, ReplicationStyle::kActive},
+                      StressCase{2, ReplicationStyle::kActive},
+                      StressCase{3, ReplicationStyle::kActive},
+                      StressCase{4, ReplicationStyle::kActive},
+                      StressCase{5, ReplicationStyle::kActive},
+                      StressCase{1, ReplicationStyle::kWarmPassive},
+                      StressCase{2, ReplicationStyle::kWarmPassive},
+                      StressCase{3, ReplicationStyle::kWarmPassive},
+                      StressCase{4, ReplicationStyle::kWarmPassive},
+                      StressCase{5, ReplicationStyle::kWarmPassive},
+                      StressCase{1, ReplicationStyle::kColdPassive},
+                      StressCase{2, ReplicationStyle::kColdPassive},
+                      StressCase{3, ReplicationStyle::kColdPassive}),
+    case_name);
+
+}  // namespace
+}  // namespace eternal

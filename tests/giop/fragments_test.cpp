@@ -1,0 +1,150 @@
+// GIOP 1.1 fragmentation/reassembly.
+#include <gtest/gtest.h>
+
+#include "giop/fragments.hpp"
+
+namespace eternal::giop {
+namespace {
+
+using util::Bytes;
+
+Bytes big_request(std::size_t body_bytes) {
+  Request req;
+  req.request_id = 77;
+  req.object_key = util::bytes_of("fragmented-object");
+  req.operation = "bulk_transfer";
+  req.body.assign(body_bytes, 0xB5);
+  return encode(req);
+}
+
+TEST(GiopFragments, SmallMessagePassesThroughAsOneUpgradedFrame) {
+  const Bytes framed = big_request(100);
+  auto frames = fragment_message(framed, 4096);
+  ASSERT_EQ(frames.size(), 1u);
+  auto v = version_of(frames[0]);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->minor, 1);
+  EXPECT_FALSE(has_more_fragments(frames[0]));
+  // Still decodable as the same request.
+  auto decoded = decode(frames[0]);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->as_request().request_id, 77u);
+}
+
+TEST(GiopFragments, LargeMessageSplitsWithinMaxFrame) {
+  const Bytes framed = big_request(10'000);
+  auto frames = fragment_message(framed, 1024);
+  ASSERT_GT(frames.size(), 5u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_LE(frames[i].size(), 1024u) << i;
+    EXPECT_EQ(has_more_fragments(frames[i]), i + 1 < frames.size()) << i;
+  }
+  // The initial frame keeps the Request type; the rest are Fragments.
+  EXPECT_EQ(frames[0][7], static_cast<std::uint8_t>(MsgType::kRequest));
+  for (std::size_t i = 1; i < frames.size(); ++i) EXPECT_EQ(frames[i][7], 7) << i;
+}
+
+class FragmentSizes : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(FragmentSizes, RoundTripReassemblesExactly) {
+  const auto [body, max_frame] = GetParam();
+  const Bytes framed = big_request(body);
+  auto frames = fragment_message(framed, max_frame);
+
+  Reassembler reassembler;
+  std::optional<Bytes> whole;
+  for (const Bytes& frame : frames) {
+    auto out = reassembler.feed(frame);
+    if (out.has_value()) {
+      EXPECT_FALSE(whole.has_value()) << "emitted twice";
+      whole = std::move(out);
+    }
+  }
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_FALSE(reassembler.in_progress());
+  EXPECT_EQ(reassembler.protocol_errors(), 0u);
+
+  auto decoded = decode(*whole);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->type(), MsgType::kRequest);
+  const Request& req = decoded->as_request();
+  EXPECT_EQ(req.request_id, 77u);
+  EXPECT_EQ(req.operation, "bulk_transfer");
+  EXPECT_EQ(req.body.size(), body);
+  EXPECT_TRUE(std::all_of(req.body.begin(), req.body.end(),
+                          [](std::uint8_t b) { return b == 0xB5; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FragmentSizes,
+                         ::testing::Values(std::make_tuple(0, 64),
+                                           std::make_tuple(100, 64),
+                                           std::make_tuple(1000, 256),
+                                           std::make_tuple(10'000, 1024),
+                                           std::make_tuple(100'000, 1518),
+                                           std::make_tuple(5'000, 5'000)));
+
+TEST(GiopFragments, UnfragmentedMessagePassesStraightThroughReassembler) {
+  Reassembler r;
+  const Bytes framed = big_request(50);
+  auto out = r.feed(framed);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, framed);
+}
+
+TEST(GiopFragments, OrphanFragmentIsAProtocolError) {
+  const Bytes framed = big_request(5'000);
+  auto frames = fragment_message(framed, 1024);
+  Reassembler r;
+  EXPECT_FALSE(r.feed(frames[1]).has_value());  // fragment without a train
+  EXPECT_EQ(r.protocol_errors(), 1u);
+}
+
+TEST(GiopFragments, InterruptedTrainIsDropped) {
+  const Bytes framed = big_request(5'000);
+  auto frames = fragment_message(framed, 1024);
+  Reassembler r;
+  EXPECT_FALSE(r.feed(frames[0]).has_value());  // train starts
+  // A fresh unfragmented message interrupts it.
+  const Bytes other = big_request(10);
+  auto out = r.feed(other);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(r.protocol_errors(), 1u);
+  EXPECT_FALSE(r.in_progress());
+}
+
+TEST(GiopFragments, GarbageIntoReassemblerIsRejected) {
+  Reassembler r;
+  EXPECT_FALSE(r.feed(util::bytes_of("garbage")).has_value());
+  EXPECT_EQ(r.protocol_errors(), 1u);
+}
+
+TEST(GiopFragments, TooSmallMaxFrameThrows) {
+  EXPECT_THROW(fragment_message(big_request(100), 12), std::invalid_argument);
+  EXPECT_THROW(fragment_message(util::bytes_of("nope"), 1024), std::invalid_argument);
+}
+
+TEST(GiopFragments, VersionOfReportsHeader) {
+  EXPECT_FALSE(version_of(Bytes{}).has_value());
+  auto v = version_of(big_request(10));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->major, 1);
+  EXPECT_EQ(v->minor, 0);
+}
+
+TEST(GiopFragments, BackToBackTrains) {
+  Reassembler r;
+  for (int round = 0; round < 3; ++round) {
+    auto frames = fragment_message(big_request(3'000), 512);
+    std::optional<Bytes> whole;
+    for (const Bytes& f : frames) {
+      auto out = r.feed(f);
+      if (out) whole = std::move(out);
+    }
+    ASSERT_TRUE(whole.has_value()) << round;
+  }
+  EXPECT_EQ(r.trains_completed(), 3u);
+  EXPECT_EQ(r.protocol_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace eternal::giop

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "giop/ior.hpp"
+
+namespace eternal::giop {
+namespace {
+
+Ior sample_ior() {
+  Ior ior;
+  ior.type_id = "IDL:Bank/Account:1.0";
+  ior.host = util::NodeId{42};
+  ior.port = 2809;
+  ior.object_key = util::bytes_of("account-7");
+  ior.orb_vendor = 0xE7E41001;
+  ior.code_sets.native_char = CodeSet::kUtf8;
+  ior.code_sets.conversion_char = {CodeSet::kIso8859_1};
+  ior.code_sets.native_wchar = CodeSet::kUtf16;
+  return ior;
+}
+
+TEST(Ior, BinaryRoundTrip) {
+  const Ior ior = sample_ior();
+  auto decoded = decode_ior(encode_ior(ior));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ior);
+}
+
+TEST(Ior, StringifiedRoundTrip) {
+  const Ior ior = sample_ior();
+  const std::string text = to_string(ior);
+  EXPECT_EQ(text.rfind("IOR:", 0), 0u);
+  auto parsed = from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ior);
+}
+
+TEST(Ior, FromStringRejectsGarbage) {
+  EXPECT_FALSE(from_string("not-an-ior").has_value());
+  EXPECT_FALSE(from_string("IOR:zz").has_value());
+  EXPECT_FALSE(from_string("IOR:abc").has_value());  // odd hex length
+  EXPECT_FALSE(from_string("IOR:").has_value());
+}
+
+TEST(Ior, DecodeRejectsTruncated) {
+  util::Bytes raw = encode_ior(sample_ior());
+  raw.resize(raw.size() / 2);
+  EXPECT_FALSE(decode_ior(raw).has_value());
+  EXPECT_FALSE(decode_ior(util::Bytes{}).has_value());
+}
+
+TEST(Ior, EmptyConversionSetsSupported) {
+  Ior ior = sample_ior();
+  ior.code_sets.conversion_char.clear();
+  auto decoded = decode_ior(encode_ior(ior));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->code_sets.conversion_char.empty());
+}
+
+}  // namespace
+}  // namespace eternal::giop

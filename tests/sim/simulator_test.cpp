@@ -1,0 +1,129 @@
+// Discrete-event core: ordering, cancellation, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace eternal::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration(300), [&] { order.push_back(3); });
+  sim.schedule(Duration(100), [&] { order.push_back(1); });
+  sim.schedule(Duration(200), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint(300));
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration(50), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(Duration(10), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownOrFiredIsNoop) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(Duration(10), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  sim.cancel(id);              // already fired
+  sim.cancel(EventId{99999});  // never existed
+}
+
+TEST(Simulator, NestedSchedulingDuringEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration(10), [&] {
+    order.push_back(1);
+    sim.schedule(Duration(5), [&] { order.push_back(2); });
+    sim.schedule(Duration::zero(), [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), TimePoint(15));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(Duration(100), [&] { ++count; });
+  sim.schedule(Duration(200), [&] { ++count; });
+  sim.run_until(TimePoint(150));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), TimePoint(150));
+  sim.run_until(TimePoint(250));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(TimePoint(1000));
+  int count = 0;
+  sim.schedule(Duration(100), [&] { ++count; });
+  sim.run_for(Duration(50));
+  EXPECT_EQ(count, 0);
+  sim.run_for(Duration(50));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.run_until(TimePoint(500));
+  TimePoint fired_at{};
+  sim.schedule(Duration(-100), [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, TimePoint(500));
+}
+
+TEST(Simulator, RunHonorsEventLimit) {
+  Simulator sim;
+  std::function<void()> reschedule = [&] { sim.schedule(Duration(1), reschedule); };
+  sim.schedule(Duration(1), reschedule);
+  const std::size_t executed = sim.run(1000);
+  EXPECT_EQ(executed, 1000u);
+}
+
+TEST(Simulator, IdleReflectsPendingWork) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  const EventId id = sim.schedule(Duration(5), [] {});
+  EXPECT_FALSE(sim.idle());
+  sim.cancel(id);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(Duration(1), [&] { ++count; });
+  sim.schedule(Duration(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace eternal::sim

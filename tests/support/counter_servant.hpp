@@ -1,0 +1,84 @@
+// Shared test servant: a replicated counter with checkpointable state.
+//
+// Operations:
+//   "inc"  (i32 delta)  → i32 new value
+//   "get"  ()           → i32 value
+//   "note" (oneway)     → increments a side counter, returns nothing
+// State: struct { value: long, pad: octets } — `pad` lets tests and the
+// Figure-6 benchmark dial the application-level state to an exact size.
+#pragma once
+
+#include <cstdint>
+
+#include "core/checkpointable.hpp"
+#include "util/any.hpp"
+#include "util/cdr.hpp"
+
+namespace eternal::test_support {
+
+class CounterServant : public core::CheckpointableServant {
+ public:
+  explicit CounterServant(sim::Simulator& sim, std::size_t pad_bytes = 0,
+                          util::Duration op_time = util::Duration(100'000))
+      : core::CheckpointableServant(sim), pad_(pad_bytes, 0xAB), op_time_(op_time) {}
+
+  std::int32_t value() const noexcept { return value_; }
+  std::uint64_t notes() const noexcept { return notes_; }
+  std::uint64_t ops_served() const noexcept { return ops_served_; }
+  std::uint64_t set_state_calls() const noexcept { return set_state_calls_; }
+
+  util::Any get_state() override {
+    util::Any::Struct s;
+    s.emplace_back("value", util::Any::of_long(value_));
+    s.emplace_back("pad", util::Any::of_octets(pad_));
+    return util::Any::of_struct(std::move(s));
+  }
+
+  void set_state(const util::Any& state) override {
+    value_ = state.field("value").as_long();
+    pad_ = state.field("pad").as_octets();
+    ++set_state_calls_;
+  }
+
+  static util::Bytes encode_i32(std::int32_t v) {
+    util::CdrWriter w;
+    w.put_u8(static_cast<std::uint8_t>(w.order()));
+    w.put_i32(v);
+    return std::move(w).take();
+  }
+
+  static std::int32_t decode_i32(util::BytesView data) {
+    util::CdrReader r(data, static_cast<util::ByteOrder>(data[0] & 1));
+    (void)r.get_u8();
+    return r.get_i32();
+  }
+
+ protected:
+  util::Bytes serve_app(const std::string& operation, util::BytesView args) override {
+    ++ops_served_;
+    if (operation == "inc") {
+      value_ += decode_i32(args);
+      return encode_i32(value_);
+    }
+    if (operation == "get") {
+      return encode_i32(value_);
+    }
+    if (operation == "note") {
+      ++notes_;
+      return {};
+    }
+    throw orb::UserException{"IDL:BadOperation:1.0"};
+  }
+
+  util::Duration app_execution_time(const std::string&) const override { return op_time_; }
+
+ private:
+  std::int32_t value_ = 0;
+  util::Bytes pad_;
+  util::Duration op_time_;
+  std::uint64_t notes_ = 0;
+  std::uint64_t ops_served_ = 0;
+  std::uint64_t set_state_calls_ = 0;
+};
+
+}  // namespace eternal::test_support

@@ -1,0 +1,23 @@
+// Linked into every test binary: honours the ETERNAL_LOG environment
+// variable (trace/debug/info/warn/error) so failures can be diagnosed
+// without recompiling.
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace {
+struct LogEnvInit {
+  LogEnvInit() {
+    const char* level = std::getenv("ETERNAL_LOG");
+    if (level == nullptr) return;
+    using eternal::util::Log;
+    using eternal::util::LogLevel;
+    if (std::strcmp(level, "trace") == 0) Log::set_level(LogLevel::kTrace);
+    else if (std::strcmp(level, "debug") == 0) Log::set_level(LogLevel::kDebug);
+    else if (std::strcmp(level, "info") == 0) Log::set_level(LogLevel::kInfo);
+    else if (std::strcmp(level, "warn") == 0) Log::set_level(LogLevel::kWarn);
+    else if (std::strcmp(level, "error") == 0) Log::set_level(LogLevel::kError);
+  }
+} log_env_init;
+}  // namespace

@@ -1,0 +1,127 @@
+// Totem frame wire formats.
+#include <gtest/gtest.h>
+
+#include "totem/frames.hpp"
+
+namespace eternal::totem {
+namespace {
+
+using util::Bytes;
+using util::NodeId;
+using util::ViewId;
+
+TEST(TotemFrames, DataRoundTrip) {
+  DataFrame f;
+  f.view = ViewId{7};
+  f.origin = NodeId{3};
+  f.seq = 12345;
+  f.msg_id = 99;
+  f.frag_index = 2;
+  f.frag_count = 5;
+  f.retransmission = true;
+  f.payload = Bytes{1, 2, 3, 4};
+
+  auto decoded = decode_frame(encode_frame(NodeId{8}, f));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, NodeId{8});
+  ASSERT_EQ(decoded->type(), FrameType::kData);
+  const auto& d = std::get<DataFrame>(decoded->body);
+  EXPECT_EQ(d.view, ViewId{7});
+  EXPECT_EQ(d.origin, NodeId{3});
+  EXPECT_EQ(d.seq, 12345u);
+  EXPECT_EQ(d.msg_id, 99u);
+  EXPECT_EQ(d.frag_index, 2u);
+  EXPECT_EQ(d.frag_count, 5u);
+  EXPECT_TRUE(d.retransmission);
+  EXPECT_EQ(d.payload, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(TotemFrames, TokenRoundTrip) {
+  TokenFrame f;
+  f.view = ViewId{2};
+  f.target = NodeId{4};
+  f.round = 17;
+  f.next_seq = 100;
+  f.aru = 95;
+  f.aru_setter = NodeId{1};
+  f.rtr = {96, 97, 99};
+
+  auto decoded = decode_frame(encode_frame(NodeId{1}, f));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& t = std::get<TokenFrame>(decoded->body);
+  EXPECT_EQ(t.target, NodeId{4});
+  EXPECT_EQ(t.round, 17u);
+  EXPECT_EQ(t.next_seq, 100u);
+  EXPECT_EQ(t.aru, 95u);
+  EXPECT_EQ(t.aru_setter, NodeId{1});
+  EXPECT_EQ(t.rtr, (std::vector<std::uint64_t>{96, 97, 99}));
+}
+
+TEST(TotemFrames, MembershipFramesRoundTrip) {
+  JoinFrame join;
+  join.alive = {NodeId{1}, NodeId{3}};
+  join.highest_seq = 55;
+  join.highest_view = 4;
+  auto dj = decode_frame(encode_frame(NodeId{3}, join));
+  ASSERT_TRUE(dj.has_value());
+  EXPECT_EQ(std::get<JoinFrame>(dj->body).alive.size(), 2u);
+  EXPECT_EQ(std::get<JoinFrame>(dj->body).highest_seq, 55u);
+
+  CommitFrame commit;
+  commit.new_view = ViewId{5};
+  commit.members = {NodeId{1}, NodeId{2}};
+  commit.base_seq = 60;
+  auto dc = decode_frame(encode_frame(NodeId{1}, commit));
+  ASSERT_TRUE(dc.has_value());
+  EXPECT_EQ(std::get<CommitFrame>(dc->body).base_seq, 60u);
+
+  ReadyFrame ready;
+  ready.new_view = ViewId{5};
+  ready.missing = {58, 59};
+  auto dr = decode_frame(encode_frame(NodeId{2}, ready));
+  ASSERT_TRUE(dr.has_value());
+  EXPECT_EQ(std::get<ReadyFrame>(dr->body).missing.size(), 2u);
+
+  InstallFrame install;
+  install.new_view = ViewId{5};
+  install.members = {NodeId{1}, NodeId{2}};
+  install.next_seq = 61;
+  auto di = decode_frame(encode_frame(NodeId{1}, install));
+  ASSERT_TRUE(di.has_value());
+  EXPECT_EQ(std::get<InstallFrame>(di->body).next_seq, 61u);
+
+  auto dq = decode_frame(encode_frame(NodeId{9}, JoinRequestFrame{}));
+  ASSERT_TRUE(dq.has_value());
+  EXPECT_EQ(dq->type(), FrameType::kJoinRequest);
+  EXPECT_EQ(dq->sender, NodeId{9});
+}
+
+TEST(TotemFrames, MalformedInputRejected) {
+  EXPECT_FALSE(decode_frame(Bytes{}).has_value());
+  EXPECT_FALSE(decode_frame(Bytes{1, 2, 3}).has_value());
+  Bytes garbage(64, 0xFF);
+  EXPECT_FALSE(decode_frame(garbage).has_value());
+
+  // Corrupt the magic of a valid frame.
+  Bytes valid = encode_frame(NodeId{1}, JoinRequestFrame{});
+  valid[2] ^= 0xFF;
+  EXPECT_FALSE(decode_frame(valid).has_value());
+}
+
+TEST(TotemFrames, TruncatedFrameRejected) {
+  Bytes valid = encode_frame(NodeId{1}, DataFrame{.payload = Bytes(100, 1)});
+  valid.resize(valid.size() / 2);
+  EXPECT_FALSE(decode_frame(valid).has_value());
+}
+
+TEST(TotemFrames, DataOverheadIsStable) {
+  const std::size_t overhead = data_frame_overhead();
+  EXPECT_GT(overhead, 0u);
+  EXPECT_LT(overhead, 128u);
+  DataFrame f;
+  f.payload = Bytes(500, 1);
+  EXPECT_EQ(encode_frame(NodeId{1}, f).size(), overhead + 500);
+}
+
+}  // namespace
+}  // namespace eternal::totem

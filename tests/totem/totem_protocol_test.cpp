@@ -1,0 +1,198 @@
+// Deeper Totem protocol behaviour: stats, garbage collection, concurrent
+// crashes, interrupted large transfers, backlog handling, view metadata.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/ethernet.hpp"
+#include "totem/totem.hpp"
+
+namespace eternal::totem {
+namespace {
+
+using sim::Ethernet;
+using sim::EthernetConfig;
+using sim::Simulator;
+using util::Bytes;
+using util::Duration;
+using util::NodeId;
+
+struct Sink : TotemListener {
+  std::vector<Delivery> delivered;
+  std::vector<View> views;
+  void on_deliver(const Delivery& d) override { delivered.push_back(d); }
+  void on_view_change(const View& v) override { views.push_back(v); }
+};
+
+struct Ring {
+  explicit Ring(std::size_t n, TotemConfig cfg = TotemConfig{}) {
+    ether = std::make_unique<Ethernet>(sim, EthernetConfig{});
+    for (std::uint32_t i = 1; i <= n; ++i) ids.push_back(NodeId{i});
+    sinks.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<TotemNode>(sim, *ether, ids[i], cfg, &sinks[i]));
+    }
+    for (auto& node : nodes) node->start(ids);
+    sim.run_for(Duration(500'000));
+  }
+
+  Simulator sim;
+  std::unique_ptr<Ethernet> ether;
+  std::vector<NodeId> ids;
+  std::vector<Sink> sinks;
+  std::vector<std::unique_ptr<TotemNode>> nodes;
+};
+
+TEST(TotemProtocol, StatsAccumulate) {
+  Ring ring(3);
+  for (int i = 0; i < 5; ++i) ring.nodes[0]->multicast(Bytes{1, 2, 3});
+  ring.sim.run_for(Duration(5'000'000));
+  const TotemStats& s = ring.nodes[0]->stats();
+  EXPECT_EQ(s.multicasts, 5u);
+  EXPECT_EQ(s.fragments_sent, 5u);
+  EXPECT_EQ(s.deliveries, 5u);
+  EXPECT_GE(s.tokens_handled, 1u);
+  EXPECT_GE(s.view_changes, 1u);  // the bootstrap view
+  EXPECT_EQ(ring.nodes[1]->stats().deliveries, 5u);
+}
+
+TEST(TotemProtocol, BacklogDrainsOverMultipleTokenVisits) {
+  TotemConfig cfg;
+  cfg.max_frags_per_token = 4;  // tight flow control
+  Ring ring(3, cfg);
+  Bytes big(20'000, 0x11);  // ~14 fragments -> several visits
+  ring.nodes[1]->multicast(big);
+  EXPECT_GT(ring.nodes[1]->backlog(), 4u);
+  ring.sim.run_for(Duration(30'000'000));
+  EXPECT_EQ(ring.nodes[1]->backlog(), 0u);
+  ASSERT_EQ(ring.sinks[0].delivered.size(), 1u);
+  EXPECT_EQ(ring.sinks[0].delivered[0].payload, big);
+}
+
+TEST(TotemProtocol, ViewMetadataOnCrash) {
+  Ring ring(4);
+  ring.nodes[2]->crash();
+  ring.sim.run_for(Duration(30'000'000));
+  ASSERT_GE(ring.sinks[0].views.size(), 2u);
+  const View& v = ring.sinks[0].views.back();
+  EXPECT_GT(v.id.value, 1u);
+  EXPECT_NE(v.ring_id, 0u);
+  EXPECT_NE(v.ring_id, ring.sinks[0].views.front().ring_id);
+  EXPECT_TRUE(v.joined.empty());
+  ASSERT_EQ(v.departed.size(), 1u);
+  EXPECT_EQ(v.departed[0], NodeId{3});
+  EXPECT_FALSE(v.self_rejoined_fresh);
+}
+
+TEST(TotemProtocol, TwoSimultaneousCrashesSurvived) {
+  Ring ring(5);
+  ring.nodes[0]->multicast(util::bytes_of("pre"));
+  ring.sim.run_for(Duration(2'000'000));
+  ring.nodes[3]->crash();
+  ring.nodes[4]->crash();
+  ring.sim.run_for(Duration(50'000'000));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.nodes[static_cast<std::size_t>(i)]->operational()) << i;
+    EXPECT_EQ(ring.nodes[static_cast<std::size_t>(i)]->view().members.size(), 3u);
+  }
+  ring.nodes[1]->multicast(util::bytes_of("post"));
+  ring.sim.run_for(Duration(5'000'000));
+  EXPECT_EQ(util::text_of(ring.sinks[2].delivered.back().payload), "post");
+}
+
+TEST(TotemProtocol, SenderCrashMidLargeTransferDropsPartialEverywhere) {
+  TotemConfig cfg;
+  cfg.max_frags_per_token = 2;  // force many token visits for the transfer
+  Ring ring(3, cfg);
+  ring.nodes[0]->multicast(Bytes(50'000, 0xAA));  // ~35 fragments
+  ring.sim.run_for(Duration(1'500'000));          // some fragments sequenced
+  ring.nodes[0]->crash();
+  ring.sim.run_for(Duration(100'000'000));
+
+  // No survivor may deliver a truncated message.
+  for (std::size_t i = 1; i < 3; ++i) {
+    for (const Delivery& d : ring.sinks[i].delivered) {
+      EXPECT_EQ(d.payload.size(), 50'000u) << "truncated delivery at node " << i;
+    }
+  }
+  // The survivors still form a working ring.
+  ring.nodes[1]->multicast(util::bytes_of("alive"));
+  ring.sim.run_for(Duration(5'000'000));
+  EXPECT_EQ(util::text_of(ring.sinks[2].delivered.back().payload), "alive");
+}
+
+TEST(TotemProtocol, StoreGarbageCollectedByTokenAru) {
+  TotemConfig cfg;
+  cfg.gc_margin = 8;
+  Ring ring(3, cfg);
+  for (int i = 0; i < 200; ++i) ring.nodes[0]->multicast(Bytes{static_cast<uint8_t>(i)});
+  ring.sim.run_for(Duration(100'000'000));
+  // All delivered; retransmit stores pruned behind the aru margin. We can't
+  // reach into the store, but a crash+rejoin proves no stale state leaks:
+  ring.nodes[2]->crash();
+  ring.sim.run_for(Duration(30'000'000));
+  ring.nodes[2]->join();
+  const bool rejoined = [&] {
+    for (int i = 0; i < 300; ++i) {
+      ring.sim.run_for(Duration(1'000'000));
+      if (ring.nodes[2]->operational()) return true;
+    }
+    return false;
+  }();
+  ASSERT_TRUE(rejoined);
+  const std::size_t before = ring.sinks[2].delivered.size();
+  ring.nodes[0]->multicast(util::bytes_of("fresh"));
+  ring.sim.run_for(Duration(5'000'000));
+  EXPECT_EQ(ring.sinks[2].delivered.size(), before + 1);
+}
+
+TEST(TotemProtocol, JoinerDoesNotReceiveHistory) {
+  Ring ring(3);
+  for (int i = 0; i < 10; ++i) ring.nodes[0]->multicast(util::bytes_of(std::to_string(i)));
+  ring.sim.run_for(Duration(10'000'000));
+  ring.nodes[2]->crash();
+  ring.sim.run_for(Duration(30'000'000));
+
+  const std::size_t old_count = ring.sinks[2].delivered.size();
+  ring.nodes[2]->join();
+  for (int i = 0; i < 300 && !ring.nodes[2]->operational(); ++i) {
+    ring.sim.run_for(Duration(1'000'000));
+  }
+  ASSERT_TRUE(ring.nodes[2]->operational());
+  ring.sim.run_for(Duration(10'000'000));
+  // History is not replayed to the fresh joiner (Eternal's state transfer
+  // covers it at the application level).
+  EXPECT_EQ(ring.sinks[2].delivered.size(), old_count);
+}
+
+TEST(TotemProtocol, FragmentCapacityMatchesEthernet) {
+  Ring ring(2);
+  const std::size_t cap = ring.nodes[0]->fragment_capacity();
+  EXPECT_GT(cap, 1000u);
+  EXPECT_LT(cap, ring.ether->max_payload());
+  // A payload exactly at capacity travels as one fragment.
+  ring.nodes[0]->multicast(Bytes(cap, 1));
+  ring.sim.run_for(Duration(5'000'000));
+  EXPECT_EQ(ring.nodes[0]->stats().fragments_sent, 1u);
+  // One byte more: two fragments.
+  ring.nodes[0]->multicast(Bytes(cap + 1, 1));
+  ring.sim.run_for(Duration(5'000'000));
+  EXPECT_EQ(ring.nodes[0]->stats().fragments_sent, 3u);
+}
+
+TEST(TotemProtocol, StartRequiresSelfInMembership) {
+  Simulator sim;
+  Ethernet ether(sim, EthernetConfig{});
+  Sink sink;
+  TotemNode node(sim, ether, NodeId{9}, TotemConfig{}, &sink);
+  EXPECT_THROW(node.start({NodeId{1}, NodeId{2}}), std::invalid_argument);
+}
+
+TEST(TotemProtocol, DoubleStartThrows) {
+  Ring ring(2);
+  EXPECT_THROW(ring.nodes[0]->start(ring.ids), std::logic_error);
+  EXPECT_THROW(ring.nodes[0]->join(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eternal::totem

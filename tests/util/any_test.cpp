@@ -1,0 +1,104 @@
+// The CORBA-any-like state container: every kind, nesting, wire round
+// trips, and type errors (the InvalidState precursor).
+#include <gtest/gtest.h>
+
+#include "util/any.hpp"
+
+namespace eternal::util {
+namespace {
+
+TEST(Any, DefaultIsNull) {
+  Any a;
+  EXPECT_TRUE(a.is_null());
+  EXPECT_EQ(a.kind(), AnyKind::kNull);
+}
+
+TEST(Any, ScalarAccessors) {
+  EXPECT_EQ(Any::of_bool(true).as_bool(), true);
+  EXPECT_EQ(Any::of_long(-7).as_long(), -7);
+  EXPECT_EQ(Any::of_ulonglong(1ULL << 60).as_ulonglong(), 1ULL << 60);
+  EXPECT_DOUBLE_EQ(Any::of_double(2.75).as_double(), 2.75);
+  EXPECT_EQ(Any::of_string("state").as_string(), "state");
+}
+
+TEST(Any, WrongKindThrows) {
+  EXPECT_THROW(Any::of_long(1).as_string(), CdrError);
+  EXPECT_THROW(Any::of_string("x").as_long(), CdrError);
+  EXPECT_THROW(Any().as_bool(), CdrError);
+}
+
+TEST(Any, StructFieldLookup) {
+  Any::Struct s;
+  s.emplace_back("alpha", Any::of_long(1));
+  s.emplace_back("beta", Any::of_string("two"));
+  const Any a = Any::of_struct(std::move(s));
+  EXPECT_EQ(a.field("alpha").as_long(), 1);
+  EXPECT_EQ(a.field("beta").as_string(), "two");
+  EXPECT_THROW(a.field("gamma"), CdrError);
+}
+
+TEST(Any, DeepNestingRoundTrip) {
+  Any::Sequence inner;
+  inner.push_back(Any::of_long(1));
+  inner.push_back(Any::of_string("mid"));
+  Any::Struct s;
+  s.emplace_back("list", Any::of_sequence(std::move(inner)));
+  s.emplace_back("blob", Any::of_octets(Bytes{9, 8, 7}));
+  Any::Struct outer;
+  outer.emplace_back("payload", Any::of_struct(std::move(s)));
+  outer.emplace_back("version", Any::of_long(3));
+  const Any a = Any::of_struct(std::move(outer));
+
+  const Any b = Any::from_bytes(a.to_bytes());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.field("payload").field("list").as_sequence()[1].as_string(), "mid");
+}
+
+TEST(Any, EmptyContainersRoundTrip) {
+  EXPECT_EQ(Any::from_bytes(Any::of_sequence({}).to_bytes()).as_sequence().size(), 0u);
+  EXPECT_EQ(Any::from_bytes(Any::of_struct({}).to_bytes()).as_struct().size(), 0u);
+  EXPECT_EQ(Any::from_bytes(Any::of_octets({}).to_bytes()).as_octets().size(), 0u);
+}
+
+TEST(Any, NullRoundTrip) {
+  EXPECT_TRUE(Any::from_bytes(Any().to_bytes()).is_null());
+}
+
+TEST(Any, EqualityIsDeep) {
+  Any::Struct s1, s2;
+  s1.emplace_back("v", Any::of_long(5));
+  s2.emplace_back("v", Any::of_long(5));
+  EXPECT_EQ(Any::of_struct(s1), Any::of_struct(s2));
+  s2[0].second = Any::of_long(6);
+  EXPECT_NE(Any::of_struct(s1), Any::of_struct(s2));
+}
+
+TEST(Any, MalformedBufferThrows) {
+  EXPECT_THROW(Any::from_bytes(Bytes{}), CdrError);
+  EXPECT_THROW(Any::from_bytes(Bytes{0, 99}), CdrError);  // bad kind tag
+}
+
+TEST(Any, EncodedSizeTracksPayload) {
+  const Any small = Any::of_octets(Bytes(10, 1));
+  const Any large = Any::of_octets(Bytes(100'000, 1));
+  EXPECT_GT(large.encoded_size(), small.encoded_size() + 99'000);
+}
+
+class AnyPadSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AnyPadSizes, LargeStateRoundTripsExactly) {
+  Bytes pad(GetParam(), 0x3C);
+  Any::Struct s;
+  s.emplace_back("value", Any::of_long(42));
+  s.emplace_back("pad", Any::of_octets(pad));
+  const Any a = Any::of_struct(std::move(s));
+  const Any b = Any::from_bytes(a.to_bytes());
+  EXPECT_EQ(b.field("pad").as_octets().size(), GetParam());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AnyPadSizes,
+                         ::testing::Values(0, 1, 10, 1518, 65'536, 350'000));
+
+}  // namespace
+}  // namespace eternal::util

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace eternal::util {
+namespace {
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a{1, 2};
+  append(a, Bytes{3, 4, 5});
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Bytes, TextRoundTrip) {
+  const Bytes b = bytes_of("hello GIOP");
+  EXPECT_EQ(text_of(b), "hello GIOP");
+}
+
+TEST(Bytes, HexRendersAndTruncates) {
+  EXPECT_EQ(to_hex(Bytes{0xDE, 0xAD}), "dead");
+  EXPECT_EQ(to_hex(Bytes{1, 2, 3, 4}, 2), "0102..");
+}
+
+TEST(Bytes, Fnv1aIsStableAndSpreads) {
+  const std::uint64_t h1 = fnv1a(bytes_of("abc"));
+  EXPECT_EQ(h1, fnv1a(bytes_of("abc")));
+  EXPECT_NE(h1, fnv1a(bytes_of("abd")));
+  EXPECT_NE(fnv1a(Bytes{}), 0u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(Rng(7).next(), c.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const auto v = rng.between(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace eternal::util

@@ -1,0 +1,160 @@
+// Workload drivers and latency statistics.
+#include <gtest/gtest.h>
+
+#include "orb/sync_servant.hpp"
+#include "orb/transport.hpp"
+#include "workload/drivers.hpp"
+
+namespace eternal::workload {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::NodeId;
+
+TEST(LatencyProfile, EmptyIsZero) {
+  LatencyProfile p;
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.mean(), Duration::zero());
+  EXPECT_EQ(p.percentile(99), Duration::zero());
+  EXPECT_EQ(p.max(), Duration::zero());
+}
+
+TEST(LatencyProfile, MeanAndPercentiles) {
+  LatencyProfile p;
+  for (int i = 1; i <= 100; ++i) p.record(Duration(i * 1000));
+  EXPECT_EQ(p.count(), 100u);
+  EXPECT_EQ(p.mean(), Duration(50'500));
+  EXPECT_EQ(p.percentile(0), Duration(1000));
+  EXPECT_EQ(p.percentile(100), Duration(100'000));
+  EXPECT_NEAR(static_cast<double>(p.percentile(50).count()), 50'000.0, 1'000.0);
+  EXPECT_NEAR(static_cast<double>(p.percentile(99).count()), 99'000.0, 1'000.0);
+  EXPECT_EQ(p.max(), Duration(100'000));
+}
+
+class EchoServant : public orb::SyncServant {
+ public:
+  using orb::SyncServant::SyncServant;
+  int calls = 0;
+
+ protected:
+  Bytes serve(const std::string&, util::BytesView args) override {
+    ++calls;
+    return Bytes(args.begin(), args.end());
+  }
+  Duration execution_time(const std::string&) const override { return Duration(100'000); }
+};
+
+struct DriverRig {
+  sim::Simulator sim;
+  orb::TcpNetwork net{sim};
+  orb::Orb client{sim, NodeId{1}, orb::OrbConfig{}};
+  orb::Orb server{sim, NodeId{2}, orb::OrbConfig{}};
+  std::shared_ptr<EchoServant> servant = std::make_shared<EchoServant>(sim);
+  orb::ObjectRef ref;
+
+  DriverRig() {
+    client.plug_transport(net.bind(client.local_endpoint(), client));
+    server.plug_transport(net.bind(server.local_endpoint(), server));
+    ref = client.resolve(server.root_poa().activate("echo", servant, "IDL:Echo:1.0"));
+  }
+};
+
+TEST(ClosedLoopDriver, KeepsWindowInFlight) {
+  DriverRig rig;
+  ClosedLoopDriver driver(rig.sim, rig.ref, "op", Bytes{1}, /*window=*/1);
+  driver.start();
+  rig.sim.run_until(rig.sim.now() + Duration(10'000'000));
+  driver.stop();
+  rig.sim.run_until(rig.sim.now() + Duration(5'000'000));
+  // ~100 us exec + ~300 us round trip → roughly 20-30 completions in 10 ms.
+  EXPECT_GT(driver.completed(), 10u);
+  EXPECT_LT(driver.completed(), 60u);
+  EXPECT_EQ(driver.completed(), static_cast<std::uint64_t>(rig.servant->calls));
+  EXPECT_GT(driver.latency().mean(), Duration(100'000));
+}
+
+TEST(ClosedLoopDriver, WiderWindowPipelines) {
+  DriverRig rig1, rig4;
+  ClosedLoopDriver d1(rig1.sim, rig1.ref, "op", Bytes{1}, 1);
+  ClosedLoopDriver d4(rig4.sim, rig4.ref, "op", Bytes{1}, 4);
+  d1.start();
+  d4.start();
+  rig1.sim.run_until(rig1.sim.now() + Duration(20'000'000));
+  rig4.sim.run_until(rig4.sim.now() + Duration(20'000'000));
+  EXPECT_GT(d4.completed(), d1.completed());
+}
+
+TEST(ClosedLoopDriver, MaxReplyGapSeesStall) {
+  // A servant that hiccups once for 20 ms: the gap metric must expose it.
+  class Hiccup : public orb::SyncServant {
+   public:
+    using orb::SyncServant::SyncServant;
+    int calls = 0;
+
+   protected:
+    Bytes serve(const std::string&, util::BytesView) override {
+      ++calls;
+      return {};
+    }
+    Duration execution_time(const std::string&) const override {
+      return calls == 10 ? Duration(20'000'000) : Duration(100'000);
+    }
+  };
+
+  sim::Simulator sim;
+  orb::TcpNetwork net{sim};
+  orb::Orb client{sim, NodeId{1}, orb::OrbConfig{}};
+  orb::Orb server{sim, NodeId{2}, orb::OrbConfig{}};
+  client.plug_transport(net.bind(client.local_endpoint(), client));
+  server.plug_transport(net.bind(server.local_endpoint(), server));
+  auto servant = std::make_shared<Hiccup>(sim);
+  orb::ObjectRef ref =
+      client.resolve(server.root_poa().activate("h", servant, "IDL:H:1.0"));
+
+  ClosedLoopDriver driver(sim, ref, "op", Bytes{1});
+  driver.start();
+  sim.run_until(sim.now() + Duration(60'000'000));
+  driver.stop();
+  sim.run_until(sim.now() + Duration(5'000'000));
+  EXPECT_GT(driver.max_reply_gap(util::TimePoint{}), Duration(15'000'000));
+  EXPECT_LT(driver.max_reply_gap(util::TimePoint{}), Duration(30'000'000));
+}
+
+TEST(OpenLoopDriver, RateIsApproximatelyRespected) {
+  DriverRig rig;
+  OpenLoopDriver driver(rig.sim, rig.ref, "op", Bytes{1}, /*rate=*/2000.0);
+  driver.start();
+  rig.sim.run_until(rig.sim.now() + Duration(100'000'000));  // 100 ms
+  driver.stop();
+  rig.sim.run_until(rig.sim.now() + Duration(10'000'000));
+  // Poisson(2000/s * 0.1s) = 200 expected arrivals.
+  EXPECT_GT(driver.sent(), 150u);
+  EXPECT_LT(driver.sent(), 260u);
+  EXPECT_EQ(driver.in_flight(), 0u);
+}
+
+TEST(OpenLoopDriver, OverloadGrowsBacklog) {
+  DriverRig rig;
+  // Service rate is 1/100us = 10k/s; offer 50k/s.
+  OpenLoopDriver driver(rig.sim, rig.ref, "op", Bytes{1}, 50'000.0);
+  driver.start();
+  rig.sim.run_until(rig.sim.now() + Duration(50'000'000));
+  EXPECT_GT(driver.in_flight(), 100u);
+  driver.stop();
+}
+
+TEST(OpenLoopDriver, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    DriverRig rig;
+    OpenLoopDriver driver(rig.sim, rig.ref, "op", Bytes{1}, 3000.0, seed);
+    driver.start();
+    rig.sim.run_until(rig.sim.now() + Duration(50'000'000));
+    return driver.sent();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace eternal::workload
