@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_interval.dir/bench_checkpoint_interval.cpp.o"
+  "CMakeFiles/bench_checkpoint_interval.dir/bench_checkpoint_interval.cpp.o.d"
+  "bench_checkpoint_interval"
+  "bench_checkpoint_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

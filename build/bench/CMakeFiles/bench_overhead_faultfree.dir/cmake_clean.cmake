@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_faultfree.dir/bench_overhead_faultfree.cpp.o"
+  "CMakeFiles/bench_overhead_faultfree.dir/bench_overhead_faultfree.cpp.o.d"
+  "bench_overhead_faultfree"
+  "bench_overhead_faultfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_faultfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replication_styles.dir/bench_replication_styles.cpp.o"
+  "CMakeFiles/bench_replication_styles.dir/bench_replication_styles.cpp.o.d"
+  "bench_replication_styles"
+  "bench_replication_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replication_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcorba_sim.dir/ftcorba_sim.cpp.o"
+  "CMakeFiles/ftcorba_sim.dir/ftcorba_sim.cpp.o.d"
+  "ftcorba_sim"
+  "ftcorba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcorba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

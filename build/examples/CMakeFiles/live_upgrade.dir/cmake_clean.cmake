@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_upgrade.dir/live_upgrade.cpp.o"
+  "CMakeFiles/live_upgrade.dir/live_upgrade.cpp.o.d"
+  "live_upgrade"
+  "live_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_driver.dir/packet_driver.cpp.o"
+  "CMakeFiles/packet_driver.dir/packet_driver.cpp.o.d"
+  "packet_driver"
+  "packet_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

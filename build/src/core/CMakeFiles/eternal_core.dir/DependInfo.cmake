@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/eternal_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/envelope.cpp" "src/core/CMakeFiles/eternal_core.dir/envelope.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/envelope.cpp.o.d"
+  "/root/repo/src/core/evolution_manager.cpp" "src/core/CMakeFiles/eternal_core.dir/evolution_manager.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/evolution_manager.cpp.o.d"
+  "/root/repo/src/core/group_table.cpp" "src/core/CMakeFiles/eternal_core.dir/group_table.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/group_table.cpp.o.d"
+  "/root/repo/src/core/mechanisms.cpp" "src/core/CMakeFiles/eternal_core.dir/mechanisms.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/mechanisms.cpp.o.d"
+  "/root/repo/src/core/mechanisms_delivery.cpp" "src/core/CMakeFiles/eternal_core.dir/mechanisms_delivery.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/mechanisms_delivery.cpp.o.d"
+  "/root/repo/src/core/replication_manager.cpp" "src/core/CMakeFiles/eternal_core.dir/replication_manager.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/replication_manager.cpp.o.d"
+  "/root/repo/src/core/stable_storage.cpp" "src/core/CMakeFiles/eternal_core.dir/stable_storage.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/stable_storage.cpp.o.d"
+  "/root/repo/src/core/state_snapshots.cpp" "src/core/CMakeFiles/eternal_core.dir/state_snapshots.cpp.o" "gcc" "src/core/CMakeFiles/eternal_core.dir/state_snapshots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/eternal_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/totem/CMakeFiles/eternal_totem.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/eternal_giop.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eternal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eternal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_core.dir/deployment.cpp.o"
+  "CMakeFiles/eternal_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/envelope.cpp.o"
+  "CMakeFiles/eternal_core.dir/envelope.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/evolution_manager.cpp.o"
+  "CMakeFiles/eternal_core.dir/evolution_manager.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/group_table.cpp.o"
+  "CMakeFiles/eternal_core.dir/group_table.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/mechanisms.cpp.o"
+  "CMakeFiles/eternal_core.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/mechanisms_delivery.cpp.o"
+  "CMakeFiles/eternal_core.dir/mechanisms_delivery.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/replication_manager.cpp.o"
+  "CMakeFiles/eternal_core.dir/replication_manager.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/stable_storage.cpp.o"
+  "CMakeFiles/eternal_core.dir/stable_storage.cpp.o.d"
+  "CMakeFiles/eternal_core.dir/state_snapshots.cpp.o"
+  "CMakeFiles/eternal_core.dir/state_snapshots.cpp.o.d"
+  "libeternal_core.a"
+  "libeternal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_giop.dir/fragments.cpp.o"
+  "CMakeFiles/eternal_giop.dir/fragments.cpp.o.d"
+  "CMakeFiles/eternal_giop.dir/giop.cpp.o"
+  "CMakeFiles/eternal_giop.dir/giop.cpp.o.d"
+  "CMakeFiles/eternal_giop.dir/ior.cpp.o"
+  "CMakeFiles/eternal_giop.dir/ior.cpp.o.d"
+  "libeternal_giop.a"
+  "libeternal_giop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_giop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

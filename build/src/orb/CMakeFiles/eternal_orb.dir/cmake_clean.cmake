@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_orb.dir/orb.cpp.o"
+  "CMakeFiles/eternal_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/eternal_orb.dir/transport.cpp.o"
+  "CMakeFiles/eternal_orb.dir/transport.cpp.o.d"
+  "libeternal_orb.a"
+  "libeternal_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_sim.dir/ethernet.cpp.o"
+  "CMakeFiles/eternal_sim.dir/ethernet.cpp.o.d"
+  "CMakeFiles/eternal_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eternal_sim.dir/simulator.cpp.o.d"
+  "libeternal_sim.a"
+  "libeternal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/totem/frames.cpp" "src/totem/CMakeFiles/eternal_totem.dir/frames.cpp.o" "gcc" "src/totem/CMakeFiles/eternal_totem.dir/frames.cpp.o.d"
+  "/root/repo/src/totem/totem.cpp" "src/totem/CMakeFiles/eternal_totem.dir/totem.cpp.o" "gcc" "src/totem/CMakeFiles/eternal_totem.dir/totem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eternal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eternal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

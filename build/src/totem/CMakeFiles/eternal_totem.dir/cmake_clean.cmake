@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_totem.dir/frames.cpp.o"
+  "CMakeFiles/eternal_totem.dir/frames.cpp.o.d"
+  "CMakeFiles/eternal_totem.dir/totem.cpp.o"
+  "CMakeFiles/eternal_totem.dir/totem.cpp.o.d"
+  "libeternal_totem.a"
+  "libeternal_totem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_totem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_util.dir/any.cpp.o"
+  "CMakeFiles/eternal_util.dir/any.cpp.o.d"
+  "CMakeFiles/eternal_util.dir/bytes.cpp.o"
+  "CMakeFiles/eternal_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/eternal_util.dir/cdr.cpp.o"
+  "CMakeFiles/eternal_util.dir/cdr.cpp.o.d"
+  "CMakeFiles/eternal_util.dir/log.cpp.o"
+  "CMakeFiles/eternal_util.dir/log.cpp.o.d"
+  "libeternal_util.a"
+  "libeternal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

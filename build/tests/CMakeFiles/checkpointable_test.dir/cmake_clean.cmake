@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpointable_test.dir/core/checkpointable_test.cpp.o"
+  "CMakeFiles/checkpointable_test.dir/core/checkpointable_test.cpp.o.d"
+  "CMakeFiles/checkpointable_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/checkpointable_test.dir/support/test_env.cpp.o.d"
+  "checkpointable_test"
+  "checkpointable_test.pdb"
+  "checkpointable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpointable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unit_test.dir/core/envelope_test.cpp.o"
+  "CMakeFiles/core_unit_test.dir/core/envelope_test.cpp.o.d"
+  "CMakeFiles/core_unit_test.dir/core/group_table_test.cpp.o"
+  "CMakeFiles/core_unit_test.dir/core/group_table_test.cpp.o.d"
+  "CMakeFiles/core_unit_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/core_unit_test.dir/support/test_env.cpp.o.d"
+  "core_unit_test"
+  "core_unit_test.pdb"
+  "core_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

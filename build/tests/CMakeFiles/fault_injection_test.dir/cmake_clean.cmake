@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection_test.dir/core/fault_injection_test.cpp.o"
+  "CMakeFiles/fault_injection_test.dir/core/fault_injection_test.cpp.o.d"
+  "CMakeFiles/fault_injection_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/fault_injection_test.dir/support/test_env.cpp.o.d"
+  "fault_injection_test"
+  "fault_injection_test.pdb"
+  "fault_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giop_test.dir/giop/fragments_test.cpp.o"
+  "CMakeFiles/giop_test.dir/giop/fragments_test.cpp.o.d"
+  "CMakeFiles/giop_test.dir/giop/giop_test.cpp.o"
+  "CMakeFiles/giop_test.dir/giop/giop_test.cpp.o.d"
+  "CMakeFiles/giop_test.dir/giop/ior_test.cpp.o"
+  "CMakeFiles/giop_test.dir/giop/ior_test.cpp.o.d"
+  "CMakeFiles/giop_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/giop_test.dir/support/test_env.cpp.o.d"
+  "giop_test"
+  "giop_test.pdb"
+  "giop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

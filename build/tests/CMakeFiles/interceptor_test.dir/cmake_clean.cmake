@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interceptor_test.dir/interceptor/interceptor_test.cpp.o"
+  "CMakeFiles/interceptor_test.dir/interceptor/interceptor_test.cpp.o.d"
+  "CMakeFiles/interceptor_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/interceptor_test.dir/support/test_env.cpp.o.d"
+  "interceptor_test"
+  "interceptor_test.pdb"
+  "interceptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interceptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

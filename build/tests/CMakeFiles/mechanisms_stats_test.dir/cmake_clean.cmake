@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_stats_test.dir/core/mechanisms_stats_test.cpp.o"
+  "CMakeFiles/mechanisms_stats_test.dir/core/mechanisms_stats_test.cpp.o.d"
+  "CMakeFiles/mechanisms_stats_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/mechanisms_stats_test.dir/support/test_env.cpp.o.d"
+  "mechanisms_stats_test"
+  "mechanisms_stats_test.pdb"
+  "mechanisms_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

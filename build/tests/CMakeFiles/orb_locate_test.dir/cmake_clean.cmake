@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_locate_test.dir/orb/orb_locate_test.cpp.o"
+  "CMakeFiles/orb_locate_test.dir/orb/orb_locate_test.cpp.o.d"
+  "CMakeFiles/orb_locate_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/orb_locate_test.dir/support/test_env.cpp.o.d"
+  "orb_locate_test"
+  "orb_locate_test.pdb"
+  "orb_locate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_locate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

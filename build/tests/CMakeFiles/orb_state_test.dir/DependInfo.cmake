@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/orb_state_test.cpp" "tests/CMakeFiles/orb_state_test.dir/core/orb_state_test.cpp.o" "gcc" "tests/CMakeFiles/orb_state_test.dir/core/orb_state_test.cpp.o.d"
+  "/root/repo/tests/support/test_env.cpp" "tests/CMakeFiles/orb_state_test.dir/support/test_env.cpp.o" "gcc" "tests/CMakeFiles/orb_state_test.dir/support/test_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eternal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/eternal_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/totem/CMakeFiles/eternal_totem.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/eternal_giop.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eternal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eternal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_state_test.dir/core/orb_state_test.cpp.o"
+  "CMakeFiles/orb_state_test.dir/core/orb_state_test.cpp.o.d"
+  "CMakeFiles/orb_state_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/orb_state_test.dir/support/test_env.cpp.o.d"
+  "orb_state_test"
+  "orb_state_test.pdb"
+  "orb_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_test.dir/core/passive_test.cpp.o"
+  "CMakeFiles/passive_test.dir/core/passive_test.cpp.o.d"
+  "CMakeFiles/passive_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/passive_test.dir/support/test_env.cpp.o.d"
+  "passive_test"
+  "passive_test.pdb"
+  "passive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

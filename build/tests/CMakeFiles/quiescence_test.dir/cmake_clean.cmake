@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quiescence_test.dir/core/quiescence_test.cpp.o"
+  "CMakeFiles/quiescence_test.dir/core/quiescence_test.cpp.o.d"
+  "CMakeFiles/quiescence_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/quiescence_test.dir/support/test_env.cpp.o.d"
+  "quiescence_test"
+  "quiescence_test.pdb"
+  "quiescence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quiescence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_edge_test.dir/core/recovery_edge_test.cpp.o"
+  "CMakeFiles/recovery_edge_test.dir/core/recovery_edge_test.cpp.o.d"
+  "CMakeFiles/recovery_edge_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/recovery_edge_test.dir/support/test_env.cpp.o.d"
+  "recovery_edge_test"
+  "recovery_edge_test.pdb"
+  "recovery_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_kinds_state_test.dir/core/three_kinds_state_test.cpp.o"
+  "CMakeFiles/three_kinds_state_test.dir/core/three_kinds_state_test.cpp.o.d"
+  "CMakeFiles/three_kinds_state_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/three_kinds_state_test.dir/support/test_env.cpp.o.d"
+  "three_kinds_state_test"
+  "three_kinds_state_test.pdb"
+  "three_kinds_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_kinds_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totem_protocol_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/totem_protocol_test.dir/support/test_env.cpp.o.d"
+  "CMakeFiles/totem_protocol_test.dir/totem/totem_protocol_test.cpp.o"
+  "CMakeFiles/totem_protocol_test.dir/totem/totem_protocol_test.cpp.o.d"
+  "totem_protocol_test"
+  "totem_protocol_test.pdb"
+  "totem_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totem_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totem_test.dir/support/test_env.cpp.o"
+  "CMakeFiles/totem_test.dir/support/test_env.cpp.o.d"
+  "CMakeFiles/totem_test.dir/totem/frames_test.cpp.o"
+  "CMakeFiles/totem_test.dir/totem/frames_test.cpp.o.d"
+  "CMakeFiles/totem_test.dir/totem/totem_test.cpp.o"
+  "CMakeFiles/totem_test.dir/totem/totem_test.cpp.o.d"
+  "totem_test"
+  "totem_test.pdb"
+  "totem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
