@@ -114,17 +114,26 @@ int main() {
                                        25'000, 50'000, 100'000, 200'000, 350'000};
   std::printf("%12s %13s %10s %10s %10s %8s\n", "state_B", "recovery_ms", "coord_ms",
               "xfer_ms", "apply_ms", "frames");
+  bench::BenchResultWriter results("fig6_recovery_time");
   double first_small = 0, last_big = 0;
   for (std::size_t size : kSizes) {
     const Row row = run_once(size);
     std::printf("%12zu %13.3f %10.3f %10.3f %10.3f %8llu\n", row.state_bytes,
                 row.recovery_ms, row.coordination_ms, row.transfer_ms, row.apply_ms,
                 static_cast<unsigned long long>(row.frames));
+    results.row()
+        .col("state_bytes", static_cast<std::uint64_t>(row.state_bytes))
+        .col("recovery_ms", row.recovery_ms)
+        .col("coordination_ms", row.coordination_ms)
+        .col("transfer_ms", row.transfer_ms)
+        .col("apply_ms", row.apply_ms)
+        .col("frames", row.frames);
     if (size == 10) first_small = row.recovery_ms;
     if (size == 350'000) last_big = row.recovery_ms;
   }
   std::printf("\nshape check: recovery(350 kB) / recovery(10 B) = %.1fx (paper: grows "
               "steeply with state size)\n",
               first_small > 0 ? last_big / first_small : 0.0);
+  results.write_file("BENCH_fig6_recovery_time.json");
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/deployment.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/time.hpp"
 
 namespace eternal::bench {
@@ -91,5 +93,82 @@ inline void print_header(const char* title, const char* paper_note) {
   std::printf("paper: %s\n", paper_note);
   std::printf("================================================================\n");
 }
+
+/// Streaming writer for the machine-readable BENCH_<name>.json result files
+/// that sit next to each bench binary's printed table. Schema (documented in
+/// DESIGN.md, "Observability & invariants"):
+///
+///   { "bench": "<name>", "schema_version": 1,
+///     "rows": [ { "<column>": <number|string>, ... }, ... ],
+///     "metrics": <MetricsRegistry::to_json()> }        // optional
+///
+/// Rows are flat objects, one per printed table line; every row of one bench
+/// carries the same columns.
+class BenchResultWriter {
+ public:
+  explicit BenchResultWriter(std::string_view bench_name) {
+    w_.begin_object();
+    w_.field("bench", bench_name);
+    w_.field("schema_version", std::uint64_t{1});
+    w_.key("rows");
+    w_.begin_array();
+  }
+
+  /// Starts the next row; follow with col() calls.
+  BenchResultWriter& row() {
+    if (row_open_) w_.end_object();
+    w_.begin_object();
+    row_open_ = true;
+    return *this;
+  }
+
+  BenchResultWriter& col(std::string_view name, double v) {
+    w_.field(name, v);
+    return *this;
+  }
+  BenchResultWriter& col(std::string_view name, std::uint64_t v) {
+    w_.field(name, v);
+    return *this;
+  }
+  BenchResultWriter& col(std::string_view name, std::string_view v) {
+    w_.field(name, v);
+    return *this;
+  }
+
+  /// Closes the document and returns it; call at most once. When `metrics`
+  /// is given, its full snapshot is embedded under "metrics".
+  std::string finish(const obs::MetricsRegistry* metrics = nullptr) {
+    if (row_open_) {
+      w_.end_object();
+      row_open_ = false;
+    }
+    w_.end_array();
+    if (metrics != nullptr) {
+      w_.key("metrics");
+      w_.raw(metrics->to_json());
+    }
+    w_.end_object();
+    return std::move(w_).take();
+  }
+
+  /// finish() + write to `path`. Returns whether the write succeeded.
+  bool write_file(const std::string& path,
+                  const obs::MetricsRegistry* metrics = nullptr) {
+    const std::string doc = finish(metrics);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  obs::JsonWriter w_;
+  bool row_open_ = false;
+};
 
 }  // namespace eternal::bench

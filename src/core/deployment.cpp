@@ -7,6 +7,13 @@ namespace eternal::core {
 
 System::System(SystemConfig config) : config_(config) {
   if (config_.nodes == 0) throw std::invalid_argument("System: need at least one node");
+  // Attach the observability sinks before any node's stack is constructed —
+  // layers cache their instruments at construction, against this registry.
+  sim_.recorder().attach_metrics(&metrics_);
+  if (config_.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceBuffer>(config_.trace_capacity);
+    sim_.recorder().attach_trace(trace_.get());
+  }
   ethernet_ = std::make_unique<sim::Ethernet>(sim_, config_.ethernet, config_.seed);
 
   std::vector<NodeId> ring;

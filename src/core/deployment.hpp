@@ -17,6 +17,9 @@
 #include "core/mechanisms.hpp"
 #include "core/replication_manager.hpp"
 #include "interceptor/interceptor.hpp"
+#include "obs/invariants.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/orb.hpp"
 #include "sim/ethernet.hpp"
 #include "sim/simulator.hpp"
@@ -35,6 +38,11 @@ struct SystemConfig {
   /// <root>/node-<id>, enabling whole-system restarts via
   /// Mechanisms::restore_from_storage().
   std::string stable_storage_root;
+  /// When non-zero, the System owns a TraceBuffer of this many events and
+  /// every layer records structured trace events into it (see src/obs/).
+  /// Size it to hold the whole run if the stream feeds the InvariantChecker.
+  /// Metrics are always collected; tracing is what this opts into.
+  std::size_t trace_capacity = 0;
 };
 
 /// A trivial servant for pure-client application objects: it never receives
@@ -59,6 +67,13 @@ class System {
   sim::Simulator& sim() noexcept { return sim_; }
   sim::Ethernet& ethernet() noexcept { return *ethernet_; }
   const SystemConfig& config() const noexcept { return config_; }
+
+  /// System-wide metrics registry (always live; JSON via metrics().to_json()).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  /// Trace-event stream; null unless SystemConfig::trace_capacity > 0.
+  obs::TraceBuffer* trace() noexcept { return trace_.get(); }
+  const obs::TraceBuffer* trace() const noexcept { return trace_.get(); }
 
   /// All node ids (1..N).
   std::vector<NodeId> all_nodes() const;
@@ -126,6 +141,8 @@ class System {
   NodeSlot& slot(NodeId node);
 
   SystemConfig config_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Ethernet> ethernet_;
   std::vector<NodeSlot> slots_;

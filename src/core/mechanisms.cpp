@@ -45,7 +45,16 @@ bool is_recovery_endpoint(const orb::Endpoint& e) {
 
 Mechanisms::Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
                        totem::TotemNode& totem, MechanismsConfig config)
-    : sim_(sim), node_(node), tap_(tap), totem_(totem), config_(config) {
+    : sim_(sim),
+      node_(node),
+      tap_(tap),
+      totem_(totem),
+      config_(config),
+      rec_(sim.recorder()),
+      ctr_req_dup_(rec_.counter("mech.duplicate_requests_suppressed")),
+      ctr_reply_dup_(rec_.counter("mech.duplicate_replies_suppressed")),
+      ctr_requests_injected_(rec_.counter("mech.requests_injected")),
+      ctr_state_transfers_(rec_.counter("mech.state_transfers_completed")) {
   tap_.divert_to(*this);
   if (!config_.stable_storage_dir.empty()) {
     storage_ = std::make_unique<StableStorage>(config_.stable_storage_dir);
@@ -53,6 +62,25 @@ Mechanisms::Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Intercepto
 }
 
 Mechanisms::~Mechanisms() = default;
+
+void Mechanisms::set_phase(LocalReplica& r, Phase phase) {
+  r.phase = phase;
+  if (!rec_.tracing()) return;
+  const char* name = "?";
+  switch (phase) {
+    case Phase::kRecovering: name = "recovering"; break;
+    case Phase::kOperational: name = "operational"; break;
+    case Phase::kBackup: name = "backup"; break;
+    case Phase::kReplaying: name = "replaying"; break;
+    case Phase::kDead: name = "dead"; break;
+  }
+  const GroupEntry* entry = table_.find(r.group);
+  rec_.record(node_, obs::Layer::kMech, "phase", r.id.value,
+              "group=" + std::to_string(r.group.value) +
+                  " replica=" + std::to_string(r.id.value) + " phase=" + name +
+                  " style=" +
+                  (entry ? to_string(entry->desc.properties.style) : "?"));
+}
 
 void Mechanisms::persist_log(GroupId group) {
   if (storage_ == nullptr) return;
@@ -177,13 +205,13 @@ void Mechanisms::do_launch(GroupId group, ReplicaId id, bool as_recovering) {
                                  entry->desc.type_id);
 
   if (as_recovering) {
-    replica->phase = Phase::kRecovering;
+    set_phase(*replica, Phase::kRecovering);
   } else if (entry->desc.properties.style == ReplicationStyle::kActive) {
-    replica->phase = Phase::kOperational;
+    set_phase(*replica, Phase::kOperational);
   } else {
     const ReplicaInfo* primary = entry->primary();
-    replica->phase = (primary != nullptr && primary->id == id) ? Phase::kOperational
-                                                               : Phase::kBackup;
+    set_phase(*replica, (primary != nullptr && primary->id == id) ? Phase::kOperational
+                                                                  : Phase::kBackup);
   }
 
   LocalReplica& r = *replica;
@@ -205,7 +233,7 @@ void Mechanisms::kill_replica(GroupId group) {
   // ORB state) dies with it.
   tap_.orb().reset_connections();
   sim_.cancel(r->checkpoint_timer);
-  r->phase = Phase::kDead;
+  set_phase(*r, Phase::kDead);
   r->busy = false;
   r->dispatch.reset();
   r->pending.clear();
@@ -358,6 +386,12 @@ void Mechanisms::capture_request(const orb::Endpoint& to, util::Bytes iiop,
   }
   conn.local_to_group[info.request_id] = group_rid;
   conn.group_to_local[group_rid] = info.request_id;
+  if (rec_.tracing() && !is_handshake) {
+    rec_.record(node_, obs::Layer::kMech, "rid_translate", group_rid,
+                "client=" + std::to_string(client_group.value) +
+                    " server=" + std::to_string(server_group.value) +
+                    " local_rid=" + std::to_string(info.request_id));
+  }
 
   // Passive log replay: a promoted primary re-issues nested invocations the
   // old primary already performed; if the group already has the reply, it is

@@ -41,6 +41,7 @@
 #include "core/seq_window.hpp"
 #include "core/state_snapshots.hpp"
 #include "interceptor/interceptor.hpp"
+#include "obs/trace.hpp"
 #include "orb/orb.hpp"
 #include "totem/totem.hpp"
 
@@ -292,6 +293,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   void react(const std::vector<TableEvent>& events);
 
   // ---- per-replica queue pump (quiescence-gated delivery) ----
+  /// Records a request joining a replica's execution order — from the live
+  /// queue or the replayed log. The InvariantChecker's replay-order rule
+  /// requires every injected request to appear here first, in order.
+  void trace_enqueue(const LocalReplica& r, const Envelope& e);
   void pump(LocalReplica& r);
   void inject_request_item(LocalReplica& r, const QueueItem& item);
   void inject_get_state(LocalReplica& r, const Envelope& e);
@@ -323,6 +328,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   LocalReplica* local_replica(GroupId group);
   const LocalReplica* local_replica(GroupId group) const;
   void assign_role_after_recovery(LocalReplica& r);
+  /// Single point for every phase transition: keeps the trace stream's
+  /// "phase" events (which the InvariantChecker's single-primary rule
+  /// consumes) in lockstep with the actual lifecycle.
+  void set_phase(LocalReplica& r, Phase phase);
   void persist_log(GroupId group);
   void apply_stored_log(GroupId group);
 
@@ -364,6 +373,14 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   // Stable storage (optional) and restores awaiting group re-creation.
   std::unique_ptr<class StableStorage> storage_;
   std::set<std::uint32_t> pending_restores_;
+
+  // Observability (src/obs/): duplicate suppression is the hottest metered
+  // path, so its counters are resolved once at construction.
+  obs::Recorder& rec_;
+  obs::Counter& ctr_req_dup_;
+  obs::Counter& ctr_reply_dup_;
+  obs::Counter& ctr_requests_injected_;
+  obs::Counter& ctr_state_transfers_;
 
   std::uint64_t next_replica_nonce_ = 1;
   MechanismsStats stats_;

@@ -57,6 +57,7 @@ void Mechanisms::on_view_change(const totem::View& view) {
       if (entry != nullptr) tap_.orb().root_poa().deactivate(entry->desc.object_id);
       sim_.cancel(replica->checkpoint_timer);
       sim_.cancel(replica->detector_timer);
+      set_phase(*replica, Phase::kDead);
     }
     replicas_.clear();
     tap_.orb().reset_connections();
@@ -102,6 +103,12 @@ void Mechanisms::deliver_request(const Envelope& e) {
   SeqWindow& seen = req_seen_[std::make_pair(e.client_group.value, e.target_group.value)];
   if (!seen.test_and_insert(e.op_seq)) {
     stats_.duplicate_requests_suppressed += 1;
+    ctr_req_dup_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kMech, "request_dup", e.op_seq,
+                  "client=" + std::to_string(e.client_group.value) +
+                      " group=" + std::to_string(e.target_group.value));
+    }
     return;
   }
 
@@ -136,6 +143,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
           stats_.messages_logged += 1;
           persist_log(e.target_group);
         }
+        trace_enqueue(*r, e);
         r->pending.push_back(QueueItem{QueueItem::Kind::kRequest, e});
         pump(*r);
         return;
@@ -152,6 +160,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
           stats_.messages_logged += 1;
           persist_log(e.target_group);
         } else {
+          trace_enqueue(*r, e);
           r->pending.push_back(QueueItem{QueueItem::Kind::kRequest, e});
         }
         stats_.enqueued_during_recovery += 1;
@@ -192,6 +201,12 @@ void Mechanisms::deliver_reply(const Envelope& e) {
   SeqWindow& seen = reply_seen_[std::make_pair(e.client_group.value, e.target_group.value)];
   if (!seen.test_and_insert(e.op_seq)) {
     stats_.duplicate_replies_suppressed += 1;
+    ctr_reply_dup_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kMech, "reply_dup", e.op_seq,
+                  "client=" + std::to_string(e.client_group.value) +
+                      " group=" + std::to_string(e.target_group.value));
+    }
     return;
   }
 
@@ -297,6 +312,12 @@ void Mechanisms::deliver_get_state(const Envelope& e) {
     // after it stays enqueued for replay.
     r->recovery_cuts[e.op_seq] = r->pending.size();
     if (r->id == e.subject) r->get_state_at = sim_.now();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kMech, "get_state_cut", e.op_seq,
+                  "group=" + std::to_string(e.target_group.value) +
+                      " replica=" + std::to_string(r->id.value) +
+                      " cut=" + std::to_string(r->pending.size()));
+    }
     return;
   }
 
@@ -369,14 +390,22 @@ void Mechanisms::deliver_set_state(const Envelope& e) {
     // already reflected in the transferred state; drop them so replay
     // starts exactly at the state-transfer point.
     auto cut = r->recovery_cuts.find(e.op_seq);
+    std::size_t covered = 0;
     if (cut != r->recovery_cuts.end()) {
-      const std::size_t covered = std::min(cut->second, r->pending.size());
+      covered = std::min(cut->second, r->pending.size());
       r->pending.erase(r->pending.begin(),
                        r->pending.begin() + static_cast<std::ptrdiff_t>(covered));
     } else {
       ETERNAL_LOG(kWarn, kTag,
                   util::to_string(node_) << " set_state epoch " << e.op_seq
                                          << " without matching get_state cut");
+    }
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kMech, "set_state_apply", e.op_seq,
+                  "group=" + std::to_string(e.target_group.value) +
+                      " replica=" + std::to_string(r->id.value) +
+                      " covered=" + std::to_string(covered) +
+                      " bytes=" + std::to_string(e.payload.size()));
     }
     r->recovery_cuts.clear();
     // The transferred state supersedes this node's logged prefix: for a
@@ -565,6 +594,13 @@ void Mechanisms::finish_recovery(LocalReplica& r, const Envelope&) {
   assign_role_after_recovery(r);
   stats_.state_transfers_completed += 1;
   stats_.recoveries_completed += 1;
+  ctr_state_transfers_.add();
+  if (rec_.tracing()) {
+    rec_.record(node_, obs::Layer::kMech, "recovered", r.id.value,
+                "group=" + std::to_string(r.group.value) +
+                    " replica=" + std::to_string(r.id.value) +
+                    " bytes=" + std::to_string(r.incoming_state_bytes));
+  }
 
   RecoveryRecord record;
   record.group = r.group;
@@ -586,15 +622,25 @@ void Mechanisms::assign_role_after_recovery(LocalReplica& r) {
   const GroupEntry* entry = table_.find(r.group);
   if (entry == nullptr) return;
   if (entry->desc.properties.style == ReplicationStyle::kActive) {
-    r.phase = Phase::kOperational;
+    set_phase(r, Phase::kOperational);
     return;
   }
   const ReplicaInfo* primary = entry->primary();
-  r.phase = (primary != nullptr && primary->id == r.id) ? Phase::kOperational : Phase::kBackup;
+  set_phase(r, (primary != nullptr && primary->id == r.id) ? Phase::kOperational
+                                                           : Phase::kBackup);
   maybe_start_checkpoint_timer(r);
 }
 
 // ----------------------------------------------------------- queue delivery
+
+void Mechanisms::trace_enqueue(const LocalReplica& r, const Envelope& e) {
+  if (!rec_.tracing()) return;
+  rec_.record(node_, obs::Layer::kMech, "enqueue", e.op_seq,
+              "group=" + std::to_string(r.group.value) +
+                  " replica=" + std::to_string(r.id.value) +
+                  " client=" + std::to_string(e.client_group.value) +
+                  " op_seq=" + std::to_string(e.op_seq));
+}
 
 void Mechanisms::pump(LocalReplica& r) {
   // Passive backups never execute queued requests; anything a freshly
@@ -643,6 +689,14 @@ void Mechanisms::inject_request_item(LocalReplica& r, const QueueItem& item) {
   }
 
   stats_.requests_delivered += 1;
+  ctr_requests_injected_.add();
+  if (rec_.tracing()) {
+    rec_.record(node_, obs::Layer::kMech, "request_inject", e.op_seq,
+                "group=" + std::to_string(r.group.value) +
+                    " replica=" + std::to_string(r.id.value) +
+                    " client=" + std::to_string(e.client_group.value) +
+                    " op_seq=" + std::to_string(e.op_seq));
+  }
   if (info->response_expected) {
     r.busy = true;
     CurrentDispatch d;
@@ -744,7 +798,7 @@ void Mechanisms::promote_local(GroupId group) {
     LocalReplica* r = local_replica(group);
     if (r != nullptr && r->id == primary->id && r->phase == Phase::kBackup) {
       stats_.promotions += 1;
-      r->phase = Phase::kReplaying;
+      set_phase(*r, Phase::kReplaying);
       ETERNAL_LOG(kDebug, kTag,
                   util::to_string(node_) << " promoting backup of " << util::to_string(group));
       // The promoted ORB missed every client-server handshake (§4.2.2);
@@ -804,7 +858,7 @@ void Mechanisms::cold_restart(GroupId group) {
     return;
   }
 
-  r->phase = Phase::kReplaying;
+  set_phase(*r, Phase::kReplaying);
   r->replay_cursor = 0;
 
   MessageLog& log = logs_[group.value];
@@ -832,7 +886,7 @@ void Mechanisms::cold_restart(GroupId group) {
 }
 
 void Mechanisms::replay_log(LocalReplica& r) {
-  r.phase = Phase::kReplaying;
+  set_phase(r, Phase::kReplaying);
   r.replay_cursor = 0;
   replay_next(r);
 }
@@ -841,7 +895,7 @@ void Mechanisms::replay_next(LocalReplica& r) {
   if (r.phase != Phase::kReplaying || r.busy) return;
   MessageLog& log = logs_[r.group.value];
   if (r.replay_cursor >= log.messages().size()) {
-    r.phase = Phase::kOperational;
+    set_phase(r, Phase::kOperational);
     Envelope e;
     e.kind = EnvelopeKind::kControl;
     e.control_op = ControlOp::kReplicaOperational;
@@ -864,6 +918,9 @@ void Mechanisms::replay_next(LocalReplica& r) {
   QueueItem item;
   item.kind = QueueItem::Kind::kRequest;
   item.env = std::move(next);
+  // The replayed log entry (re)enters this replica's execution order here —
+  // recorded so the checker sees injections follow the logged total order.
+  trace_enqueue(r, item.env);
   inject_request_item(r, item);
   if (!r.busy) replay_next(r);  // handshakes complete immediately
 }
@@ -914,6 +971,9 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
           if (r != nullptr && r->id == event.replica) {
             sim_.cancel(r->checkpoint_timer);
             sim_.cancel(r->detector_timer);
+            // Final phase event before the record disappears, so trace
+            // consumers never see the replica as still live.
+            set_phase(*r, Phase::kDead);
             replicas_.erase(event.group.value);
           }
         }

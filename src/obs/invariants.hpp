@@ -1,0 +1,56 @@
+// Trace-driven invariant checker.
+//
+// Replays a run's TraceEvent stream and asserts the cross-layer safety
+// properties the paper's recovery machinery depends on:
+//
+//   1. order-agreement / delivery-gap — all operational members of a ring
+//      deliver the same frames in the same gap-free sequence; a node may
+//      only skip sequence numbers across a membership install (paper §2,
+//      Totem agreed delivery).
+//   2. duplicate-op — no (client group, operation sequence) pair is
+//      delivered twice to the same servant incarnation (paper §2.1 / §4.3
+//      duplicate suppression).
+//   3. multi-primary — passive-style groups never have two concurrently
+//      operational primaries (paper §3.2).
+//   4. replay-order — operations a replica executes appear in the same
+//      relative order they were enqueued; after set_state() the replayed
+//      log is injected in the recorded total order (paper §5.1).
+//
+// The checker is pure: it consumes a snapshot and returns violations, so
+// tests can attach it to any scenario (see tests/support/invariant_helpers.hpp).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace eternal::obs {
+
+struct Violation {
+  std::string rule;     ///< e.g. "delivery-gap", "duplicate-op"
+  std::string message;  ///< human-readable context (node, time, ids)
+};
+
+/// Splits a "k1=v1 k2=v2" detail string into a lookup map. Tokens without
+/// '=' are ignored. Heterogeneous lookup (std::less<>) so call sites can
+/// probe with string literals.
+std::map<std::string, std::string, std::less<>> parse_detail(std::string_view detail);
+
+class InvariantChecker {
+ public:
+  /// Checks `events` (oldest first) against all invariants.
+  static std::vector<Violation> check(const std::vector<TraceEvent>& events);
+
+  /// Convenience: snapshots `trace` and checks it. A buffer that dropped
+  /// events yields a "trace-dropped" violation — the checker cannot vouch
+  /// for a stream with holes — so size test buffers generously.
+  static std::vector<Violation> check(const TraceBuffer& trace);
+
+  /// One line per violation; empty string when `violations` is empty.
+  static std::string report(const std::vector<Violation>& violations);
+};
+
+}  // namespace eternal::obs

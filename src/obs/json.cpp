@@ -1,0 +1,115 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eternal::obs {
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  need_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  need_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ += json;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace eternal::obs

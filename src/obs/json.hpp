@@ -1,0 +1,71 @@
+// Minimal JSON emission, shared by the metrics registry, the trace-event
+// stream and the benchmark result files. Emission only — the repo's
+// consumers of these files (tests, plotting scripts) bring their own
+// parsers — but the output is strict RFC 8259 JSON: keys and strings are
+// escaped, numbers are finite, and element separators are handled by the
+// writer, so every export is machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eternal::obs {
+
+/// Streaming JSON writer with automatic comma placement.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("rows"); w.begin_array(); w.value(1); w.value(2); w.end_array();
+///   w.end_object();
+///   std::string out = std::move(w).take();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be followed by exactly one value/container.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  /// Splices pre-serialized JSON in as the next value. The caller guarantees
+  /// `json` is itself a complete, valid JSON value (e.g. another writer's
+  /// take(), or MetricsRegistry::to_json()).
+  void raw(std::string_view json);
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  bool empty() const noexcept { return out_.empty(); }
+  const std::string& str() const noexcept { return out_; }
+  std::string take() && { return std::move(out_); }
+
+  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+ private:
+  void separate();
+
+  std::string out_;
+  /// One entry per open container: true while the next item needs a comma.
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace eternal::obs

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace eternal::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::vector<std::uint64_t> Histogram::exponential(std::uint64_t first, double factor,
+                                                  std::size_t n) {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(n);
+  double edge = static_cast<double>(first);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto b = static_cast<std::uint64_t>(std::ceil(edge));
+    if (b <= prev) b = prev + 1;  // keep edges strictly ascending
+    bounds.push_back(b);
+    prev = b;
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<std::uint64_t>& Histogram::default_latency_bounds() {
+  // 1 us .. ~8.4 s in powers of two; values are nanoseconds.
+  static const std::vector<std::uint64_t> bounds = exponential(1000, 2.0, 24);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return counters_[std::string(name)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return gauges_[std::string(name)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> bounds) {
+  auto it = histograms_.find(std::string(name));
+  if (it != histograms_.end()) return it->second;
+  if (bounds.empty()) bounds = Histogram::default_latency_bounds();
+  return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+      .first->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g.value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    w.key("bounds");
+    w.begin_array();
+    for (auto b : h.bounds()) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (auto c : h.counts()) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).take();
+}
+
+}  // namespace eternal::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace eternal::obs {
+
+std::string_view to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kSim: return "sim";
+    case Layer::kTotem: return "totem";
+    case Layer::kMech: return "mech";
+    case Layer::kOrb: return "orb";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) capacity_ = 1;
+}
+
+void TraceBuffer::push(TraceEvent ev) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+std::string TraceBuffer::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("capacity", static_cast<std::uint64_t>(capacity_));
+  w.field("total", total_);
+  w.field("dropped", dropped());
+  w.key("events");
+  w.begin_array();
+  for (const auto& ev : snapshot()) {
+    w.begin_object();
+    w.field("t", static_cast<std::uint64_t>(ev.sim_time.count()));
+    w.field("node", static_cast<std::uint64_t>(ev.node.value));
+    w.field("layer", to_string(ev.layer));
+    w.field("kind", ev.kind);
+    w.field("seq", ev.seq);
+    w.field("detail", std::string_view(ev.detail));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).take();
+}
+
+Counter& Recorder::sink_counter() {
+  static Counter sink;
+  return sink;
+}
+
+Gauge& Recorder::sink_gauge() {
+  static Gauge sink;
+  return sink;
+}
+
+Histogram& Recorder::sink_histogram() {
+  static Histogram sink({1});
+  return sink;
+}
+
+}  // namespace eternal::obs

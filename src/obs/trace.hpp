@@ -1,0 +1,122 @@
+// Structured trace-event stream + the Recorder handle threaded through the
+// Simulator.
+//
+// Every layer (Totem, Mechanisms, ORB) appends semantic events —
+// deliveries, view installs, duplicate suppressions, state-transfer steps —
+// to one ring buffer stamped with the virtual clock. The stream is the
+// input to the InvariantChecker (see invariants.hpp) and exports to JSON
+// for offline inspection. Because the simulation is deterministic, two runs
+// with the same seed produce byte-identical streams; determinism_test
+// asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace eternal::obs {
+
+enum class Layer : std::uint8_t { kSim = 0, kTotem = 1, kMech = 2, kOrb = 3 };
+
+std::string_view to_string(Layer layer);
+
+/// One semantic event. `kind` must reference a string literal (the buffer
+/// stores the view, not a copy); `detail` carries event-specific context as
+/// space-separated key=value pairs, e.g. "group=7 client=3 op_seq=12".
+struct TraceEvent {
+  util::TimePoint sim_time{};
+  util::NodeId node{};
+  Layer layer = Layer::kSim;
+  std::string_view kind;
+  std::uint64_t seq = 0;
+  std::string detail;
+};
+
+/// Bounded ring of TraceEvents. When full, the oldest events are dropped
+/// (and counted); snapshot() returns the surviving events oldest-first.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void push(TraceEvent ev);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Events currently held (<= capacity).
+  std::size_t size() const noexcept { return ring_.size(); }
+  /// Events ever pushed, including dropped ones.
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t dropped() const noexcept { return total_ - ring_.size(); }
+
+  /// Surviving events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// JSON array of events (oldest first) wrapped with buffer stats.
+  std::string to_json() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // index of oldest event once the ring has wrapped
+  std::uint64_t total_ = 0;
+};
+
+/// The handle the Simulator hands to every layer. Cheap when detached:
+/// tracing() is one pointer test, and counter() returns a shared sink
+/// instrument so call sites cache a reference once and never branch.
+///
+/// Call sites that build detail strings must guard with tracing():
+///   if (rec.tracing())
+///     rec.record(node, Layer::kTotem, "deliver", f.seq, detail...);
+class Recorder {
+ public:
+  void attach_metrics(MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+  void attach_trace(TraceBuffer* trace) noexcept { trace_ = trace; }
+  /// Binds the virtual clock; the Simulator points this at its `now_`.
+  void bind_clock(const util::TimePoint* now) noexcept { clock_ = now; }
+
+  bool tracing() const noexcept { return trace_ != nullptr; }
+  bool metering() const noexcept { return metrics_ != nullptr; }
+  util::TimePoint now() const noexcept {
+    return clock_ ? *clock_ : util::TimePoint{};
+  }
+
+  void record(util::NodeId node, Layer layer, std::string_view kind,
+              std::uint64_t seq, std::string detail) {
+    if (!trace_) return;
+    trace_->push(TraceEvent{now(), node, layer, kind, seq, std::move(detail)});
+  }
+
+  /// Returns the named instrument, or a process-wide sink when no registry
+  /// is attached — so hot paths can cache `Counter&` unconditionally.
+  Counter& counter(std::string_view name) {
+    return metrics_ ? metrics_->counter(name) : sink_counter();
+  }
+  Gauge& gauge(std::string_view name) {
+    return metrics_ ? metrics_->gauge(name) : sink_gauge();
+  }
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds = {}) {
+    return metrics_ ? metrics_->histogram(name, std::move(bounds))
+                    : sink_histogram();
+  }
+
+  MetricsRegistry* metrics() const noexcept { return metrics_; }
+  TraceBuffer* trace() const noexcept { return trace_; }
+
+ private:
+  static Counter& sink_counter();
+  static Gauge& sink_gauge();
+  static Histogram& sink_histogram();
+
+  MetricsRegistry* metrics_ = nullptr;
+  TraceBuffer* trace_ = nullptr;
+  const util::TimePoint* clock_ = nullptr;
+};
+
+}  // namespace eternal::obs

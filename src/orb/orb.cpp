@@ -213,7 +213,14 @@ void Poa::run_next(const std::string& key) {
 // ------------------------------------------------------------------------ Orb
 
 Orb::Orb(sim::Simulator& sim, NodeId node, OrbConfig config)
-    : sim_(sim), node_(node), config_(config), poa_(*this) {}
+    : sim_(sim),
+      node_(node),
+      config_(config),
+      rec_(sim.recorder()),
+      ctr_rid_discards_(rec_.counter("orb.replies_discarded_request_id")),
+      ctr_key_discards_(rec_.counter("orb.requests_discarded_unknown_key")),
+      hist_rtt_(rec_.histogram("orb.reply_rtt_ns")),
+      poa_(*this) {}
 
 Orb::~Orb() = default;
 
@@ -317,7 +324,7 @@ void Orb::transmit_invocation(const Endpoint& to, ClientConnection& conn,
 
   if (inv.response_expected) {
     conn.pending.emplace(request.request_id,
-                         PendingReply{std::move(inv.handler), request.operation});
+                         PendingReply{std::move(inv.handler), request.operation, sim_.now()});
     stats_.requests_sent += 1;
   } else {
     stats_.oneways_sent += 1;
@@ -381,6 +388,11 @@ void Orb::handle_request(const Endpoint& from, giop::Request request) {
     auto it = sconn.short_to_full.find(key_string(request.object_key));
     if (it == sconn.short_to_full.end()) {
       stats_.requests_discarded_unknown_key += 1;
+      ctr_key_discards_.add();
+      if (rec_.tracing()) {
+        rec_.record(node_, obs::Layer::kOrb, "request_discard", request.request_id,
+                    "reason=unknown_short_key");
+      }
       ETERNAL_LOG(kDebug, kTag,
                   util::to_string(node_) << " discarding request with unknown short key");
       return;
@@ -434,6 +446,11 @@ void Orb::handle_reply(const Endpoint& from, giop::Reply reply) {
   auto conn_it = client_conns_.find(from);
   if (conn_it == client_conns_.end()) {
     stats_.replies_discarded_request_id += 1;
+    ctr_rid_discards_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kOrb, "reply_discard", reply.request_id,
+                  "reason=unknown_connection");
+    }
     return;
   }
   ClientConnection& conn = conn_it->second;
@@ -449,6 +466,11 @@ void Orb::handle_reply(const Endpoint& from, giop::Reply reply) {
     // The Fig. 4 failure mode: the reply is valid but its request_id matches
     // no outstanding request on this connection, so the ORB drops it.
     stats_.replies_discarded_request_id += 1;
+    ctr_rid_discards_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kOrb, "reply_discard", reply.request_id,
+                  "reason=no_matching_request");
+    }
     ETERNAL_LOG(kDebug, kTag,
                 util::to_string(node_) << " discarding reply with request_id "
                                        << reply.request_id << " (no matching request)");
@@ -457,6 +479,7 @@ void Orb::handle_reply(const Endpoint& from, giop::Reply reply) {
   PendingReply pending = std::move(pending_it->second);
   conn.pending.erase(pending_it);
   stats_.replies_received += 1;
+  hist_rtt_.observe(static_cast<std::uint64_t>((sim_.now() - pending.sent).count()));
   if (pending.handler) {
     ReplyOutcome outcome{reply.reply_status, std::move(reply.body)};
     pending.handler(outcome);

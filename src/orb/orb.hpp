@@ -31,6 +31,7 @@
 
 #include "giop/giop.hpp"
 #include "giop/ior.hpp"
+#include "obs/trace.hpp"
 #include "orb/servant.hpp"
 #include "orb/transport.hpp"
 #include "sim/simulator.hpp"
@@ -189,6 +190,7 @@ class Orb : public MessageSink {
   struct PendingReply {
     ReplyHandler handler;
     std::string operation;
+    util::TimePoint sent{};  ///< for the request→reply latency histogram
   };
   enum class HandshakeState { kNotNeeded, kRequired, kPending, kDone };
   struct QueuedInvocation {
@@ -237,6 +239,14 @@ class Orb : public MessageSink {
   sim::Simulator& sim_;
   NodeId node_;
   OrbConfig config_;
+
+  // Observability (src/obs/): reply-matching and the two discard symptoms
+  // (§4.2.1 request_id mismatch, §4.2.2 unknown short key) are metered.
+  obs::Recorder& rec_;
+  obs::Counter& ctr_rid_discards_;
+  obs::Counter& ctr_key_discards_;
+  obs::Histogram& hist_rtt_;
+
   Transport* transport_ = nullptr;
   Poa poa_;
   std::unordered_map<Endpoint, ClientConnection> client_conns_;

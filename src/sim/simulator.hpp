@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -34,12 +35,17 @@ struct EventId {
 /// which keeps runs deterministic without relying on container tie-breaks.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { recorder_.bind_clock(&now_); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
   TimePoint now() const noexcept { return now_; }
+
+  /// Observability handle shared by every layer running on this simulator.
+  /// Detached (and near-free) until a System attaches metrics/trace sinks.
+  obs::Recorder& recorder() noexcept { return recorder_; }
+  const obs::Recorder& recorder() const noexcept { return recorder_; }
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero.
   EventId schedule(Duration delay, std::function<void()> fn);
@@ -87,6 +93,7 @@ class Simulator {
   bool fire_next();
 
   TimePoint now_{};
+  obs::Recorder recorder_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;

@@ -16,7 +16,17 @@ std::vector<NodeId> sorted(std::set<NodeId> nodes) {
 
 TotemNode::TotemNode(Simulator& sim, Ethernet& ethernet, NodeId node, TotemConfig config,
                      TotemListener* listener)
-    : sim_(sim), ethernet_(ethernet), node_(node), config_(config), listener_(listener) {
+    : sim_(sim),
+      ethernet_(ethernet),
+      node_(node),
+      config_(config),
+      listener_(listener),
+      rec_(sim.recorder()),
+      ctr_tokens_(rec_.counter("totem.tokens_handled")),
+      ctr_deliveries_(rec_.counter("totem.deliveries")),
+      ctr_retransmissions_(rec_.counter("totem.retransmissions")),
+      ctr_view_installs_(rec_.counter("totem.view_installs")),
+      ctr_gathers_(rec_.counter("totem.gathers")) {
   if (listener_ == nullptr) throw std::invalid_argument("TotemNode: null listener");
 }
 
@@ -190,10 +200,22 @@ void TotemNode::advance_delivery() {
 }
 
 void TotemNode::deliver_frame(const DataFrame& f) {
+  // Traced per frame (not per reassembled message) so the event stream is
+  // gap-free in sequence numbers — the property the InvariantChecker
+  // asserts per node and cross-checks across the ring.
+  if (rec_.tracing()) {
+    rec_.record(node_, obs::Layer::kTotem, "deliver", f.seq,
+                "ring=" + std::to_string(f.ring_id) +
+                    " view=" + std::to_string(f.view.value) +
+                    " origin=" + std::to_string(f.origin.value) +
+                    " digest=" + std::to_string(util::fnv1a(f.payload)) +
+                    " size=" + std::to_string(f.payload.size()));
+  }
   const auto key = std::make_pair(f.origin.value, f.msg_id);
   if (f.frag_count <= 1) {
     Delivery d{f.origin, f.view, f.seq, f.payload};
     stats_.deliveries += 1;
+    ctr_deliveries_.add();
     listener_->on_deliver(d);
     return;
   }
@@ -203,6 +225,7 @@ void TotemNode::deliver_frame(const DataFrame& f) {
     Delivery d{f.origin, f.view, f.seq, std::move(acc)};
     partial_.erase(key);
     stats_.deliveries += 1;
+    ctr_deliveries_.add();
     listener_->on_deliver(d);
   }
 }
@@ -221,6 +244,7 @@ void TotemNode::handle_token(NodeId /*from*/, TokenFrame token) {
   if (token.view != view_.id) return;
   if (token.target != node_) return;  // token is logically point-to-point
   stats_.tokens_handled += 1;
+  ctr_tokens_.add();  // rotation volume is metered, never traced
 
   bool did_work = false;
 
@@ -288,6 +312,11 @@ void TotemNode::serve_retransmissions(std::vector<std::uint64_t>& rtr) {
     copy.retransmission = true;
     broadcast(encode_frame(node_, copy));
     stats_.retransmissions += 1;
+    ctr_retransmissions_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kTotem, "retransmit", seq,
+                  "ring=" + std::to_string(copy.ring_id));
+    }
   }
   rtr = std::move(still_missing);
 }
@@ -347,6 +376,11 @@ void TotemNode::arm_token_timer() {
 void TotemNode::enter_gather() {
   if (state_ == State::kDown) return;
   state_ = State::kGather;
+  ctr_gathers_.add();
+  if (rec_.tracing()) {
+    rec_.record(node_, obs::Layer::kTotem, "gather", view_.id.value,
+                "ring=" + std::to_string(view_.ring_id));
+  }
   sim_.cancel(token_timer_);
   sim_.cancel(pass_timer_);
   sim_.cancel(settle_timer_);
@@ -512,6 +546,11 @@ void TotemNode::handle_ready(NodeId from, const ReadyFrame& f) {
     copy.retransmission = true;
     broadcast(encode_frame(node_, copy));
     stats_.retransmissions += 1;
+    ctr_retransmissions_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kTotem, "retransmit", seq,
+                  "ring=" + std::to_string(copy.ring_id));
+    }
   }
 }
 
@@ -593,6 +632,14 @@ void TotemNode::install_view(const InstallFrame& f) {
   fresh_member_ = false;
   state_ = State::kOperational;
   stats_.view_changes += 1;
+  ctr_view_installs_.add();
+  if (rec_.tracing()) {
+    rec_.record(node_, obs::Layer::kTotem, "view_install", view_.id.value,
+                "ring=" + std::to_string(view_.ring_id) +
+                    " members=" + std::to_string(view_.members.size()) +
+                    " joined=" + std::to_string(view_.joined.size()) +
+                    " departed=" + std::to_string(view_.departed.size()));
+  }
   sim_.cancel(settle_timer_);
   sim_.cancel(rebroadcast_timer_);
   sim_.cancel(recovery_timer_);

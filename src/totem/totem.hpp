@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/ethernet.hpp"
 #include "sim/simulator.hpp"
 #include "totem/frames.hpp"
@@ -215,6 +216,17 @@ class TotemNode : public sim::Station {
 
   std::unordered_map<NodeId, TimePoint> last_heard_;
   TotemStats stats_;
+
+  // Observability (src/obs/). Instruments are resolved once at construction
+  // — against the registry the deploying System attached to the Simulator's
+  // Recorder, or a shared sink when running bare — so the token path pays
+  // one increment, never a name lookup. rec_ gates trace emission.
+  obs::Recorder& rec_;
+  obs::Counter& ctr_tokens_;
+  obs::Counter& ctr_deliveries_;
+  obs::Counter& ctr_retransmissions_;
+  obs::Counter& ctr_view_installs_;
+  obs::Counter& ctr_gathers_;
 };
 
 }  // namespace eternal::totem

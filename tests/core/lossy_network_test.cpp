@@ -5,6 +5,7 @@
 
 #include "core/deployment.hpp"
 #include "support/counter_servant.hpp"
+#include "support/invariant_helpers.hpp"
 
 namespace eternal {
 namespace {
@@ -24,6 +25,7 @@ TEST_P(LossyNetwork, InvocationsSurviveFrameLoss) {
   SystemConfig cfg;
   cfg.nodes = 4;
   cfg.ethernet.loss_probability = 0.0;  // lossless bootstrap/deploy
+  cfg.trace_capacity = 1u << 20;        // whole-run trace for the invariant check
   System sys(cfg);
 
   FtProperties props;
@@ -61,6 +63,9 @@ TEST_P(LossyNetwork, InvocationsSurviveFrameLoss) {
   EXPECT_EQ(servants[1]->value(), completed);
   EXPECT_EQ(servants[2]->value(), completed);
   EXPECT_EQ(sys.orb(NodeId{4}).stats().replies_discarded_request_id, 0u);
+  // Loss-triggered retransmissions and reformations must still yield
+  // gap-free agreed delivery and exactly-once injection on every node.
+  test_support::expect_invariants_hold(sys);
 }
 
 INSTANTIATE_TEST_SUITE_P(LossLevels, LossyNetwork, ::testing::Values(0.005, 0.01, 0.03));

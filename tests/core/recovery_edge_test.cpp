@@ -4,6 +4,7 @@
 
 #include "core/deployment.hpp"
 #include "support/counter_servant.hpp"
+#include "support/invariant_helpers.hpp"
 
 namespace eternal {
 namespace {
@@ -21,6 +22,7 @@ struct EdgeRig {
   EdgeRig() {
     SystemConfig cfg;
     cfg.nodes = 5;
+    cfg.trace_capacity = 1u << 20;  // whole-run trace for the invariant check
     sys = std::make_unique<System>(cfg);
     FtProperties props;
     props.style = ReplicationStyle::kActive;
@@ -87,6 +89,7 @@ TEST(RecoveryEdge, RecoveryOntoBrandNewNode) {
   EXPECT_EQ(rig.servants[1]->value(), 6);
   EXPECT_EQ(rig.sys->orb(NodeId{3}).stats().requests_discarded_unknown_key, 0u);
   EXPECT_EQ(rig.sys->orb(NodeId{5}).stats().replies_discarded_request_id, 0u);
+  test_support::expect_invariants_hold(*rig.sys);
 }
 
 TEST(RecoveryEdge, StateSourceKilledMidTransferIsRetried) {
@@ -120,6 +123,7 @@ TEST(RecoveryEdge, StateSourceKilledMidTransferIsRetried) {
   EXPECT_EQ(rig.servants[3]->value(), 3);
   ASSERT_TRUE(rig.invoke(1));
   EXPECT_EQ(rig.servants[3]->value(), 4);
+  test_support::expect_invariants_hold(*rig.sys);
 }
 
 TEST(RecoveryEdge, KilledWhileRecoveringIsSimplyRemoved) {
@@ -143,6 +147,7 @@ TEST(RecoveryEdge, KilledWhileRecoveringIsSimplyRemoved) {
       [&] { return rig.sys->mech(NodeId{2}).hosts_operational(rig.group); },
       Duration(2'000'000'000)));
   EXPECT_EQ(rig.servants[2]->value(), 3);
+  test_support::expect_invariants_hold(*rig.sys);
 }
 
 /// Servant whose state is temporarily unavailable (NoStateAvailable).

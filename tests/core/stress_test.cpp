@@ -6,6 +6,7 @@
 
 #include "core/deployment.hpp"
 #include "support/counter_servant.hpp"
+#include "support/invariant_helpers.hpp"
 #include "util/rng.hpp"
 
 namespace eternal {
@@ -43,6 +44,7 @@ TEST_P(RandomFaultSchedule, InvariantsHoldUnderArbitraryFaults) {
   SystemConfig cfg;
   cfg.nodes = 4;
   cfg.seed = param.seed;
+  cfg.trace_capacity = 1u << 20;  // whole-run trace for the invariant check
   System sys(cfg);
 
   FtProperties props;
@@ -140,6 +142,9 @@ TEST_P(RandomFaultSchedule, InvariantsHoldUnderArbitraryFaults) {
     EXPECT_EQ(sys.orb(n).stats().replies_discarded_request_id, 0u) << n.value;
     EXPECT_EQ(sys.orb(n).stats().requests_discarded_unknown_key, 0u) << n.value;
   }
+  // I5: the cross-layer trace invariants (gap-free agreed delivery, no
+  // duplicate ops, single primary, enqueue-order execution) all held.
+  test_support::expect_invariants_hold(sys);
 }
 
 INSTANTIATE_TEST_SUITE_P(

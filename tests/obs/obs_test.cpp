@@ -1,0 +1,652 @@
+// Unit tests for the observability subsystem (src/obs/): histogram bucket
+// boundaries, trace ring-buffer wraparound, JSON export round-trips, the
+// detail-string parser, the InvariantChecker rules on synthetic streams,
+// and the BENCH_*.json result-file writer.
+//
+// The round-trip tests bring their own strict recursive-descent JSON parser
+// (the emitter promises RFC 8259; the parser holds it to that), so every
+// assertion here consumes the exported bytes, not the writer's internals.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../../bench/support.hpp"
+#include "obs/invariants.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace eternal::obs {
+namespace {
+
+// ------------------------------------------------------------ JSON parser
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& k) const {
+    auto it = object.find(k);
+    if (it == object.end()) throw std::runtime_error("missing key: " + k);
+    return it->second;
+  }
+  bool has(const std::string& k) const { return object.count(k) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.kind = JsonValue::kString;
+        v.string = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind = JsonValue::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind = JsonValue::kBool;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return v;
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= (unsigned)(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= (unsigned)(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= (unsigned)(h - 'A' + 10);
+            else fail("bad hex digit");
+          }
+          if (code > 0x7F) fail("test parser only handles ASCII escapes");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit((unsigned char)text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse(); }
+
+// ------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, CommaPlacementAcrossNestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.value(std::uint64_t{2});
+  w.begin_object();
+  w.field("c", "x");
+  w.end_object();
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.field("d", 3.5);
+  w.end_object();
+  EXPECT_EQ(std::move(w).take(), R"({"a":1,"b":[2,{"c":"x"},true,null],"d":3.5})");
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.value(std::string_view("a\"b\\c\nd\te\x01" "f"));
+  EXPECT_EQ(std::move(w).take(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(std::move(w).take(), "[null,null]");
+}
+
+TEST(JsonWriter, RawSplicesPreSerializedValue) {
+  JsonWriter inner;
+  inner.begin_object();
+  inner.field("x", std::uint64_t{7});
+  inner.end_object();
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.key("nested");
+  w.raw(std::move(inner).take());
+  w.field("b", std::uint64_t{2});
+  w.end_object();
+  const std::string out = std::move(w).take();
+  EXPECT_EQ(out, R"({"a":1,"nested":{"x":7},"b":2})");
+  EXPECT_EQ(parse_json(out).at("nested").at("x").number, 7.0);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BoundsAreInclusiveUpperEdges) {
+  Histogram h({10, 20});
+  h.observe(10);  // lands in bucket 0: value <= 10
+  h.observe(11);  // bucket 1
+  h.observe(20);  // bucket 1: inclusive edge
+  h.observe(21);  // overflow bucket
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+}
+
+TEST(Histogram, TracksCountSumMinMaxMean) {
+  Histogram h({100});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u) << "empty histogram reports min 0, not uint64 max";
+  EXPECT_EQ(h.mean(), 0.0);
+  h.observe(4);
+  h.observe(16);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1020u);
+  EXPECT_EQ(h.min(), 4u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 340.0);
+}
+
+TEST(Histogram, ExponentialBoundsAreStrictlyAscending) {
+  const auto doubling = Histogram::exponential(1000, 2.0, 4);
+  EXPECT_EQ(doubling, (std::vector<std::uint64_t>{1000, 2000, 4000, 8000}));
+
+  // A degenerate factor must still produce usable (strictly ascending) bounds.
+  const auto flat = Histogram::exponential(5, 1.0, 4);
+  for (std::size_t i = 1; i < flat.size(); ++i) EXPECT_GT(flat[i], flat[i - 1]);
+
+  const auto& latency = Histogram::default_latency_bounds();
+  ASSERT_FALSE(latency.empty());
+  EXPECT_EQ(latency.front(), 1000u);  // 1 us in ns
+  for (std::size_t i = 1; i < latency.size(); ++i)
+    EXPECT_EQ(latency[i], latency[i - 1] * 2);
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistry, HandsOutStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  reg.counter("a");  // map growth must not move existing instruments
+  reg.counter("z");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstUse) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("rtt", {1, 2, 3});
+  Histogram& again = reg.histogram("rtt", {99});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(reg.histogram("lat").bounds(), Histogram::default_latency_bounds());
+}
+
+TEST(MetricsRegistry, ToJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("totem.deliveries").add(41);
+  reg.gauge("backlog").set(-7);
+  Histogram& h = reg.histogram("rtt_ns", {10, 20});
+  h.observe(5);
+  h.observe(15);
+  h.observe(500);
+
+  const JsonValue doc = parse_json(reg.to_json());
+  EXPECT_EQ(doc.at("counters").at("totem.deliveries").number, 41.0);
+  EXPECT_EQ(doc.at("gauges").at("backlog").number, -7.0);
+  const JsonValue& rtt = doc.at("histograms").at("rtt_ns");
+  EXPECT_EQ(rtt.at("count").number, 3.0);
+  EXPECT_EQ(rtt.at("sum").number, 520.0);
+  EXPECT_EQ(rtt.at("min").number, 5.0);
+  EXPECT_EQ(rtt.at("max").number, 500.0);
+  ASSERT_EQ(rtt.at("bounds").array.size(), 2u);
+  ASSERT_EQ(rtt.at("counts").array.size(), 3u);
+  EXPECT_EQ(rtt.at("counts").array[0].number, 1.0);
+  EXPECT_EQ(rtt.at("counts").array[1].number, 1.0);
+  EXPECT_EQ(rtt.at("counts").array[2].number, 1.0);
+}
+
+// ------------------------------------------------------------ TraceBuffer
+
+TraceEvent make_event(std::uint64_t seq, std::uint32_t node = 1,
+                      std::string detail = std::string()) {
+  TraceEvent ev;
+  ev.sim_time = util::TimePoint(util::Duration(1000 * (std::int64_t)seq));
+  ev.node = util::NodeId{node};
+  ev.layer = Layer::kTotem;
+  ev.kind = "deliver";
+  ev.seq = seq;
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+TEST(TraceBuffer, WrapsDroppingOldestFirst) {
+  TraceBuffer buf(4);
+  for (std::uint64_t s = 0; s < 10; ++s) buf.push(make_event(s));
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.total(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, 6 + i) << "snapshot must be oldest-first";
+}
+
+TEST(TraceBuffer, ExactlyFullBufferDropsNothing) {
+  TraceBuffer buf(3);
+  for (std::uint64_t s = 0; s < 3; ++s) buf.push(make_event(s));
+  EXPECT_EQ(buf.dropped(), 0u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().seq, 0u);
+  EXPECT_EQ(events.back().seq, 2u);
+
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.total(), 0u);
+  buf.push(make_event(99));
+  EXPECT_EQ(buf.snapshot().front().seq, 99u);
+}
+
+TEST(TraceBuffer, ToJsonRoundTrips) {
+  TraceBuffer buf(8);
+  buf.push(make_event(1, 2, "ring=5.1 digest=abc"));
+  buf.push(make_event(2, 3, "ring=5.1 digest=\"quoted\""));
+
+  const JsonValue doc = parse_json(buf.to_json());
+  EXPECT_EQ(doc.at("capacity").number, 8.0);
+  EXPECT_EQ(doc.at("total").number, 2.0);
+  EXPECT_EQ(doc.at("dropped").number, 0.0);
+  const auto& events = doc.at("events").array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("t").number, 1000.0);
+  EXPECT_EQ(events[0].at("node").number, 2.0);
+  EXPECT_EQ(events[0].at("layer").string, "totem");
+  EXPECT_EQ(events[0].at("kind").string, "deliver");
+  EXPECT_EQ(events[0].at("seq").number, 1.0);
+  EXPECT_EQ(events[0].at("detail").string, "ring=5.1 digest=abc");
+  EXPECT_EQ(events[1].at("detail").string, "ring=5.1 digest=\"quoted\"");
+}
+
+// ------------------------------------------------------------ parse_detail
+
+TEST(ParseDetail, SplitsKeyValuePairs) {
+  const auto kv = parse_detail("group=7 client=3 op_seq=12 phase=operational");
+  EXPECT_EQ(kv.at("group"), "7");
+  EXPECT_EQ(kv.at("client"), "3");
+  EXPECT_EQ(kv.at("op_seq"), "12");
+  EXPECT_EQ(kv.at("phase"), "operational");
+}
+
+TEST(ParseDetail, IgnoresMalformedTokens) {
+  const auto kv = parse_detail("bare =novalue ok=1  double==x");
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.at("ok"), "1");
+  EXPECT_EQ(kv.at("double"), "=x");
+  EXPECT_TRUE(parse_detail("").empty());
+}
+
+// ------------------------------------------------------- InvariantChecker
+
+TraceEvent totem_deliver(std::uint32_t node, std::uint64_t seq,
+                         const std::string& ring, const std::string& digest) {
+  TraceEvent ev;
+  ev.node = util::NodeId{node};
+  ev.layer = Layer::kTotem;
+  ev.kind = "deliver";
+  ev.seq = seq;
+  ev.detail = "ring=" + ring + " view=3 origin=1 digest=" + digest + " size=64";
+  return ev;
+}
+
+TraceEvent totem_install(std::uint32_t node, const std::string& ring) {
+  TraceEvent ev;
+  ev.node = util::NodeId{node};
+  ev.layer = Layer::kTotem;
+  ev.kind = "view_install";
+  ev.seq = 0;
+  ev.detail = "ring=" + ring + " members=2";
+  return ev;
+}
+
+TraceEvent mech_event(std::uint32_t node, std::string_view kind,
+                      std::string detail) {
+  TraceEvent ev;
+  ev.node = util::NodeId{node};
+  ev.layer = Layer::kMech;
+  ev.kind = kind;
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+TEST(InvariantChecker, CleanStreamHasNoViolations) {
+  std::vector<TraceEvent> events;
+  for (std::uint32_t node : {1u, 2u}) {
+    events.push_back(totem_deliver(node, 10, "1.1", "aa"));
+    events.push_back(totem_deliver(node, 11, "1.1", "bb"));
+    events.push_back(totem_install(node, "2.1"));
+    events.push_back(totem_deliver(node, 30, "2.1", "cc"));
+  }
+  events.push_back(mech_event(1, "enqueue", "group=5 replica=r1 client=9 op_seq=1"));
+  events.push_back(mech_event(1, "enqueue", "group=5 replica=r1 client=9 op_seq=2"));
+  events.push_back(mech_event(1, "request_inject",
+                              "group=5 replica=r1 client=9 op_seq=1"));
+  events.push_back(mech_event(1, "request_inject",
+                              "group=5 replica=r1 client=9 op_seq=2"));
+  events.push_back(mech_event(1, "phase",
+                              "group=5 replica=r1 phase=operational style=warm-passive"));
+  events.push_back(mech_event(2, "phase",
+                              "group=5 replica=r2 phase=backup style=warm-passive"));
+  const auto violations = InvariantChecker::check(events);
+  EXPECT_TRUE(violations.empty()) << InvariantChecker::report(violations);
+}
+
+TEST(InvariantChecker, FlagsDeliveryGapWithoutInstall) {
+  std::vector<TraceEvent> events{totem_deliver(1, 10, "1.1", "aa"),
+                                 totem_deliver(1, 12, "1.1", "bb")};
+  const auto violations = InvariantChecker::check(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "delivery-gap");
+}
+
+TEST(InvariantChecker, ViewInstallLegitimisesSequenceJump) {
+  std::vector<TraceEvent> events{totem_deliver(1, 10, "1.1", "aa"),
+                                 totem_install(1, "2.1"),
+                                 totem_deliver(1, 25, "2.1", "bb")};
+  EXPECT_TRUE(InvariantChecker::check(events).empty());
+
+  // ...but only on the node that installed it.
+  events.push_back(totem_deliver(2, 10, "1.1", "aa"));
+  events.push_back(totem_deliver(2, 25, "2.1", "bb"));
+  EXPECT_TRUE(InvariantChecker::check(events).empty())
+      << "a ring change on the other node is not a same-ring gap";
+  events.push_back(totem_deliver(2, 27, "2.1", "cc"));
+  const auto violations = InvariantChecker::check(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "delivery-gap");
+}
+
+TEST(InvariantChecker, FlagsCrossNodeIdentityDisagreement) {
+  std::vector<TraceEvent> events{totem_deliver(1, 10, "1.1", "aa"),
+                                 totem_deliver(2, 10, "1.1", "DIFFERENT")};
+  const auto violations = InvariantChecker::check(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "order-agreement");
+}
+
+TEST(InvariantChecker, FlagsDuplicateOperationPerIncarnation) {
+  std::vector<TraceEvent> events{
+      mech_event(1, "enqueue", "group=5 replica=r1 client=9 op_seq=1"),
+      mech_event(1, "request_inject", "group=5 replica=r1 client=9 op_seq=1"),
+      mech_event(1, "request_inject", "group=5 replica=r1 client=9 op_seq=1")};
+  auto violations = InvariantChecker::check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].rule, "duplicate-op");
+
+  // A *new incarnation* (fresh ReplicaId) may legitimately re-execute the
+  // operation after state transfer + replay.
+  std::vector<TraceEvent> relaunch{
+      mech_event(1, "enqueue", "group=5 replica=r1 client=9 op_seq=1"),
+      mech_event(1, "request_inject", "group=5 replica=r1 client=9 op_seq=1"),
+      mech_event(1, "enqueue", "group=5 replica=r2 client=9 op_seq=1"),
+      mech_event(1, "request_inject", "group=5 replica=r2 client=9 op_seq=1")};
+  EXPECT_TRUE(InvariantChecker::check(relaunch).empty());
+}
+
+TEST(InvariantChecker, FlagsTwoConcurrentPrimaries) {
+  std::vector<TraceEvent> events{
+      mech_event(1, "phase", "group=5 replica=r1 phase=operational style=warm-passive"),
+      mech_event(2, "phase", "group=5 replica=r2 phase=operational style=warm-passive")};
+  const auto violations = InvariantChecker::check(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "multi-primary");
+
+  // Orderly failover: the old primary dies before the backup is promoted.
+  std::vector<TraceEvent> failover{
+      mech_event(1, "phase", "group=5 replica=r1 phase=operational style=warm-passive"),
+      mech_event(2, "phase", "group=5 replica=r2 phase=backup style=warm-passive"),
+      mech_event(1, "phase", "group=5 replica=r1 phase=dead style=warm-passive"),
+      mech_event(2, "phase", "group=5 replica=r2 phase=replaying style=warm-passive"),
+      mech_event(2, "phase", "group=5 replica=r2 phase=operational style=warm-passive")};
+  EXPECT_TRUE(InvariantChecker::check(failover).empty());
+}
+
+TEST(InvariantChecker, ActiveGroupsMayHaveManyOperationalReplicas) {
+  std::vector<TraceEvent> events{
+      mech_event(1, "phase", "group=5 replica=r1 phase=operational style=active"),
+      mech_event(2, "phase", "group=5 replica=r2 phase=operational style=active"),
+      mech_event(3, "phase", "group=5 replica=r3 phase=operational style=active")};
+  EXPECT_TRUE(InvariantChecker::check(events).empty());
+}
+
+TEST(InvariantChecker, FlagsExecutionOutOfEnqueueOrder) {
+  std::vector<TraceEvent> events{
+      mech_event(1, "enqueue", "group=5 replica=r1 client=9 op_seq=1"),
+      mech_event(1, "enqueue", "group=5 replica=r1 client=9 op_seq=2"),
+      mech_event(1, "request_inject", "group=5 replica=r1 client=9 op_seq=2"),
+      mech_event(1, "request_inject", "group=5 replica=r1 client=9 op_seq=1")};
+  const auto violations = InvariantChecker::check(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "replay-order");
+}
+
+TEST(InvariantChecker, FlagsInjectionWithoutEnqueueRecord) {
+  std::vector<TraceEvent> events{
+      mech_event(1, "request_inject", "group=5 replica=r1 client=9 op_seq=1")};
+  const auto violations = InvariantChecker::check(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "replay-order");
+}
+
+TEST(InvariantChecker, RefusesToVouchForTruncatedBuffer) {
+  TraceBuffer buf(2);
+  for (std::uint64_t s = 0; s < 5; ++s) buf.push(make_event(s));
+  const auto violations = InvariantChecker::check(buf);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].rule, "trace-dropped");
+}
+
+// -------------------------------------------------------- bench JSON files
+
+TEST(BenchResultWriter, EmitsSchemaOneDocuments) {
+  MetricsRegistry reg;
+  reg.counter("totem.deliveries").add(123);
+
+  bench::BenchResultWriter out("throughput");
+  out.row().col("replicas", std::uint64_t{1}).col("style", "active").col(
+      "invocations_per_s", 2500.25);
+  out.row().col("replicas", std::uint64_t{3}).col("style", "active").col(
+      "invocations_per_s", 1800.5);
+  const std::string doc_text = out.finish(&reg);
+
+  const JsonValue doc = parse_json(doc_text);
+  EXPECT_EQ(doc.at("bench").string, "throughput");
+  EXPECT_EQ(doc.at("schema_version").number, 1.0);
+  const auto& rows = doc.at("rows").array;
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].at("replicas").number, 1.0);
+  EXPECT_EQ(rows[0].at("style").string, "active");
+  EXPECT_DOUBLE_EQ(rows[1].at("invocations_per_s").number, 1800.5);
+  EXPECT_EQ(doc.at("metrics").at("counters").at("totem.deliveries").number, 123.0);
+}
+
+TEST(BenchResultWriter, WritesParseableFile) {
+  const std::string path = ::testing::TempDir() + "/BENCH_obs_test.json";
+  bench::BenchResultWriter out("obs_test");
+  out.row().col("value", 42.0);
+  ASSERT_TRUE(out.write_file(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const JsonValue doc = parse_json(text);
+  EXPECT_EQ(doc.at("bench").string, "obs_test");
+  ASSERT_EQ(doc.at("rows").array.size(), 1u);
+  EXPECT_EQ(doc.at("rows").array[0].at("value").number, 42.0);
+  EXPECT_FALSE(doc.has("metrics"));
+}
+
+}  // namespace
+}  // namespace eternal::obs

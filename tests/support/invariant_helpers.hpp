@@ -1,0 +1,26 @@
+// Attach the trace-driven InvariantChecker (src/obs/invariants.hpp) to any
+// System-based scenario: set SystemConfig::trace_capacity before building
+// the System, run the scenario, then call expect_invariants_hold at the end.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "obs/invariants.hpp"
+
+namespace eternal::test_support {
+
+/// Fails the current test (non-fatally) if any cross-layer invariant was
+/// violated during the run. Requires SystemConfig::trace_capacity > 0.
+inline void expect_invariants_hold(const core::System& sys) {
+  ASSERT_NE(sys.trace(), nullptr)
+      << "expect_invariants_hold: SystemConfig::trace_capacity was not set";
+  const std::vector<obs::Violation> violations =
+      obs::InvariantChecker::check(*sys.trace());
+  EXPECT_TRUE(violations.empty())
+      << "invariant violations over " << sys.trace()->total()
+      << " trace events:\n"
+      << obs::InvariantChecker::report(violations);
+}
+
+}  // namespace eternal::test_support
