@@ -13,7 +13,15 @@
 // Expected shape (not absolute 2001-hardware numbers): flat for states that
 // fit one frame, then linear in the state size, dominated by the 100 Mbps
 // serialization of the fragments.
+//
+// Each run also carries the causal-span profiler (obs/spans.hpp): the six
+// Figure-5 recovery phases partition the recovery interval exactly, so
+// `recovery_ms` below is their sum, and `reinstated_ms` is the coarser
+// launch→operational interval from the RecoveryRecord (which ends at
+// set_state application, before the backlog replays). The 100 kB run's
+// full span tree is exported as a Chrome trace (chrome://tracing/Perfetto).
 #include <array>
+#include <string>
 
 #include "support.hpp"
 #include "util/any.hpp"
@@ -35,16 +43,24 @@ using util::NodeId;
 
 struct Row {
   std::size_t state_bytes;
-  double recovery_ms;
-  double coordination_ms;  // launch -> get_state (membership + quiescence)
-  double transfer_ms;      // get_state -> set_state (retrieval + multicast)
-  double apply_ms;         // set_state -> operational (assignment + drain)
-  std::uint64_t frames;    // Ethernet frames during the recovery window
+  double recovery_ms = -1.0;   // sum of the six Figure-5 phases below
+  double reinstated_ms = -1.0; // RecoveryRecord: launch -> set_state applied
+  double phase_fault_detection_ms = -1.0;
+  double phase_quiesce_ms = -1.0;
+  double phase_get_state_ms = -1.0;
+  double phase_transfer_ms = -1.0;
+  double phase_set_state_ms = -1.0;
+  double phase_replay_ms = -1.0;
+  double coordination_ms = -1.0;  // launch -> get_state (membership + quiescence)
+  double transfer_ms = -1.0;      // get_state -> set_state (retrieval + multicast)
+  double apply_ms = -1.0;         // set_state -> operational (assignment + drain)
+  std::uint64_t frames = 0;       // Ethernet frames during the recovery window
 };
 
-Row run_once(std::size_t state_bytes) {
+Row run_once(std::size_t state_bytes, std::string* chrome_trace_out) {
   SystemConfig cfg;
   cfg.nodes = 4;
+  cfg.span_capacity = 1u << 16;
   System sys(cfg);
 
   FtProperties props;
@@ -84,20 +100,39 @@ Row run_once(std::size_t state_bytes) {
   sys.relaunch_replica(NodeId{2}, server);
   const bool recovered = sys.run_until(
       [&] { return !sys.mech(NodeId{2}).recoveries().empty(); }, Duration(5'000'000'000));
+  // The profiler's replay phase ends only when the backlog enqueued during
+  // recovery has been handed back to the ORB; give the drain time to finish.
+  sys.run_until([&] { return !sys.spans()->recovery().completed().empty(); },
+                Duration(1'000'000'000));
 
   driver.stop();
   Row row{};
   row.state_bytes = state_bytes;
   if (recovered) {
     const core::RecoveryRecord& rec = sys.mech(NodeId{2}).recoveries().front();
-    row.recovery_ms = bench::to_ms(rec.recovery_time());
+    row.reinstated_ms = bench::to_ms(rec.recovery_time());
     row.coordination_ms = bench::to_ms(rec.coordination_time());
     row.transfer_ms = bench::to_ms(rec.transfer_time());
     row.apply_ms = bench::to_ms(rec.apply_time());
     row.frames = sys.ethernet().stats().frames_sent - frames_before;
-  } else {
-    row.recovery_ms = -1.0;
   }
+  if (!sys.spans()->recovery().completed().empty()) {
+    const auto& p = sys.spans()->recovery().completed().back();
+    row.phase_fault_detection_ms = bench::to_ms(p.fault_detection);
+    row.phase_quiesce_ms = bench::to_ms(p.quiesce);
+    row.phase_get_state_ms = bench::to_ms(p.get_state);
+    row.phase_transfer_ms = bench::to_ms(p.state_transfer);
+    row.phase_set_state_ms = bench::to_ms(p.set_state);
+    row.phase_replay_ms = bench::to_ms(p.replay);
+    // The phases partition launch→drained exactly; their sum IS the
+    // recovery time (to the paper's Figure-5 taxonomy).
+    row.recovery_ms = row.phase_fault_detection_ms + row.phase_quiesce_ms +
+                      row.phase_get_state_ms + row.phase_transfer_ms +
+                      row.phase_set_state_ms + row.phase_replay_ms;
+  } else if (recovered) {
+    row.recovery_ms = row.reinstated_ms;  // profiler incomplete; coarse fallback
+  }
+  if (chrome_trace_out != nullptr) *chrome_trace_out = sys.spans()->to_chrome_json();
   return row;
 }
 
@@ -112,18 +147,28 @@ int main() {
 
   static const std::size_t kSizes[] = {10,     100,    1000,   1518,    5'000,  10'000,
                                        25'000, 50'000, 100'000, 200'000, 350'000};
-  std::printf("%12s %13s %10s %10s %10s %8s\n", "state_B", "recovery_ms", "coord_ms",
-              "xfer_ms", "apply_ms", "frames");
+  std::printf("%12s %13s %8s %8s %8s %8s %8s %8s %8s\n", "state_B", "recovery_ms",
+              "fd_ms", "quie_ms", "get_ms", "xfer_ms", "set_ms", "replay", "frames");
   bench::BenchResultWriter results("fig6_recovery_time");
+  std::string chrome_trace;
   double first_small = 0, last_big = 0;
   for (std::size_t size : kSizes) {
-    const Row row = run_once(size);
-    std::printf("%12zu %13.3f %10.3f %10.3f %10.3f %8llu\n", row.state_bytes,
-                row.recovery_ms, row.coordination_ms, row.transfer_ms, row.apply_ms,
+    const Row row = run_once(size, size == 100'000 ? &chrome_trace : nullptr);
+    std::printf("%12zu %13.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8llu\n",
+                row.state_bytes, row.recovery_ms, row.phase_fault_detection_ms,
+                row.phase_quiesce_ms, row.phase_get_state_ms, row.phase_transfer_ms,
+                row.phase_set_state_ms, row.phase_replay_ms,
                 static_cast<unsigned long long>(row.frames));
     results.row()
         .col("state_bytes", static_cast<std::uint64_t>(row.state_bytes))
         .col("recovery_ms", row.recovery_ms)
+        .col("reinstated_ms", row.reinstated_ms)
+        .col("phase_fault_detection_ms", row.phase_fault_detection_ms)
+        .col("phase_quiesce_ms", row.phase_quiesce_ms)
+        .col("phase_get_state_ms", row.phase_get_state_ms)
+        .col("phase_transfer_ms", row.phase_transfer_ms)
+        .col("phase_set_state_ms", row.phase_set_state_ms)
+        .col("phase_replay_ms", row.phase_replay_ms)
         .col("coordination_ms", row.coordination_ms)
         .col("transfer_ms", row.transfer_ms)
         .col("apply_ms", row.apply_ms)
@@ -135,5 +180,13 @@ int main() {
               "steeply with state size)\n",
               first_small > 0 ? last_big / first_small : 0.0);
   results.write_file("BENCH_fig6_recovery_time.json");
+  if (!chrome_trace.empty()) {
+    if (std::FILE* f = std::fopen("BENCH_fig6_recovery_trace.json", "wb")) {
+      std::fwrite(chrome_trace.data(), 1, chrome_trace.size(), f);
+      std::fclose(f);
+      std::printf("chrome trace (100 kB run): BENCH_fig6_recovery_trace.json "
+                  "(load in chrome://tracing or Perfetto)\n");
+    }
+  }
   return 0;
 }

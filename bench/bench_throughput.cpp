@@ -37,9 +37,25 @@ struct Row {
   double offered;
   double achieved;
   double mean_ms;
+  double p50_ms;
+  double p95_ms;
   double p99_ms;
+  // Percentiles interpolated from the ORB's "orb.reply_rtt_ns" histogram
+  // buckets (obs::Histogram::percentile) — the bucketed estimate the live
+  // metrics endpoint would serve, vs the exact sample-based columns above.
+  double hist_p50_ms;
+  double hist_p95_ms;
+  double hist_p99_ms;
   std::uint64_t backlog;
 };
+
+void fill_hist_percentiles(const obs::MetricsRegistry& metrics, Row& row) {
+  auto it = metrics.histograms().find("orb.reply_rtt_ns");
+  if (it == metrics.histograms().end()) return;
+  row.hist_p50_ms = it->second.percentile(50) / 1e6;
+  row.hist_p95_ms = it->second.percentile(95) / 1e6;
+  row.hist_p99_ms = it->second.percentile(99) / 1e6;
+}
 
 Row run_eternal(double rate, std::size_t replicas) {
   SystemConfig cfg;
@@ -69,13 +85,20 @@ Row run_eternal(double rate, std::size_t replicas) {
   row.achieved = static_cast<double>(driver.completed()) /
                  (static_cast<double>(kRun.count()) / 1e9);
   row.mean_ms = bench::to_ms(driver.latency().mean());
+  row.p50_ms = bench::to_ms(driver.latency().percentile(50));
+  row.p95_ms = bench::to_ms(driver.latency().percentile(95));
   row.p99_ms = bench::to_ms(driver.latency().percentile(99));
+  fill_hist_percentiles(sys.metrics(), row);
   row.backlog = driver.in_flight();
   return row;
 }
 
 Row run_baseline(double rate) {
   sim::Simulator sim;
+  // The bare baseline has no System; attach a local registry (before the
+  // ORBs cache their instruments) so the same histogram percentiles exist.
+  obs::MetricsRegistry metrics;
+  sim.recorder().attach_metrics(&metrics);
   orb::TcpNetwork net(sim);
   orb::Orb client_orb(sim, NodeId{100}, orb::OrbConfig{});
   orb::Orb server_orb(sim, NodeId{101}, orb::OrbConfig{});
@@ -96,14 +119,18 @@ Row run_baseline(double rate) {
   row.achieved =
       static_cast<double>(driver.completed()) / (static_cast<double>(kRun.count()) / 1e9);
   row.mean_ms = bench::to_ms(driver.latency().mean());
+  row.p50_ms = bench::to_ms(driver.latency().percentile(50));
+  row.p95_ms = bench::to_ms(driver.latency().percentile(95));
   row.p99_ms = bench::to_ms(driver.latency().percentile(99));
+  fill_hist_percentiles(metrics, row);
   row.backlog = driver.in_flight();
   return row;
 }
 
 void print_row(const char* label, const Row& r) {
-  std::printf("%12s %10.0f %10.0f %10.3f %10.3f %9llu\n", label, r.offered, r.achieved,
-              r.mean_ms, r.p99_ms, static_cast<unsigned long long>(r.backlog));
+  std::printf("%12s %10.0f %10.0f %9.3f %9.3f %9.3f %9.3f %9llu\n", label, r.offered,
+              r.achieved, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
+              static_cast<unsigned long long>(r.backlog));
 }
 
 }  // namespace
@@ -123,12 +150,17 @@ int main() {
         .col("offered_per_s", r.offered)
         .col("achieved_per_s", r.achieved)
         .col("mean_ms", r.mean_ms)
+        .col("p50_ms", r.p50_ms)
+        .col("p95_ms", r.p95_ms)
         .col("p99_ms", r.p99_ms)
+        .col("hist_p50_ms", r.hist_p50_ms)
+        .col("hist_p95_ms", r.hist_p95_ms)
+        .col("hist_p99_ms", r.hist_p99_ms)
         .col("backlog", r.backlog);
   };
 
-  std::printf("%12s %10s %10s %10s %10s %9s\n", "system", "offered/s", "achieved/s",
-              "mean_ms", "p99_ms", "backlog");
+  std::printf("%12s %10s %10s %9s %9s %9s %9s %9s\n", "system", "offered/s",
+              "achieved/s", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "backlog");
   for (double rate : {500.0, 1000.0, 2000.0, 2400.0, 3000.0}) {
     emit("baseline", run_baseline(rate));
     emit("eternal-1", run_eternal(rate, 1));

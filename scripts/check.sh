@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Quick quality gate: the tier-1 test label (fast suites) plus an
+# AddressSanitizer/UBSan build of the observability and core suites.
+#
+#   scripts/check.sh           # tier1 ctest + sanitized obs/core suites
+#   scripts/check.sh --fast    # tier1 ctest only
+#
+# Tier layout (see tests/CMakeLists.txt):
+#   tier1 — every fast suite; the gate that must stay green.
+#   slow  — long fault-schedule/sweep suites (stress, lossy network,
+#           determinism); run by plain `ctest` but skipped here.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1 tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build -L tier1 --output-on-failure
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "check.sh: tier-1 gate passed (sanitizer stage skipped)"
+  exit 0
+fi
+
+echo
+echo "== ASan/UBSan: obs + core suites =="
+cmake -B build-asan -S . -DETERNAL_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$JOBS" --target \
+  obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test
+for t in obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test; do
+  "build-asan/tests/$t"
+done
+
+echo "check.sh: all gates passed"

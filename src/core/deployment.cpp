@@ -14,6 +14,10 @@ System::System(SystemConfig config) : config_(config) {
     trace_ = std::make_unique<obs::TraceBuffer>(config_.trace_capacity);
     sim_.recorder().attach_trace(trace_.get());
   }
+  if (config_.span_capacity > 0) {
+    spans_ = std::make_unique<obs::SpanStore>(config_.span_capacity);
+    sim_.recorder().attach_spans(spans_.get());
+  }
   ethernet_ = std::make_unique<sim::Ethernet>(sim_, config_.ethernet, config_.seed);
 
   std::vector<NodeId> ring;
@@ -38,6 +42,7 @@ System::System(SystemConfig config) : config_(config) {
     s.id = id;
     s.orb = std::make_unique<orb::Orb>(sim_, id, config_.orb);
     s.tap = std::make_unique<interceptor::Interceptor>(*s.orb);
+    s.tap->bind_recorder(sim_.recorder());
     s.orb->plug_transport(*s.tap);
     auto shim = std::make_shared<Shim>();
     shims_.push_back(shim);

@@ -19,6 +19,7 @@
 #include "interceptor/interceptor.hpp"
 #include "obs/invariants.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "orb/orb.hpp"
 #include "sim/ethernet.hpp"
@@ -43,6 +44,13 @@ struct SystemConfig {
   /// Size it to hold the whole run if the stream feeds the InvariantChecker.
   /// Metrics are always collected; tracing is what this opts into.
   std::size_t trace_capacity = 0;
+  /// When non-zero, the System owns a SpanStore of this many spans: each
+  /// client invocation gets a causal trace id carried in a GIOP service
+  /// context through ordering, delivery and reply, and every recovery is
+  /// profiled into Figure-5 phase spans. Off by default — attaching spans
+  /// adds a trace-id service context to request/reply wire images, so only
+  /// span-aware runs pay (or see) it.
+  std::size_t span_capacity = 0;
 };
 
 /// A trivial servant for pure-client application objects: it never receives
@@ -74,6 +82,9 @@ class System {
   /// Trace-event stream; null unless SystemConfig::trace_capacity > 0.
   obs::TraceBuffer* trace() noexcept { return trace_.get(); }
   const obs::TraceBuffer* trace() const noexcept { return trace_.get(); }
+  /// Causal span store; null unless SystemConfig::span_capacity > 0.
+  obs::SpanStore* spans() noexcept { return spans_.get(); }
+  const obs::SpanStore* spans() const noexcept { return spans_.get(); }
 
   /// All node ids (1..N).
   std::vector<NodeId> all_nodes() const;
@@ -143,6 +154,7 @@ class System {
   SystemConfig config_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<obs::SpanStore> spans_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Ethernet> ethernet_;
   std::vector<NodeSlot> slots_;

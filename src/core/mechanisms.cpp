@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/stable_storage.hpp"
+#include "obs/spans.hpp"
 #include "util/log.hpp"
 
 namespace eternal::core {
@@ -218,6 +219,10 @@ void Mechanisms::do_launch(GroupId group, ReplicaId id, bool as_recovering) {
   replicas_[group.value] = std::move(replica);
   arm_fault_detector(r);
   maybe_start_checkpoint_timer(r);
+  if (as_recovering) {
+    if (obs::SpanStore* spans = rec_.spans())
+      spans->recovery().launched(group, id, node_, sim_.now());
+  }
   ETERNAL_LOG(kDebug, kTag,
               util::to_string(node_) << " launched " << util::to_string(id) << " of "
                                      << util::to_string(group)
@@ -412,6 +417,23 @@ void Mechanisms::capture_request(const orb::Endpoint& to, util::Bytes iiop,
     conn.handshake_request = wire;
   }
 
+  // Causal span tracing: open the invocation's root span here, at the point
+  // of interception, and carry the trace id in a GIOP service context so
+  // every later hop (ordering, delivery, execution, reply) can attach to the
+  // same tree. Only while a SpanStore is attached — otherwise the wire bytes
+  // are untouched.
+  if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && !is_handshake) {
+    const obs::TraceId trace = spans->new_trace();
+    const obs::SpanId root = spans->begin_named(
+        trace, 0, node_, obs::Layer::kMech, "invocation", sim_.now(),
+        "client=" + std::to_string(client_group.value) +
+            " server=" + std::to_string(server_group.value) +
+            " op_seq=" + std::to_string(group_rid));
+    spans->begin_named(trace, root, node_, obs::Layer::kTotem, "order-wait",
+                       sim_.now());
+    wire = giop::with_trace_context(wire, trace);
+  }
+
   Envelope e;
   e.kind = EnvelopeKind::kRequest;
   e.client_group = client_group;
@@ -505,6 +527,15 @@ void Mechanisms::capture_reply(const orb::Endpoint& to, util::Bytes iiop,
     e.target_group = r.group;
     e.op_seq = d.op_seq;
     e.payload = std::move(iiop);
+    if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && d.trace != 0) {
+      if (d.exec_span != 0) spans->end(d.exec_span, sim_.now());
+      // One logical "reply" span per invocation: active replicas racing to
+      // answer collapse onto the first opener (begin_named).
+      spans->begin_named(d.trace, spans->find_named(d.trace, "invocation"), node_,
+                         obs::Layer::kTotem, "reply", sim_.now(),
+                         "replica=" + std::to_string(r.id.value));
+      e.payload = giop::with_trace_context(e.payload, d.trace);
+    }
     multicast(e);
     complete_dispatch(r, util::Bytes{});
     return;

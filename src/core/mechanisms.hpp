@@ -223,6 +223,8 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   struct QueueItem {
     enum class Kind { kRequest, kGetState, kSetStateDiscard } kind = Kind::kRequest;
     Envelope env;
+    std::uint64_t trace = 0;  ///< causal trace id (obs/spans.hpp), 0 = untraced
+    std::uint64_t span = 0;   ///< open "deliver" span closed at injection
   };
 
   struct CurrentDispatch {
@@ -232,6 +234,8 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
     orb::Endpoint reply_to;     ///< where the ORB will address the reply
     ReplicaId subject;          ///< state ops: the recovering replica
     bool checkpoint = false;    ///< get_state for a periodic checkpoint
+    std::uint64_t trace = 0;    ///< causal trace id carried into the reply
+    std::uint64_t exec_span = 0;  ///< open "execute" span closed at reply capture
   };
 
   struct LocalReplica {

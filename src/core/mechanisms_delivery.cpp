@@ -5,6 +5,7 @@
 
 #include "core/checkpointable.hpp"
 #include "core/mechanisms.hpp"
+#include "obs/spans.hpp"
 #include "util/log.hpp"
 
 namespace eternal::core {
@@ -109,6 +110,14 @@ void Mechanisms::deliver_request(const Envelope& e) {
                   "client=" + std::to_string(e.client_group.value) +
                       " group=" + std::to_string(e.target_group.value));
     }
+    if (obs::SpanStore* spans = rec_.spans()) {
+      if (auto dup = giop::inspect(e.payload)) {
+        if (const obs::TraceId t = giop::trace_context_of(dup->service_context)) {
+          spans->instant(t, node_, obs::Layer::kMech, "request-dup", sim_.now(),
+                         "op_seq=" + std::to_string(e.op_seq));
+        }
+      }
+    }
     return;
   }
 
@@ -130,6 +139,14 @@ void Mechanisms::deliver_request(const Envelope& e) {
     stats_.handshakes_stored += 1;
   }
 
+  // The request left Totem's total order here: the invocation's "order-wait"
+  // span ends at the first delivering node (first close wins), and a
+  // per-replica "deliver" span opens for the quiescence-gated queue wait.
+  obs::SpanStore* const spans = rec_.spans();
+  const obs::TraceId trace =
+      (spans != nullptr && info) ? giop::trace_context_of(info->service_context) : 0;
+  if (trace != 0) spans->end_named(trace, "order-wait", sim_.now());
+
   const bool passive = entry->desc.properties.style != ReplicationStyle::kActive;
 
   if (LocalReplica* r = local_replica(e.target_group)) {
@@ -144,7 +161,14 @@ void Mechanisms::deliver_request(const Envelope& e) {
           persist_log(e.target_group);
         }
         trace_enqueue(*r, e);
-        r->pending.push_back(QueueItem{QueueItem::Kind::kRequest, e});
+        QueueItem item{QueueItem::Kind::kRequest, e};
+        if (trace != 0) {
+          item.trace = trace;
+          item.span = spans->begin(trace, spans->find_named(trace, "invocation"),
+                                   node_, obs::Layer::kMech, "deliver", sim_.now(),
+                                   "replica=" + std::to_string(r->id.value));
+        }
+        r->pending.push_back(std::move(item));
         pump(*r);
         return;
       }
@@ -161,7 +185,15 @@ void Mechanisms::deliver_request(const Envelope& e) {
           persist_log(e.target_group);
         } else {
           trace_enqueue(*r, e);
-          r->pending.push_back(QueueItem{QueueItem::Kind::kRequest, e});
+          QueueItem item{QueueItem::Kind::kRequest, e};
+          if (trace != 0) {
+            item.trace = trace;
+            item.span = spans->begin(trace, spans->find_named(trace, "invocation"),
+                                     node_, obs::Layer::kMech, "deliver", sim_.now(),
+                                     "replica=" + std::to_string(r->id.value) +
+                                         " recovering=1");
+          }
+          r->pending.push_back(std::move(item));
         }
         stats_.enqueued_during_recovery += 1;
         return;
@@ -207,6 +239,14 @@ void Mechanisms::deliver_reply(const Envelope& e) {
                   "client=" + std::to_string(e.client_group.value) +
                       " group=" + std::to_string(e.target_group.value));
     }
+    if (obs::SpanStore* spans = rec_.spans()) {
+      if (auto dup = giop::inspect(e.payload)) {
+        if (const obs::TraceId t = giop::trace_context_of(dup->service_context)) {
+          spans->instant(t, node_, obs::Layer::kMech, "reply-dup", sim_.now(),
+                         "op_seq=" + std::to_string(e.op_seq));
+        }
+      }
+    }
     return;
   }
 
@@ -249,6 +289,16 @@ void Mechanisms::deliver_reply(const Envelope& e) {
                          ? rewrite_reply_id(e.payload, local_it->second)
                          : e.payload;
   stats_.replies_delivered += 1;
+  // The first client replica to hand the reply to its ORB completes the
+  // invocation's span tree (duplicates at other clients are suppressed above).
+  if (obs::SpanStore* spans = rec_.spans()) {
+    if (auto rinfo = giop::inspect(e.payload)) {
+      if (const obs::TraceId t = giop::trace_context_of(rinfo->service_context)) {
+        spans->end_named(t, "reply", sim_.now());
+        spans->end_named(t, "invocation", sim_.now());
+      }
+    }
+  }
   tap_.inject(orb::group_endpoint(e.target_group), wire);
 }
 
@@ -283,7 +333,6 @@ void Mechanisms::deliver_get_state(const Envelope& e) {
 
   const GroupEntry* entry = table_.find(e.target_group);
   if (entry == nullptr) return;
-  const bool checkpoint = e.subject.value == 0;
 
   // Log-keeping nodes record the get_state position: the state produced at
   // this epoch (checkpoint or recovery transfer) covers exactly the
@@ -365,6 +414,9 @@ void Mechanisms::publish_state(LocalReplica& r, const CurrentDispatch& d,
     e.infra_state = encode_infra_state(build_infra_snapshot(r.group));
   }
   if (d.checkpoint) stats_.checkpoints_taken += 1;
+  if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && !d.checkpoint) {
+    spans->recovery().state_captured(r.group, d.subject, sim_.now(), e.payload.size());
+  }
   ETERNAL_LOG(kTrace, kTag,
               util::to_string(node_) << " publishing " << (d.checkpoint ? "checkpoint" : "set_state")
                                      << " epoch " << d.op_seq << " ("
@@ -385,6 +437,9 @@ void Mechanisms::deliver_set_state(const Envelope& e) {
   if (r == nullptr) return;
 
   if (r->id == e.subject && r->phase == Phase::kRecovering) {
+    if (obs::SpanStore* spans = rec_.spans()) {
+      spans->recovery().state_delivered(e.target_group, e.subject, sim_.now());
+    }
     // §5.1(v): at the new replica the set_state overwrites the queue slot
     // the get_state reserved. Messages enqueued before that slot are
     // already reflected in the transferred state; drop them so replay
@@ -393,6 +448,15 @@ void Mechanisms::deliver_set_state(const Envelope& e) {
     std::size_t covered = 0;
     if (cut != r->recovery_cuts.end()) {
       covered = std::min(cut->second, r->pending.size());
+      // The covered prefix is dropped, not injected: close its deliver
+      // spans here so they don't linger open in the span store.
+      if (obs::SpanStore* spans = rec_.spans()) {
+        for (std::size_t i = 0; i < covered; ++i) {
+          if (r->pending[i].span != 0) {
+            spans->end(r->pending[i].span, sim_.now(), "covered=1");
+          }
+        }
+      }
       r->pending.erase(r->pending.begin(),
                        r->pending.begin() + static_cast<std::ptrdiff_t>(covered));
     } else {
@@ -587,6 +651,12 @@ InfraLevelState Mechanisms::build_infra_snapshot(GroupId group) {
 }
 
 void Mechanisms::finish_recovery(LocalReplica& r, const Envelope&) {
+  // Profiler boundary F: set_state applied. The backlog size fixes how many
+  // queue pops the replay phase spans (0 for passive styles, whose backlog
+  // lives in the message log instead of the pending queue).
+  if (obs::SpanStore* spans = rec_.spans()) {
+    spans->recovery().state_applied(r.group, r.id, sim_.now(), r.pending.size());
+  }
   if (config_.transfer_infra_state && !r.pending_infra.empty()) {
     install_infra_state(r.group, r.pending_infra);
     r.pending_infra.clear();
@@ -659,6 +729,9 @@ void Mechanisms::pump(LocalReplica& r) {
   while (!r.busy && !r.pending.empty() && r.phase == Phase::kOperational) {
     QueueItem item = std::move(r.pending.front());
     r.pending.pop_front();
+    if (obs::SpanStore* spans = rec_.spans()) {
+      spans->recovery().replayed_one(r.group, r.id, sim_.now());
+    }
     switch (item.kind) {
       case QueueItem::Kind::kRequest:
         inject_request_item(r, item);
@@ -678,6 +751,9 @@ void Mechanisms::inject_request_item(LocalReplica& r, const QueueItem& item) {
   std::optional<giop::Inspection> info = giop::inspect(e.payload);
   if (!info) return;
   const orb::Endpoint from = orb::group_endpoint(e.client_group);
+
+  obs::SpanStore* const spans = rec_.spans();
+  if (spans != nullptr && item.span != 0) spans->end(item.span, sim_.now());
 
   if (info->has_context(giop::kVendorHandshakeContextId)) {
     // Client-server handshakes are served inside the ORB; they do not make
@@ -704,6 +780,12 @@ void Mechanisms::inject_request_item(LocalReplica& r, const QueueItem& item) {
     d.client_group = e.client_group;
     d.op_seq = e.op_seq;
     d.reply_to = from;
+    if (spans != nullptr && item.trace != 0) {
+      d.trace = item.trace;
+      d.exec_span = spans->begin(item.trace, spans->find_named(item.trace, "invocation"),
+                                 node_, obs::Layer::kOrb, "execute", sim_.now(),
+                                 "replica=" + std::to_string(r.id.value));
+    }
     r.dispatch = d;
     tap_.inject(from, e.payload);
     return;
@@ -737,6 +819,13 @@ void Mechanisms::inject_get_state(LocalReplica& r, const Envelope& e) {
   request.response_expected = true;
   request.object_key = util::bytes_of(entry->desc.object_id);
   request.operation = kGetStateOp;
+
+  // Profiler boundary C: the source replica has drained ahead of the
+  // get_state — the group is quiescent for this transfer (checkpoints have
+  // subject 0 and are not recovery transfers).
+  if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && e.subject.value != 0) {
+    spans->recovery().quiescent(r.group, e.subject, sim_.now());
+  }
 
   r.busy = true;
   CurrentDispatch d;
@@ -958,6 +1047,15 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
         break;
       case TableEvent::Kind::kReplicaAdded: {
         awaiting_get_state_[event.group.value].insert(event.replica.value);
+        // Profiler boundary B: the totally-ordered add announcement reaches
+        // the recovering replica's own node — fault detection + relaunch is
+        // over, the quiesce/enqueue window begins.
+        if (obs::SpanStore* spans = rec_.spans()) {
+          const LocalReplica* mine = local_replica(event.group);
+          if (mine != nullptr && mine->id == event.replica) {
+            spans->recovery().announced(event.group, event.replica, sim_.now());
+          }
+        }
         const GroupEntry* entry = table_.find(event.group);
         if (entry != nullptr) {
           const auto coord = entry->coordinator();

@@ -267,4 +267,53 @@ std::optional<Inspection> inspect(BytesView data) {
   return out;
 }
 
+namespace {
+
+ServiceContext make_trace_context(std::uint64_t trace_id) {
+  ServiceContext sc;
+  sc.context_id = kTraceContextId;
+  sc.data.reserve(8);
+  for (int i = 0; i < 8; ++i)
+    sc.data.push_back(static_cast<std::uint8_t>((trace_id >> (8 * i)) & 0xff));
+  return sc;
+}
+
+void set_trace_context(ServiceContextList& contexts, std::uint64_t trace_id) {
+  for (auto& sc : contexts) {
+    if (sc.context_id == kTraceContextId) {
+      sc = make_trace_context(trace_id);
+      return;
+    }
+  }
+  contexts.push_back(make_trace_context(trace_id));
+}
+
+}  // namespace
+
+Bytes with_trace_context(BytesView framed, std::uint64_t trace_id) {
+  std::optional<Message> msg = decode(framed);
+  if (msg) {
+    if (auto* req = std::get_if<Request>(&msg->body)) {
+      set_trace_context(req->service_context, trace_id);
+      return encode(*req, msg->order);
+    }
+    if (auto* rep = std::get_if<Reply>(&msg->body)) {
+      set_trace_context(rep->service_context, trace_id);
+      return encode(*rep, msg->order);
+    }
+  }
+  return Bytes(framed.begin(), framed.end());
+}
+
+std::uint64_t trace_context_of(const ServiceContextList& contexts) noexcept {
+  for (const auto& sc : contexts) {
+    if (sc.context_id != kTraceContextId || sc.data.size() != 8) continue;
+    std::uint64_t id = 0;
+    for (int i = 0; i < 8; ++i)
+      id |= static_cast<std::uint64_t>(sc.data[static_cast<std::size_t>(i)]) << (8 * i);
+    return id;
+  }
+  return 0;
+}
+
 }  // namespace eternal::giop

@@ -61,6 +61,13 @@ constexpr std::uint32_t kCodeSetsContextId = 1;
 /// Vendor-specific handshake context used by our mini-ORB to negotiate a
 /// short object key on first contact (modelled on VisiBroker 4.0, §4.2.2).
 constexpr std::uint32_t kVendorHandshakeContextId = 0x45544552;  // 'ETER'
+/// Causal-trace context: Eternal's mechanisms stamp each replicated
+/// invocation (and its reply) with a 64-bit trace id so the span store
+/// (obs/spans.hpp) can stitch one tree across interception, Totem ordering,
+/// delivery and reply. ORBs ignore unknown context ids, so carriage is
+/// transparent to the application; it is attached only while a SpanStore is
+/// attached to the run's Recorder.
+constexpr std::uint32_t kTraceContextId = 0x45545243;  // 'ETRC'
 
 /// GIOP Request message.
 struct Request {
@@ -154,5 +161,14 @@ std::optional<Inspection> inspect(BytesView data);
 /// Returns true when `data` starts with a well-formed GIOP header whose
 /// message size matches the buffer.
 bool is_giop(BytesView data) noexcept;
+
+/// Returns `framed` re-encoded with its kTraceContextId service context set
+/// (replaced if present) to the 8-byte little-endian `trace_id`. Only
+/// Request and Reply messages carry service contexts; any other (or
+/// malformed) input is returned unchanged.
+Bytes with_trace_context(BytesView framed, std::uint64_t trace_id);
+
+/// The trace id carried in `contexts`, or 0 when absent or malformed.
+std::uint64_t trace_context_of(const ServiceContextList& contexts) noexcept;
 
 }  // namespace eternal::giop

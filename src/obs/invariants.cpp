@@ -1,5 +1,6 @@
 #include "obs/invariants.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <sstream>
@@ -81,7 +82,8 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
   // Rules 2 and 4 state.
   std::map<std::string, ReplicaHistory> replicas;  // keyed by replica id
 
-  for (const auto& ev : events) {
+  for (std::size_t idx = 0; idx < events.size(); ++idx) {
+    const auto& ev = events[idx];
     if (ev.layer == Layer::kTotem && ev.kind == "view_install") {
       // A membership change legitimises a sequence-number jump on every
       // member that installed it; remote nodes' cursors are untouched.
@@ -99,7 +101,8 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
         out.push_back({"delivery-gap",
                        "node " + std::to_string(ev.node.value) + " jumped from seq " +
                            std::to_string(cur.seq) + " to " + std::to_string(ev.seq) +
-                           " on ring " + ring + " with no view install: " + stamp(ev)});
+                           " on ring " + ring + " with no view install: " + stamp(ev),
+                       idx});
       }
       cur.ring = ring;
       cur.seq = ev.seq;
@@ -119,7 +122,8 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
                    " delivered with different identity than node " +
                    std::to_string(seen.first_node) + " saw (origin " + seen.origin +
                    "/" + id.origin + " digest " + seen.digest + "/" + id.digest +
-                   "): " + stamp(ev)});
+                   "): " + stamp(ev),
+               idx});
         }
       }
       continue;
@@ -141,10 +145,11 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
       if (primaries.size() > 1) {
         std::string list;
         for (const auto& r : primaries) list += (list.empty() ? "" : ",") + r;
-        out.push_back({"multi-primary", "passive group " + group + " has " +
-                                            std::to_string(primaries.size()) +
-                                            " operational primaries (" + list +
-                                            "): " + stamp(ev)});
+        out.push_back({"multi-primary",
+                       "passive group " + group + " has " +
+                           std::to_string(primaries.size()) +
+                           " operational primaries (" + list + "): " + stamp(ev),
+                       idx});
       }
       continue;
     }
@@ -165,9 +170,10 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
       hist.group = lookup(kv, "group");
       const std::string op = lookup(kv, "client") + "#" + lookup(kv, "op_seq");
       if (!hist.injected_ops.insert(op).second) {
-        out.push_back({"duplicate-op", "operation " + op +
-                                           " delivered twice to replica " +
-                                           lookup(kv, "replica") + ": " + stamp(ev)});
+        out.push_back({"duplicate-op",
+                       "operation " + op + " delivered twice to replica " +
+                           lookup(kv, "replica") + ": " + stamp(ev),
+                       idx});
       }
       hist.injected_order.push_back(op);
       continue;
@@ -216,6 +222,28 @@ std::string InvariantChecker::report(const std::vector<Violation>& violations) {
     out += ": ";
     out += v.message;
     out += '\n';
+  }
+  return out;
+}
+
+std::string InvariantChecker::report_with_context(
+    const std::vector<Violation>& violations, const std::vector<TraceEvent>& events,
+    std::size_t radius) {
+  std::string out;
+  for (const auto& v : violations) {
+    out += v.rule;
+    out += ": ";
+    out += v.message;
+    out += '\n';
+    if (v.event_index == Violation::kNoIndex || v.event_index >= events.size())
+      continue;
+    const std::size_t from = v.event_index > radius ? v.event_index - radius : 0;
+    const std::size_t to = std::min(events.size(), v.event_index + radius + 1);
+    for (std::size_t i = from; i < to; ++i) {
+      out += i == v.event_index ? "  >>> " : "      ";
+      out += "[" + std::to_string(i) + "] " + stamp(events[i]);
+      out += '\n';
+    }
   }
   return out;
 }

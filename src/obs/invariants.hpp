@@ -30,8 +30,15 @@
 namespace eternal::obs {
 
 struct Violation {
+  /// event_index value for violations not tied to one event (e.g. the
+  /// post-scan replay-order rule, or "trace-dropped").
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
   std::string rule;     ///< e.g. "delivery-gap", "duplicate-op"
   std::string message;  ///< human-readable context (node, time, ids)
+  /// Index into the checked event snapshot of the event that tripped the
+  /// rule; lets reports show the surrounding stream (report_with_context).
+  std::size_t event_index = kNoIndex;
 };
 
 /// Splits a "k1=v1 k2=v2" detail string into a lookup map. Tokens without
@@ -51,6 +58,13 @@ class InvariantChecker {
 
   /// One line per violation; empty string when `violations` is empty.
   static std::string report(const std::vector<Violation>& violations);
+
+  /// report() plus, for every violation with an event_index, the `radius`
+  /// trace events on either side of the offending one (marked with ">>>"),
+  /// so a failing assertion shows *where in the stream* the rule broke.
+  static std::string report_with_context(const std::vector<Violation>& violations,
+                                         const std::vector<TraceEvent>& events,
+                                         std::size_t radius = 3);
 };
 
 }  // namespace eternal::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/json.hpp"
@@ -17,6 +18,32 @@ void Histogram::observe(std::uint64_t value) noexcept {
   sum_ += value;
   if (value < min_) min_ = value;
   if (value > max_) max_ = value;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 100.0) return static_cast<double>(max_);
+  const double rank = (p / 100.0) * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) return static_cast<double>(max_);  // overflow bucket
+    // Interpolate within the bucket between its lower and upper edges,
+    // clamped to the observed range so a sparse bucket cannot report a
+    // value no observation could have had.
+    double lo = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+    double hi = static_cast<double>(bounds_[i]);
+    lo = std::max(lo, static_cast<double>(min()));
+    hi = std::min(hi, static_cast<double>(max_));
+    if (hi < lo) return lo;
+    const double frac = (rank - before) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return static_cast<double>(max_);
 }
 
 std::vector<std::uint64_t> Histogram::exponential(std::uint64_t first, double factor,

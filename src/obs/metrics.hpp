@@ -59,6 +59,12 @@ class Histogram {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
+  /// Estimated p-th percentile (p in [0,100]), linearly interpolated inside
+  /// the bucket holding the rank, with the bucket edges clamped to the
+  /// observed min/max so the estimate never leaves the data's range. The
+  /// overflow bucket reports max(). 0 when empty.
+  double percentile(double p) const noexcept;
+
   /// `n` bounds starting at `first`, each `factor`x the previous
   /// (rounded up), e.g. exponential(1000, 2.0, 16) spans 1 us .. 32 ms in ns.
   static std::vector<std::uint64_t> exponential(std::uint64_t first, double factor,

@@ -23,6 +23,8 @@ namespace eternal::obs {
 
 enum class Layer : std::uint8_t { kSim = 0, kTotem = 1, kMech = 2, kOrb = 3 };
 
+class SpanStore;  // spans.hpp — causal span trees layered on the Recorder
+
 std::string_view to_string(Layer layer);
 
 /// One semantic event. `kind` must reference a string literal (the buffer
@@ -77,6 +79,11 @@ class Recorder {
  public:
   void attach_metrics(MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
   void attach_trace(TraceBuffer* trace) noexcept { trace_ = trace; }
+  /// Attaches the causal span store (spans.hpp). Unlike metrics/trace this
+  /// is also a behavior switch: layers carry trace ids on the wire (GIOP
+  /// service context) only while a store is attached, so detached systems
+  /// keep byte-identical wire traffic.
+  void attach_spans(SpanStore* spans) noexcept { spans_ = spans; }
   /// Binds the virtual clock; the Simulator points this at its `now_`.
   void bind_clock(const util::TimePoint* now) noexcept { clock_ = now; }
 
@@ -108,6 +115,7 @@ class Recorder {
 
   MetricsRegistry* metrics() const noexcept { return metrics_; }
   TraceBuffer* trace() const noexcept { return trace_; }
+  SpanStore* spans() const noexcept { return spans_; }
 
  private:
   static Counter& sink_counter();
@@ -116,6 +124,7 @@ class Recorder {
 
   MetricsRegistry* metrics_ = nullptr;
   TraceBuffer* trace_ = nullptr;
+  SpanStore* spans_ = nullptr;
   const util::TimePoint* clock_ = nullptr;
 };
 

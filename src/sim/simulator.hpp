@@ -43,7 +43,9 @@ class Simulator {
   TimePoint now() const noexcept { return now_; }
 
   /// Observability handle shared by every layer running on this simulator.
-  /// Detached (and near-free) until a System attaches metrics/trace sinks.
+  /// Detached (and near-free) until a System attaches metrics/trace/span
+  /// sinks. Span timestamps come from this virtual clock, so same-seed runs
+  /// produce identical span trees (see obs/spans.hpp).
   obs::Recorder& recorder() noexcept { return recorder_; }
   const obs::Recorder& recorder() const noexcept { return recorder_; }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/spans.hpp"
+
 namespace eternal::totem {
 
 namespace {
@@ -96,6 +98,15 @@ void TotemNode::crash() {
   store_.clear();
   partial_.clear();
   send_queue_.clear();
+  // msg_ids restart at 1 after a crash, so pending span bookkeeping must not
+  // survive into the next incarnation.
+  if (obs::SpanStore* spans = rec_.spans()) {
+    for (const auto& [msg, span] : frag_spans_)
+      spans->end(span, sim_.now(), "crashed=1");
+    if (gather_span_ != 0) spans->end(gather_span_, sim_.now(), "crashed=1");
+  }
+  frag_spans_.clear();
+  gather_span_ = 0;
   next_msg_id_ = 1;
   highest_seen_seq_ = 0;
   held_token_.reset();
@@ -126,6 +137,15 @@ void TotemNode::multicast(util::Bytes payload) {
     send_queue_.push_back(std::move(frag));
   }
   stats_.multicasts += 1;
+  if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && count > 1) {
+    // Track a fragmented message (a large state transfer, typically) from
+    // submission until its last fragment is originated on the ring.
+    frag_spans_[msg_id] =
+        spans->begin(0, 0, node_, obs::Layer::kTotem, "fragmented-send", sim_.now(),
+                     "msg=" + std::to_string(msg_id) +
+                         " frags=" + std::to_string(count) +
+                         " bytes=" + std::to_string(payload.size()));
+  }
 }
 
 // ---------------------------------------------------------------- frame I/O
@@ -290,10 +310,19 @@ void TotemNode::send_fragments(TokenFrame& token) {
     f.frag_index = frag.frag_index;
     f.frag_count = frag.frag_count;
     f.payload = std::move(frag.payload);
+    const bool last_fragment = f.frag_index + 1 == f.frag_count;
+    const std::uint64_t msg_id = f.msg_id;
     broadcast(encode_frame(node_, f));
     stats_.fragments_sent += 1;
     highest_seen_seq_ = std::max(highest_seen_seq_, f.seq);
     store_.emplace(f.seq, std::move(f));  // self-delivery
+    if (last_fragment) {
+      if (auto it = frag_spans_.find(msg_id); it != frag_spans_.end()) {
+        if (obs::SpanStore* spans = rec_.spans())
+          spans->end(it->second, sim_.now());
+        frag_spans_.erase(it);
+      }
+    }
     ++sent;
   }
   advance_delivery();
@@ -380,6 +409,13 @@ void TotemNode::enter_gather() {
   if (rec_.tracing()) {
     rec_.record(node_, obs::Layer::kTotem, "gather", view_.id.value,
                 "ring=" + std::to_string(view_.ring_id));
+  }
+  if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && gather_span_ == 0) {
+    // One reformation span per outage: re-entering gather (settle retries)
+    // extends the open span rather than opening a new one.
+    gather_span_ =
+        spans->begin(0, 0, node_, obs::Layer::kTotem, "reformation", sim_.now(),
+                     "ring=" + std::to_string(view_.ring_id));
   }
   sim_.cancel(token_timer_);
   sim_.cancel(pass_timer_);
@@ -639,6 +675,14 @@ void TotemNode::install_view(const InstallFrame& f) {
                     " members=" + std::to_string(view_.members.size()) +
                     " joined=" + std::to_string(view_.joined.size()) +
                     " departed=" + std::to_string(view_.departed.size()));
+  }
+  if (gather_span_ != 0) {
+    if (obs::SpanStore* spans = rec_.spans()) {
+      spans->end(gather_span_, sim_.now(),
+                 "view=" + std::to_string(view_.id.value) +
+                     " members=" + std::to_string(view_.members.size()));
+    }
+    gather_span_ = 0;
   }
   sim_.cancel(settle_timer_);
   sim_.cancel(rebroadcast_timer_);

@@ -196,6 +196,11 @@ class TotemNode : public sim::Station {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t highest_seen_seq_ = 0;
 
+  // Span bookkeeping (obs/spans.hpp; raw ids to keep the header light).
+  // Only populated while a SpanStore is attached to the recorder.
+  std::map<std::uint64_t, std::uint64_t> frag_spans_;  ///< msg_id → open span
+  std::uint64_t gather_span_ = 0;  ///< open "reformation" span, 0 when none
+
   // Token state.
   sim::EventId token_timer_{};
   sim::EventId pass_timer_{};

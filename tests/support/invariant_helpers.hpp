@@ -1,14 +1,36 @@
 // Attach the trace-driven InvariantChecker (src/obs/invariants.hpp) to any
 // System-based scenario: set SystemConfig::trace_capacity before building
 // the System, run the scenario, then call expect_invariants_hold at the end.
+//
+// On violation the assertion message pinpoints the offending trace event
+// (index + surrounding events), and a flight-recorder dump of the last
+// events and spans is written to flight_<suite>_<test>.json next to the
+// test binary, for post-mortem inspection.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/deployment.hpp"
 #include "obs/invariants.hpp"
+#include "obs/spans.hpp"
 
 namespace eternal::test_support {
+
+/// flight_<suite>_<test>.json for the currently running gtest case.
+inline std::string flight_dump_path() {
+  std::string name = "flight";
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    name += std::string("_") + info->test_suite_name() + "_" + info->name();
+  }
+  for (char& c : name) {
+    if (c == '/' || c == '.') c = '_';
+  }
+  return name + ".json";
+}
 
 /// Fails the current test (non-fatally) if any cross-layer invariant was
 /// violated during the run. Requires SystemConfig::trace_capacity > 0.
@@ -17,10 +39,18 @@ inline void expect_invariants_hold(const core::System& sys) {
       << "expect_invariants_hold: SystemConfig::trace_capacity was not set";
   const std::vector<obs::Violation> violations =
       obs::InvariantChecker::check(*sys.trace());
+  if (violations.empty()) return;
+
+  const std::vector<obs::TraceEvent> events = sys.trace()->snapshot();
+  std::string dumped;
+  obs::FlightRecorder recorder(sys.trace(), sys.spans());
+  const std::string path = flight_dump_path();
+  if (recorder.write_file(path)) dumped = "\nflight recorder dumped to " + path;
+
   EXPECT_TRUE(violations.empty())
       << "invariant violations over " << sys.trace()->total()
       << " trace events:\n"
-      << obs::InvariantChecker::report(violations);
+      << obs::InvariantChecker::report_with_context(violations, events) << dumped;
 }
 
 }  // namespace eternal::test_support
