@@ -28,9 +28,13 @@ echo
 echo "== ASan/UBSan: obs + core suites =="
 cmake -B build-asan -S . -DETERNAL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS" --target \
-  obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test
+  obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test \
+  batching_equivalence_test
 for t in obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test; do
   "build-asan/tests/$t"
 done
+# Batch packing/unpacking moves raw payload bytes on the hot path; run the
+# fast ordering-equivalence seeds under the sanitizers too.
+"build-asan/tests/batching_equivalence_test" --gtest_filter='BatchingEquivalenceFast.*'
 
 echo "check.sh: all gates passed"

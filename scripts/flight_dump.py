@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Pretty-print and diff Eternal flight-recorder dumps (flight_*.json).
+
+The FlightRecorder (src/obs/spans.hpp) writes a post-mortem window of the
+trace-event ring and the causal span store:
+
+    { "flight_recorder": {last_n, events_total, events_dropped,
+                          spans_total, spans_dropped},
+      "events": [ {index, t, node, layer, kind, seq, detail}, ... ],
+      "spans":  [ {id, parent, trace, name, layer, node, start, end,
+                   open, [instant], detail}, ... ] }
+
+Usage:
+    flight_dump.py DUMP.json              # timeline + span tree
+    flight_dump.py --events DUMP.json     # events only
+    flight_dump.py --spans DUMP.json      # span tree only
+    flight_dump.py --diff A.json B.json   # structural diff; exit 1 if differs
+
+Times are printed in milliseconds of simulated time. The diff ignores volatile
+identifiers (span/trace ids are allocation-ordered) and compares the stable
+shape: events by (t, node, layer, kind, seq, detail) and spans by
+(start, end, node, layer, name, open, detail) — so two runs of a
+deterministic simulation diff clean, and any behavioural divergence shows up
+as added/removed lines.
+"""
+
+import argparse
+import json
+import signal
+import sys
+from collections import Counter
+
+# Die quietly when the output pipe closes (e.g. `flight_dump.py ... | head`).
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def ms(ns):
+    return ns / 1e6
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"flight_dump: cannot read {path}: {err}")
+    for key in ("flight_recorder", "events", "spans"):
+        if key not in doc:
+            sys.exit(f"flight_dump: {path}: not a flight-recorder dump (no '{key}')")
+    return doc
+
+
+def print_header(path, doc):
+    fr = doc["flight_recorder"]
+    print(f"== {path}")
+    print(
+        "   window last_n={last_n}  events {ev}/{evt} (dropped {evd})"
+        "  spans {sp}/{spt} (dropped {spd})".format(
+            last_n=fr.get("last_n", "?"),
+            ev=len(doc["events"]),
+            evt=fr.get("events_total", "?"),
+            evd=fr.get("events_dropped", "?"),
+            sp=len(doc["spans"]),
+            spt=fr.get("spans_total", "?"),
+            spd=fr.get("spans_dropped", "?"),
+        )
+    )
+
+
+def print_events(doc):
+    events = doc["events"]
+    print(f"-- events ({len(events)})")
+    for ev in events:
+        detail = f"  {ev['detail']}" if ev.get("detail") else ""
+        print(
+            f"  {ms(ev['t']):12.3f}ms  N{ev['node']:<3} {ev['layer']:<6} "
+            f"{ev['kind']:<18} seq={ev['seq']}{detail}"
+        )
+    kinds = Counter(ev["kind"] for ev in events)
+    if kinds:
+        top = "  ".join(f"{k}={n}" for k, n in kinds.most_common(8))
+        print(f"   by kind: {top}")
+
+
+def print_spans(doc):
+    spans = doc["spans"]
+    print(f"-- spans ({len(spans)})")
+    children = {}
+    by_id = {s["id"]: s for s in spans}
+    roots = []
+    for s in spans:
+        if s["parent"] and s["parent"] in by_id:
+            children.setdefault(s["parent"], []).append(s)
+        else:
+            roots.append(s)
+
+    def emit(span, depth):
+        dur = span["end"] - span["start"]
+        state = "OPEN" if span.get("open") else (
+            "instant" if span.get("instant") else f"{ms(dur):.3f}ms")
+        detail = f"  {span['detail']}" if span.get("detail") else ""
+        print(
+            f"  {ms(span['start']):12.3f}ms  {'  ' * depth}{span['name']}"
+            f" [N{span['node']} {span['layer']}] {state}{detail}"
+        )
+        for child in sorted(children.get(span["id"], []), key=lambda c: c["start"]):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s["start"]):
+        emit(root, 0)
+    open_count = sum(1 for s in spans if s.get("open"))
+    if open_count:
+        print(f"   {open_count} span(s) still open at dump time")
+
+
+def event_key(ev):
+    return (ev["t"], ev["node"], ev["layer"], ev["kind"], ev["seq"], ev.get("detail", ""))
+
+
+def span_key(sp):
+    return (
+        sp["start"],
+        sp["end"],
+        sp["node"],
+        sp["layer"],
+        sp["name"],
+        bool(sp.get("open")),
+        sp.get("detail", ""),
+    )
+
+
+def diff_multisets(label, left, right):
+    """Prints one line per item that appears more times on one side."""
+    differs = False
+    lc, rc = Counter(left), Counter(right)
+    for key in sorted((lc - rc).keys(), key=str):
+        print(f"- {label} {key}" + (f" x{(lc - rc)[key]}" if (lc - rc)[key] > 1 else ""))
+        differs = True
+    for key in sorted((rc - lc).keys(), key=str):
+        print(f"+ {label} {key}" + (f" x{(rc - lc)[key]}" if (rc - lc)[key] > 1 else ""))
+        differs = True
+    return differs
+
+
+def run_diff(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    differs = diff_multisets("event", map(event_key, a["events"]), map(event_key, b["events"]))
+    differs |= diff_multisets("span", map(span_key, a["spans"]), map(span_key, b["spans"]))
+    if differs:
+        print(f"flight_dump: {path_a} and {path_b} differ")
+        return 1
+    print(f"flight_dump: {path_a} and {path_b} are equivalent")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Pretty-print or diff flight-recorder dumps")
+    parser.add_argument("--diff", action="store_true", help="diff two dumps")
+    parser.add_argument("--events", action="store_true", help="events only")
+    parser.add_argument("--spans", action="store_true", help="span tree only")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args()
+
+    if args.diff:
+        if len(args.files) != 2:
+            parser.error("--diff takes exactly two files")
+        sys.exit(run_diff(args.files[0], args.files[1]))
+
+    for path in args.files:
+        doc = load(path)
+        print_header(path, doc)
+        if not args.spans:
+            print_events(doc)
+        if not args.events:
+            print_spans(doc)
+
+
+if __name__ == "__main__":
+    main()

@@ -423,7 +423,12 @@ void Mechanisms::capture_request(const orb::Endpoint& to, util::Bytes iiop,
   // same tree. Only while a SpanStore is attached — otherwise the wire bytes
   // are untouched.
   if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && !is_handshake) {
-    const obs::TraceId trace = spans->new_trace();
+    // Minted deterministically, not with new_trace(): every replica of an
+    // actively replicated client derives the same id for the same logical
+    // invocation, so the duplicates' root spans collapse via begin_named and
+    // the first delivered copy closes the one tree (no orphaned second root).
+    const obs::TraceId trace =
+        obs::derived_trace_id(client_group, server_group, group_rid);
     const obs::SpanId root = spans->begin_named(
         trace, 0, node_, obs::Layer::kMech, "invocation", sim_.now(),
         "client=" + std::to_string(client_group.value) +

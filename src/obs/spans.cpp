@@ -37,6 +37,23 @@ void span_to_json(JsonWriter& w, const Span& s) {
 
 }  // namespace
 
+TraceId derived_trace_id(util::GroupId client, util::GroupId server,
+                         std::uint64_t op_seq) noexcept {
+  // FNV-1a over the identifying triple; any replica of the client group
+  // computes the same id for the same logical invocation.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(client.value);
+  mix(server.value);
+  mix(op_seq);
+  return h | (std::uint64_t{1} << 63);  // disjoint from new_trace()'s ids
+}
+
 // ---------------------------------------------------------------- SpanStore
 
 SpanStore::SpanStore(std::size_t capacity) : capacity_(capacity) {

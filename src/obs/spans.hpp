@@ -41,6 +41,16 @@ namespace eternal::obs {
 using SpanId = std::uint64_t;
 using TraceId = std::uint64_t;
 
+/// Deterministic trace id for a replicated invocation, minted from
+/// (client group, server group, op_seq). Every replica of an actively
+/// replicated client derives the *same* id for the same logical invocation,
+/// so the duplicates' captures join one span tree (begin_named collapses
+/// them) instead of each replica opening its own root that nobody closes.
+/// The top bit is always set, so derived ids never collide with
+/// SpanStore::new_trace()'s sequential ids.
+TraceId derived_trace_id(util::GroupId client, util::GroupId server,
+                         std::uint64_t op_seq) noexcept;
+
 /// One span. `name` must reference a string literal (the store keeps the
 /// view, not a copy — same contract as TraceEvent::kind).
 struct Span {

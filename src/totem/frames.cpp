@@ -55,6 +55,7 @@ Bytes encode_frame(NodeId sender, const DataFrame& f) {
   w.put_u64(f.msg_id);
   w.put_u32(f.frag_index);
   w.put_u32(f.frag_count);
+  w.put_u32(f.batch_count);
   w.put_bool(f.retransmission);
   w.put_octets(f.payload);
   return std::move(w).take();
@@ -69,6 +70,8 @@ Bytes encode_frame(NodeId sender, const TokenFrame& f) {
   w.put_u64(f.next_seq);
   w.put_u64(f.aru);
   w.put_u32(f.aru_setter.value);
+  w.put_u32(f.flow_budget);
+  w.put_u32(f.flow_setter.value);
   put_seqs(w, f.rtr);
   return std::move(w).take();
 }
@@ -131,8 +134,15 @@ std::optional<Frame> decode_frame(BytesView data) {
         f.msg_id = r.get_u64();
         f.frag_index = r.get_u32();
         f.frag_count = r.get_u32();
+        f.batch_count = r.get_u32();
         f.retransmission = r.get_bool();
         f.payload = r.get_octets();
+        if (f.batch_count == 0) return std::nullopt;
+        // Each packed message costs at least its 4-byte length prefix, so a
+        // corrupt count larger than the payload could ever hold is malformed.
+        if (f.batch_count >= 2 && f.payload.size() / 4 < f.batch_count) {
+          return std::nullopt;
+        }
         return Frame{sender, std::move(f)};
       }
       case FrameType::kToken: {
@@ -144,6 +154,8 @@ std::optional<Frame> decode_frame(BytesView data) {
         f.next_seq = r.get_u64();
         f.aru = r.get_u64();
         f.aru_setter = NodeId{r.get_u32()};
+        f.flow_budget = r.get_u32();
+        f.flow_setter = NodeId{r.get_u32()};
         f.rtr = get_seqs(r);
         return Frame{sender, std::move(f)};
       }
@@ -189,6 +201,38 @@ std::optional<Frame> decode_frame(BytesView data) {
 std::size_t data_frame_overhead() {
   static const std::size_t overhead = encode_frame(NodeId{0}, DataFrame{}).size();
   return overhead;
+}
+
+// ------------------------------------------------------------ batch packing
+
+// The blob has no order flag of its own: batches are always packed
+// little-endian, so the same bytes mean the same messages on every member
+// (and retransmitted copies stay byte-identical to the original).
+Bytes pack_batch(const std::vector<Bytes>& messages) {
+  CdrWriter w(util::ByteOrder::kLittle);
+  for (const Bytes& m : messages) w.put_octets(m);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Bytes>> unpack_batch(BytesView packed, std::uint32_t count) {
+  try {
+    // Each message costs at least its 4-byte length prefix; a count the blob
+    // cannot hold is malformed (and must not drive the reserve below).
+    if (count > packed.size() / 4) return std::nullopt;
+    CdrReader r(packed, util::ByteOrder::kLittle);
+    std::vector<Bytes> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.get_octets());
+    if (!r.exhausted()) return std::nullopt;  // trailing garbage
+    return out;
+  } catch (const util::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+std::size_t packed_batch_size(std::size_t current_bytes, std::size_t message_bytes) {
+  const std::size_t aligned = (current_bytes + 3) & ~std::size_t{3};
+  return aligned + 4 + message_bytes;
 }
 
 }  // namespace eternal::totem

@@ -42,20 +42,34 @@ enum class FrameType : std::uint8_t {
 /// One fragment of a multicast message, stamped with its global sequence
 /// number. Fragments of one message share (sender, msg_id) and carry their
 /// index/count; the message's delivery position is its last fragment's seq.
+///
+/// Batching: when `batch_count >= 2` the frame instead carries that many
+/// *complete* small messages from one origin, packed with pack_batch() into
+/// `payload` in submission (FIFO) order. A batched frame is never a fragment
+/// (frag_index == 0, frag_count == 1), consumes one sequence number, and is
+/// unpacked back into individual deliveries at every member — so batching
+/// changes how messages share the wire, never the agreed delivery order.
 struct DataFrame {
   ViewId view;
   std::uint64_t ring_id = 0;  ///< identity of the ring that sequenced this
   NodeId origin;              ///< original sender (stable across retransmission)
   std::uint64_t seq = 0;      ///< global total-order sequence number
-  std::uint64_t msg_id = 0;   ///< origin-local message identifier
+  std::uint64_t msg_id = 0;   ///< origin-local message identifier (first of a batch)
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 1;
+  std::uint32_t batch_count = 1;  ///< complete messages packed in payload (>= 2 = batched)
   bool retransmission = false;
   Bytes payload;
 };
 
 /// The ring token. Only the node named `target` acts on it; others ignore it
 /// (the medium is broadcast, the token is logically point-to-point).
+///
+/// Flow control: a congested member (one whose undelivered gap outgrew its
+/// retransmission window) writes a reduced per-visit origination budget into
+/// `flow_budget`; every member caps its sends at that budget until the
+/// setter recovers and clears it — the same lower-and-release discipline as
+/// the aru/aru_setter pair.
 struct TokenFrame {
   ViewId view;
   std::uint64_t ring_id = 0;
@@ -64,6 +78,8 @@ struct TokenFrame {
   std::uint64_t next_seq = 1;  ///< next sequence number to assign
   std::uint64_t aru = 0;       ///< all-received-up-to (min over the ring)
   NodeId aru_setter;           ///< who last lowered aru
+  std::uint32_t flow_budget = 0;  ///< max Data frames per token visit (0 = unlimited)
+  NodeId flow_setter;             ///< congested member that imposed flow_budget
   std::vector<std::uint64_t> rtr;  ///< sequence numbers requested for retransmission
 };
 
@@ -139,5 +155,24 @@ std::optional<Frame> decode_frame(BytesView data);
 /// Bytes of Totem header per Data frame (used by the fragmenter to size
 /// fragment payloads against the Ethernet MTU).
 std::size_t data_frame_overhead();
+
+// ---- batch packing -----------------------------------------------------
+// A batched DataFrame's payload is the CDR concatenation of its messages,
+// each a sequence<octet> (4-byte length, bytes, aligned to 4). The message
+// count travels in the frame header (DataFrame::batch_count), so a packed
+// blob is only interpretable together with its frame.
+
+/// Packs complete messages (submission order) into one batch payload.
+Bytes pack_batch(const std::vector<Bytes>& messages);
+
+/// Unpacks a batch payload holding exactly `count` messages. Returns nullopt
+/// on malformed input (truncated blob, count/length mismatch, trailing
+/// garbage) — the caller drops the frame like any other corrupt frame.
+std::optional<std::vector<Bytes>> unpack_batch(BytesView packed, std::uint32_t count);
+
+/// Packed size after appending a message of `message_bytes` to a batch blob
+/// currently `current_bytes` long (alignment + length prefix included).
+/// Lets the sender pack greedily against a byte budget without encoding.
+std::size_t packed_batch_size(std::size_t current_bytes, std::size_t message_bytes);
 
 }  // namespace eternal::totem

@@ -28,7 +28,10 @@ TotemNode::TotemNode(Simulator& sim, Ethernet& ethernet, NodeId node, TotemConfi
       ctr_deliveries_(rec_.counter("totem.deliveries")),
       ctr_retransmissions_(rec_.counter("totem.retransmissions")),
       ctr_view_installs_(rec_.counter("totem.view_installs")),
-      ctr_gathers_(rec_.counter("totem.gathers")) {
+      ctr_gathers_(rec_.counter("totem.gathers")),
+      hist_batch_msgs_(rec_.histogram("totem.batch_msgs", {1, 2, 4, 8, 16, 32, 64, 128})),
+      hist_batch_bytes_(
+          rec_.histogram("totem.batch_bytes", {64, 128, 256, 512, 1024, 1536})) {
   if (listener_ == nullptr) throw std::invalid_argument("TotemNode: null listener");
 }
 
@@ -109,6 +112,10 @@ void TotemNode::crash() {
   gather_span_ = 0;
   next_msg_id_ = 1;
   highest_seen_seq_ = 0;
+  adaptive_window_ = 1;
+  queue_wait_ewma_ = 0;
+  recovery_stalls_ = 0;
+  last_stall_missing_ = 0;
   held_token_.reset();
   gather_alive_.clear();
   gather_highest_seq_ = 0;
@@ -134,6 +141,7 @@ void TotemNode::multicast(util::Bytes payload) {
     const std::size_t end = std::min(payload.size(), begin + cap);
     frag.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(begin),
                         payload.begin() + static_cast<std::ptrdiff_t>(end));
+    frag.enqueued_at = sim_.now();
     send_queue_.push_back(std::move(frag));
   }
   stats_.multicasts += 1;
@@ -229,7 +237,29 @@ void TotemNode::deliver_frame(const DataFrame& f) {
                     " view=" + std::to_string(f.view.value) +
                     " origin=" + std::to_string(f.origin.value) +
                     " digest=" + std::to_string(util::fnv1a(f.payload)) +
-                    " size=" + std::to_string(f.payload.size()));
+                    " size=" + std::to_string(f.payload.size()) +
+                    (f.batch_count >= 2 ? " batch=" + std::to_string(f.batch_count) : ""));
+  }
+  if (f.batch_count >= 2) {
+    // A batched frame: unpack back into the individual messages, delivered in
+    // the origin's submission order under the frame's one sequence number —
+    // so per-sender FIFO and the agreed total order both survive batching.
+    std::optional<std::vector<util::Bytes>> msgs = unpack_batch(f.payload, f.batch_count);
+    if (!msgs) {
+      // The packed blob is the sequenced bytes themselves, so a malformed
+      // batch decodes identically everywhere: every member drops it, like a
+      // bad-FCS frame that somehow carried a valid header.
+      ETERNAL_LOG(kWarn, kTag,
+                  util::to_string(node_) << " malformed batch at seq " << f.seq);
+      return;
+    }
+    for (util::Bytes& m : *msgs) {
+      Delivery d{f.origin, f.view, f.seq, std::move(m)};
+      stats_.deliveries += 1;
+      ctr_deliveries_.add();
+      listener_->on_deliver(d);
+    }
+    return;
   }
   const auto key = std::make_pair(f.origin.value, f.msg_id);
   if (f.frag_count <= 1) {
@@ -276,6 +306,9 @@ void TotemNode::handle_token(NodeId /*from*/, TokenFrame token) {
   // 2. Add our own missing sequence numbers.
   request_missing(token);
 
+  // 2b. Flow control: impose or release an origination budget.
+  apply_backpressure(token);
+
   // 3. Originate pending fragments, consuming sequence numbers.
   const std::uint64_t before_seq = token.next_seq;
   send_fragments(token);
@@ -297,35 +330,167 @@ void TotemNode::handle_token(NodeId /*from*/, TokenFrame token) {
 }
 
 void TotemNode::send_fragments(TokenFrame& token) {
+  if (config_.adaptive_batching) update_adaptive_window();
+
+  // A foreign flow budget caps how many frames we may originate this visit
+  // (we honour our own budget too: our sends feed the same backlog).
+  std::size_t budget = config_.max_frags_per_token;
+  const bool foreign_budget = token.flow_budget != 0 && token.flow_setter != node_;
+  if (token.flow_budget != 0) budget = std::min(budget, std::size_t{token.flow_budget});
+
+  const std::size_t window = batch_window();
+  const std::size_t cap = fragment_capacity();
+  const std::size_t byte_limit =
+      config_.max_batch_bytes == 0 ? cap : std::min(config_.max_batch_bytes, cap);
+
   std::size_t sent = 0;
-  while (!send_queue_.empty() && sent < config_.max_frags_per_token) {
-    PendingFragment frag = std::move(send_queue_.front());
-    send_queue_.pop_front();
+  while (!send_queue_.empty() && sent < budget) {
+    // Multi-fragment messages always travel alone: reassembly keys on
+    // (origin, msg_id), and a batch carries complete messages only.
+    if (window <= 1 || send_queue_.front().frag_count > 1) {
+      PendingFragment frag = std::move(send_queue_.front());
+      send_queue_.pop_front();
+      note_queue_wait(frag.enqueued_at);
+      DataFrame f;
+      f.view = view_.id;
+      f.ring_id = view_.ring_id;
+      f.origin = node_;
+      f.seq = token.next_seq++;
+      f.msg_id = frag.msg_id;
+      f.frag_index = frag.frag_index;
+      f.frag_count = frag.frag_count;
+      f.payload = std::move(frag.payload);
+      const bool last_fragment = f.frag_index + 1 == f.frag_count;
+      const std::uint64_t msg_id = f.msg_id;
+      hist_batch_msgs_.observe(1);
+      hist_batch_bytes_.observe(f.payload.size());
+      originate(std::move(f));
+      if (last_fragment) {
+        if (auto it = frag_spans_.find(msg_id); it != frag_spans_.end()) {
+          if (obs::SpanStore* spans = rec_.spans())
+            spans->end(it->second, sim_.now());
+          frag_spans_.erase(it);
+        }
+      }
+      ++sent;
+      continue;
+    }
+
+    // Batch path: greedily coalesce queued complete messages, FIFO, until the
+    // window or byte budget fills or a fragmented message blocks the queue.
+    std::vector<util::Bytes> msgs;
+    std::uint64_t first_msg_id = 0;
+    TimePoint oldest{};
+    std::size_t packed = 0;
+    while (!send_queue_.empty() && msgs.size() < window &&
+           send_queue_.front().frag_count <= 1) {
+      const std::size_t grown = packed_batch_size(packed, send_queue_.front().payload.size());
+      if (!msgs.empty() && grown > byte_limit) break;
+      PendingFragment frag = std::move(send_queue_.front());
+      send_queue_.pop_front();
+      note_queue_wait(frag.enqueued_at);
+      if (msgs.empty()) {
+        first_msg_id = frag.msg_id;
+        oldest = frag.enqueued_at;
+      }
+      packed = grown;
+      msgs.push_back(std::move(frag.payload));
+      // A lone message the wrapping would push past the limit travels as a
+      // plain frame below (no length prefix, so it still fits the MTU).
+      if (packed > byte_limit) break;
+    }
+
     DataFrame f;
     f.view = view_.id;
     f.ring_id = view_.ring_id;
     f.origin = node_;
     f.seq = token.next_seq++;
-    f.msg_id = frag.msg_id;
-    f.frag_index = frag.frag_index;
-    f.frag_count = frag.frag_count;
-    f.payload = std::move(frag.payload);
-    const bool last_fragment = f.frag_index + 1 == f.frag_count;
-    const std::uint64_t msg_id = f.msg_id;
-    broadcast(encode_frame(node_, f));
-    stats_.fragments_sent += 1;
-    highest_seen_seq_ = std::max(highest_seen_seq_, f.seq);
-    store_.emplace(f.seq, std::move(f));  // self-delivery
-    if (last_fragment) {
-      if (auto it = frag_spans_.find(msg_id); it != frag_spans_.end()) {
-        if (obs::SpanStore* spans = rec_.spans())
-          spans->end(it->second, sim_.now());
-        frag_spans_.erase(it);
+    f.msg_id = first_msg_id;
+    if (msgs.size() == 1) {
+      f.payload = std::move(msgs.front());  // wire-identical to an unbatched send
+    } else {
+      f.batch_count = static_cast<std::uint32_t>(msgs.size());
+      f.payload = pack_batch(msgs);
+      stats_.batches_sent += 1;
+      stats_.batched_messages += msgs.size();
+      if (obs::SpanStore* spans = rec_.spans()) {
+        // The batch span covers the coalescing window: oldest member's
+        // submission until the whole batch is originated here.
+        const std::uint64_t span = spans->begin(
+            0, 0, node_, obs::Layer::kTotem, "batch", oldest,
+            "msgs=" + std::to_string(msgs.size()) +
+                " bytes=" + std::to_string(f.payload.size()));
+        spans->end(span, sim_.now());
       }
     }
+    hist_batch_msgs_.observe(msgs.size());
+    hist_batch_bytes_.observe(f.payload.size());
+    originate(std::move(f));
     ++sent;
   }
+  if (foreign_budget && sent >= budget && !send_queue_.empty()) {
+    stats_.backpressure_throttled += 1;
+  }
   advance_delivery();
+}
+
+void TotemNode::originate(DataFrame f) {
+  broadcast(encode_frame(node_, f));
+  stats_.fragments_sent += 1;
+  highest_seen_seq_ = std::max(highest_seen_seq_, f.seq);
+  store_.emplace(f.seq, std::move(f));  // self-delivery
+}
+
+std::size_t TotemNode::batch_window() const noexcept {
+  if (config_.max_batch_msgs <= 1) return 1;
+  return config_.adaptive_batching ? adaptive_window_ : config_.max_batch_msgs;
+}
+
+void TotemNode::note_queue_wait(TimePoint enqueued_at) {
+  if (!config_.adaptive_batching) return;
+  const std::int64_t wait = (sim_.now() - enqueued_at).count();
+  // Integer EWMA, alpha = 1/4: reacts within a few token rotations.
+  queue_wait_ewma_ += (wait - queue_wait_ewma_) / 4;
+}
+
+void TotemNode::update_adaptive_window() {
+  const std::int64_t target = config_.adaptive_wait_target.count();
+  if (queue_wait_ewma_ > target || send_queue_.size() > adaptive_window_ * 2) {
+    // Backlog: pack dense, so each token visit moves more messages.
+    adaptive_window_ = std::min(adaptive_window_ * 2, config_.max_batch_msgs);
+  } else if (queue_wait_ewma_ < target / 4 && send_queue_.size() <= adaptive_window_) {
+    // Idle: drain fast, so a lone message never waits for company.
+    adaptive_window_ = std::max<std::size_t>(adaptive_window_ / 2, 1);
+  }
+}
+
+void TotemNode::apply_backpressure(TokenFrame& token) {
+  // Congested: the gap between the ring's assigned sequence numbers and what
+  // we have delivered outgrew the window we can recover through rtr.
+  const std::uint64_t assigned = token.next_seq - 1;
+  const bool congested = assigned > delivered_up_to_ &&
+                         assigned - delivered_up_to_ > config_.backpressure_gap;
+  const auto budget = static_cast<std::uint32_t>(config_.backpressure_budget);
+  if (congested) {
+    // Lower-only, like aru: a budget may shrink mid-rotation, never grow.
+    if (token.flow_budget == 0 || budget < token.flow_budget) {
+      token.flow_budget = budget;
+      token.flow_setter = node_;
+      stats_.backpressure_sets += 1;
+      if (rec_.tracing()) {
+        rec_.record(node_, obs::Layer::kTotem, "backpressure", token.flow_budget,
+                    "gap=" + std::to_string(assigned - delivered_up_to_));
+      }
+    }
+  } else if (token.flow_setter == node_ && token.flow_budget != 0) {
+    // Recovered: only the setter releases the ring.
+    token.flow_budget = 0;
+    token.flow_setter = NodeId{};
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kTotem, "backpressure_clear", 0,
+                  "delivered=" + std::to_string(delivered_up_to_));
+    }
+  }
 }
 
 void TotemNode::serve_retransmissions(std::vector<std::uint64_t>& rtr) {
@@ -530,6 +695,13 @@ void TotemNode::handle_commit(NodeId /*from*/, const CommitFrame& f) {
     delivered_up_to_ = 0;
     highest_seen_seq_ = 0;
     ancestor_rings_.clear();
+  } else if (ever_installed_ && f.surviving_ring != view_.ring_id) {
+    // Rejoining a descendant of our own ring: the commit proved its
+    // numbering continues ours, so adopt its lineage. Without this the
+    // retransmissions that close our gap arrive stamped with the descendant
+    // ring and handle_data would drop them — recovery could never finish.
+    ancestor_rings_.insert(f.surviving_ring);
+    ancestor_rings_.insert(f.surviving_ancestors.begin(), f.surviving_ancestors.end());
   }
   // Divergence safety net: we delivered past the ring's agreed history.
   if (delivered_up_to_ > f.base_seq) {
@@ -666,6 +838,8 @@ void TotemNode::install_view(const InstallFrame& f) {
   view_ = next;
   ever_installed_ = true;
   fresh_member_ = false;
+  recovery_stalls_ = 0;
+  last_stall_missing_ = 0;
   state_ = State::kOperational;
   stats_.view_changes += 1;
   ctr_view_installs_.add();
@@ -717,10 +891,41 @@ void TotemNode::install_view(const InstallFrame& f) {
 void TotemNode::arm_recovery_timer() {
   sim_.cancel(recovery_timer_);
   recovery_timer_ = sim_.schedule(config_.recovery_timeout, [this] {
-    if (state_ == State::kGather || state_ == State::kRecovery) {
-      ETERNAL_LOG(kDebug, kTag, util::to_string(node_) << " recovery timeout -> re-gather");
-      enter_gather();
+    if (state_ != State::kGather && state_ != State::kRecovery) return;
+    // Liveness guard: a member whose missing messages have no surviving
+    // holder (the ring moved on without it and garbage-collected them)
+    // would stall reformation forever — every re-gather recommits the same
+    // base_seq and the same unservable missing set. After repeated rounds
+    // with no progress it gives up stream continuity and rejoins fresh;
+    // Eternal's state transfer rebuilds its replicas' state above Totem.
+    if (state_ == State::kRecovery && commit_.has_value() && !fresh_member_) {
+      const std::size_t missing = compute_missing(commit_->base_seq).size();
+      if (missing > 0 && missing == last_stall_missing_ &&
+          ++recovery_stalls_ >= config_.max_recovery_stalls) {
+        ETERNAL_LOG(kWarn, kTag,
+                    util::to_string(node_)
+                        << " recovery stalled " << recovery_stalls_ << "x on "
+                        << missing << " unservable messages; demoting to fresh");
+        fresh_member_ = true;
+        // Keep entries at or below the commit base for serving other
+        // recovering members; anything above it belongs to a sequence range
+        // the reformed ring may reassign and must not be replayed.
+        store_.erase(store_.upper_bound(commit_->base_seq), store_.end());
+        partial_.clear();
+        stats_.forced_demotions += 1;
+        recovery_stalls_ = 0;
+        last_stall_missing_ = 0;
+        if (rec_.tracing()) {
+          rec_.record(node_, obs::Layer::kTotem, "forced_fresh", view_.id.value,
+                      "missing=" + std::to_string(missing));
+        }
+      } else if (missing != last_stall_missing_) {
+        recovery_stalls_ = missing > 0 ? 1 : 0;
+        last_stall_missing_ = missing;
+      }
     }
+    ETERNAL_LOG(kDebug, kTag, util::to_string(node_) << " recovery timeout -> re-gather");
+    enter_gather();
   });
 }
 

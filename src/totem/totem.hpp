@@ -51,6 +51,34 @@ struct TotemConfig {
   std::size_t max_frags_per_token = 16;               ///< fragments sent per token visit
   std::size_t max_rtr_per_token = 64;                 ///< retransmission requests per token
   std::uint64_t gc_margin = 4096;                     ///< retained seqs behind aru
+  /// Consecutive fruitless recovery rounds (missing set unchanged at the
+  /// recovery timeout) a member tolerates before concluding its missing
+  /// messages have no surviving holder — they were garbage-collected while
+  /// it was cut off — and demoting itself to a fresh member so reformation
+  /// can complete. Eternal's state transfer rebuilds its replicas above us.
+  std::uint32_t max_recovery_stalls = 3;
+
+  // ---- multicast batching (off by default: wire behaviour unchanged) ----
+  /// Complete small messages coalesced into one Data frame (1 = no
+  /// batching). A batch consumes one sequence number and one token-visit
+  /// fragment slot, so the per-rotation message budget scales with it.
+  std::size_t max_batch_msgs = 1;
+  /// Payload-byte bound per batch; 0 = whatever fits one Ethernet frame.
+  std::size_t max_batch_bytes = 0;
+  /// Adapts the batch window between 1 and max_batch_msgs from the recent
+  /// submission→origination wait (the local, Totem-controlled component of
+  /// the order-wait span): drain-fast when idle, pack-dense under backlog.
+  bool adaptive_batching = false;
+  /// Queue-wait level (EWMA) above which the adaptive window widens.
+  Duration adaptive_wait_target = Duration(300'000);  ///< 300 us
+
+  // ---- token backpressure ----
+  /// Undelivered-sequence gap at which a member declares itself congested
+  /// and writes a reduced origination budget into the token, slowing every
+  /// sender instead of overflowing its own retransmission window.
+  std::uint64_t backpressure_gap = 512;
+  /// Data frames per token visit the ring drops to while congested.
+  std::size_t backpressure_budget = 2;
 };
 
 /// An installed membership view.
@@ -88,6 +116,11 @@ struct TotemStats {
   std::uint64_t deliveries = 0;         ///< messages delivered to listener
   std::uint64_t view_changes = 0;
   std::uint64_t tokens_handled = 0;
+  std::uint64_t batches_sent = 0;       ///< Data frames carrying >= 2 messages
+  std::uint64_t batched_messages = 0;   ///< messages that travelled inside a batch
+  std::uint64_t backpressure_sets = 0;  ///< token visits where we imposed a budget
+  std::uint64_t backpressure_throttled = 0;  ///< sends deferred by a foreign budget
+  std::uint64_t forced_demotions = 0;   ///< gave up continuity after stalled recovery
 };
 
 /// One ring endpoint, living on one simulated processor.
@@ -141,6 +174,7 @@ class TotemNode : public sim::Station {
     std::uint32_t frag_index;
     std::uint32_t frag_count;
     util::Bytes payload;
+    TimePoint enqueued_at{};  ///< submission time (queue-wait accounting)
   };
 
   // ---- frame handlers ----
@@ -156,6 +190,12 @@ class TotemNode : public sim::Station {
   void advance_delivery();
   void deliver_frame(const DataFrame& f);
   void send_fragments(TokenFrame& token);
+  void originate(DataFrame f);
+  /// Current batch window: config'd max, or the adaptive window when enabled.
+  std::size_t batch_window() const noexcept;
+  void note_queue_wait(TimePoint enqueued_at);
+  void update_adaptive_window();
+  void apply_backpressure(TokenFrame& token);
   void serve_retransmissions(std::vector<std::uint64_t>& rtr);
   void request_missing(TokenFrame& token);
   void pass_token(TokenFrame token, bool idle);
@@ -196,6 +236,10 @@ class TotemNode : public sim::Station {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t highest_seen_seq_ = 0;
 
+  // Batching / flow control.
+  std::size_t adaptive_window_ = 1;   ///< live batch window (adaptive mode)
+  std::int64_t queue_wait_ewma_ = 0;  ///< ns; smoothed submission→origination wait
+
   // Span bookkeeping (obs/spans.hpp; raw ids to keep the header light).
   // Only populated while a SpanStore is attached to the recorder.
   std::map<std::uint64_t, std::uint64_t> frag_spans_;  ///< msg_id → open span
@@ -218,6 +262,8 @@ class TotemNode : public sim::Station {
   std::set<NodeId> ready_members_;
   std::vector<std::uint64_t> requested_missing_check_;  ///< last Ready's missing wave
   bool fresh_member_ = true;  ///< entering without history (new or demoted)
+  std::uint32_t recovery_stalls_ = 0;     ///< consecutive no-progress recovery rounds
+  std::size_t last_stall_missing_ = 0;    ///< missing count at the previous stall
 
   std::unordered_map<NodeId, TimePoint> last_heard_;
   TotemStats stats_;
@@ -232,6 +278,8 @@ class TotemNode : public sim::Station {
   obs::Counter& ctr_retransmissions_;
   obs::Counter& ctr_view_installs_;
   obs::Counter& ctr_gathers_;
+  obs::Histogram& hist_batch_msgs_;   ///< messages per originated Data frame
+  obs::Histogram& hist_batch_bytes_;  ///< payload bytes per originated Data frame
 };
 
 }  // namespace eternal::totem

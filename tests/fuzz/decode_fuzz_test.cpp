@@ -90,6 +90,41 @@ TEST_P(DecodeFuzz, MutatedValidTotemFramesNeverCrash) {
   }
 }
 
+TEST_P(DecodeFuzz, MutatedValidBatchedFramesNeverCrash) {
+  Rng rng(GetParam() ^ 0xBA7C);
+  std::vector<Bytes> msgs;
+  for (std::size_t i = 0; i < 6; ++i) msgs.push_back(random_bytes(rng, 64));
+  totem::DataFrame data;
+  data.view = util::ViewId{3};
+  data.seq = 99;
+  data.batch_count = static_cast<std::uint32_t>(msgs.size());
+  data.payload = totem::pack_batch(msgs);
+  const Bytes valid = totem::encode_frame(util::NodeId{2}, data);
+
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    auto decoded = totem::decode_frame(mutated);
+    if (!decoded || decoded->type() != totem::FrameType::kData) continue;
+    // A frame that survives decode must unpack cleanly or be rejected —
+    // never crash or over-read (this is the deliver path's exact sequence).
+    const auto& d = std::get<totem::DataFrame>(decoded->body);
+    if (d.batch_count >= 2) (void)totem::unpack_batch(d.payload, d.batch_count);
+  }
+}
+
+TEST_P(DecodeFuzz, RandomBlobsNeverCrashBatchUnpack) {
+  Rng rng(GetParam() ^ 0xB10B);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes blob = random_bytes(rng, 256);
+    (void)totem::unpack_batch(blob, static_cast<std::uint32_t>(rng.below(300)));
+    (void)totem::unpack_batch(blob, static_cast<std::uint32_t>(rng.next()));
+  }
+}
+
 TEST_P(DecodeFuzz, MutatedValidEnvelopesNeverCrash) {
   Rng rng(GetParam() ^ 0xE7E4);
   core::Envelope env;

@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "core/deployment.hpp"
+#include "obs/invariants.hpp"
 #include "obs/metrics.hpp"
 #include "obs/spans.hpp"
 
 #include "../support/counter_servant.hpp"
+#include "../support/forwarder_servant.hpp"
 
 namespace eternal::obs {
 namespace {
@@ -221,6 +223,92 @@ TEST(RecoveryProfile, SixPhasesInOrderSummingToRoot) {
   }
   EXPECT_EQ(cursor.count(), root->end.count());
   EXPECT_EQ(p.total().count(), (root->end - root->start).count());
+}
+
+TEST(DerivedTraceId, DeterministicDisjointFromSequentialIds) {
+  const TraceId a = derived_trace_id(util::GroupId{3}, util::GroupId{7}, 12);
+  EXPECT_EQ(a, derived_trace_id(util::GroupId{3}, util::GroupId{7}, 12));
+  EXPECT_NE(a, derived_trace_id(util::GroupId{3}, util::GroupId{7}, 13));
+  EXPECT_NE(a, derived_trace_id(util::GroupId{4}, util::GroupId{7}, 12));
+  // Top bit set: can never collide with SpanStore::new_trace()'s 1,2,3,...
+  EXPECT_NE(a & (std::uint64_t{1} << 63), 0u);
+}
+
+// Regression for the replicated-client trace semantics: when the *client* is
+// an actively replicated group (a middle tier), every replica intercepts the
+// same nested invocation and used to mint its own new_trace() id — the
+// suppressed duplicate's "invocation" root then had no reply to close it,
+// leaving an orphaned, forever-open second root per call. Minting the id from
+// (client group, server group, op_seq) makes the duplicates' captures
+// byte-identical, so begin_named collapses them into one tree.
+TEST(ReplicatedClientTrace, DuplicateCaptorsJoinOneSpanTree) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.seed = 23;
+  cfg.span_capacity = 1u << 14;
+  System sys(cfg);
+
+  FtProperties backend_props;
+  backend_props.style = ReplicationStyle::kActive;
+  backend_props.initial_replicas = 1;
+  backend_props.minimum_replicas = 1;
+  std::shared_ptr<CounterServant> backend_servant;
+  const GroupId backend =
+      sys.deploy("backend", "IDL:Backend:1.0", backend_props, {NodeId{3}}, [&](NodeId) {
+        backend_servant = std::make_shared<CounterServant>(sys.sim());
+        return backend_servant;
+      });
+
+  // The replicated client: an active 2-way middle tier, both replicas of
+  // which intercept the same nested invocation to the backend.
+  FtProperties middle_props;
+  middle_props.style = ReplicationStyle::kActive;
+  middle_props.initial_replicas = 2;
+  middle_props.minimum_replicas = 1;
+  const GroupId middle = sys.deploy(
+      "middle", "IDL:Middle:1.0", middle_props, {NodeId{1}, NodeId{2}}, [&](NodeId n) {
+        return std::make_shared<test_support::ForwarderServant>(sys.client(n, backend),
+                                                                "inc");
+      });
+  sys.bind_client(NodeId{1}, middle, backend);
+  sys.bind_client(NodeId{2}, middle, backend);
+  sys.deploy_client("app", NodeId{4}, {middle});
+  orb::ObjectRef ref = sys.client(NodeId{4}, middle);
+
+  constexpr int kOps = 8;
+  for (int i = 0; i < kOps; ++i) {
+    bool done = false;
+    ref.invoke("forward", CounterServant::encode_i32(1),
+               [&done](const orb::ReplyOutcome&) { done = true; });
+    ASSERT_TRUE(sys.run_until([&] { return done; }, Duration(500'000'000)));
+  }
+  sys.run_for(Duration(50'000'000));  // drain in-flight work
+  ASSERT_EQ(backend_servant->value(), kOps);
+
+  std::map<TraceId, std::vector<const Span*>> by_trace;
+  const std::vector<Span> spans = sys.spans()->snapshot();
+  ASSERT_EQ(sys.spans()->dropped(), 0u);
+  for (const Span& s : spans) by_trace[s.trace].push_back(&s);
+
+  int nested_roots = 0;
+  for (const auto& [trace, trace_spans] : by_trace) {
+    int roots = 0;
+    for (const Span* s : trace_spans) {
+      if (s->name != "invocation") continue;
+      ++roots;
+      // The bug's signature: a second root that nothing ever closes.
+      EXPECT_FALSE(s->open) << "orphaned invocation root in trace " << trace;
+      const auto detail = parse_detail(s->detail);
+      const auto server = detail.find("server");
+      if (server != detail.end() &&
+          server->second == std::to_string(backend.value)) {
+        ++nested_roots;
+      }
+    }
+    EXPECT_LE(roots, 1) << "duplicate captors opened parallel roots in trace " << trace;
+  }
+  // One tree per *logical* nested invocation — not one per captor replica.
+  EXPECT_EQ(nested_roots, kOps);
 }
 
 TEST(HistogramPercentile, InterpolatesAndClamps) {

@@ -2,12 +2,14 @@
 #include <gtest/gtest.h>
 
 #include "totem/frames.hpp"
+#include "util/rng.hpp"
 
 namespace eternal::totem {
 namespace {
 
 using util::Bytes;
 using util::NodeId;
+using util::Rng;
 using util::ViewId;
 
 TEST(TotemFrames, DataRoundTrip) {
@@ -121,6 +123,126 @@ TEST(TotemFrames, DataOverheadIsStable) {
   DataFrame f;
   f.payload = Bytes(500, 1);
   EXPECT_EQ(encode_frame(NodeId{1}, f).size(), overhead + 500);
+}
+
+// ------------------------------------------------------------- batch framing
+
+DataFrame batched_frame(const std::vector<Bytes>& msgs) {
+  DataFrame f;
+  f.view = ViewId{3};
+  f.origin = NodeId{2};
+  f.seq = 41;
+  f.msg_id = 7;
+  f.batch_count = static_cast<std::uint32_t>(msgs.size());
+  f.payload = pack_batch(msgs);
+  return f;
+}
+
+TEST(TotemBatchFraming, BatchedFrameRoundTrips) {
+  const std::vector<Bytes> msgs = {Bytes{1, 2, 3}, Bytes{}, Bytes(41, 0xAB),
+                                   Bytes{9}};
+  auto decoded = decode_frame(encode_frame(NodeId{2}, batched_frame(msgs)));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& d = std::get<DataFrame>(decoded->body);
+  EXPECT_EQ(d.batch_count, 4u);
+  auto unpacked = unpack_batch(d.payload, d.batch_count);
+  ASSERT_TRUE(unpacked.has_value());
+  EXPECT_EQ(*unpacked, msgs);
+}
+
+TEST(TotemBatchFraming, SingleMessageIsWireIdenticalToUnbatched) {
+  // A batch of one encodes as a plain frame: byte-identical wire format, so
+  // enabling batching changes nothing until two messages actually coalesce.
+  DataFrame plain;
+  plain.view = ViewId{3};
+  plain.origin = NodeId{2};
+  plain.seq = 41;
+  plain.msg_id = 7;
+  plain.payload = Bytes{5, 6, 7};
+  DataFrame one = plain;  // batch_count stays 1; payload is the raw message
+  EXPECT_EQ(encode_frame(NodeId{2}, one), encode_frame(NodeId{2}, plain));
+}
+
+TEST(TotemBatchFraming, RandomRoundTripProperty) {
+  Rng rng(0xBA7C);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Bytes> msgs;
+    const std::size_t count = rng.between(2, 32);
+    for (std::size_t i = 0; i < count; ++i) {
+      Bytes m(rng.below(120));
+      for (auto& b : m) b = static_cast<std::uint8_t>(rng.next());
+      msgs.push_back(std::move(m));
+    }
+    auto unpacked =
+        unpack_batch(pack_batch(msgs), static_cast<std::uint32_t>(msgs.size()));
+    ASSERT_TRUE(unpacked.has_value()) << "iter " << iter;
+    EXPECT_EQ(*unpacked, msgs) << "iter " << iter;
+  }
+}
+
+TEST(TotemBatchFraming, MaxSizeBatchFitsOneEthernetFrame) {
+  // Pack to just under a 1500-byte MTU payload budget using the size
+  // predictor, then verify the prediction matched the encoder exactly.
+  const std::size_t budget = 1500 - data_frame_overhead();
+  std::vector<Bytes> msgs;
+  std::size_t packed = 0;
+  Rng rng(0x517E);
+  while (true) {
+    const std::size_t len = rng.below(64);
+    const std::size_t grown = packed_batch_size(packed, len);
+    if (grown > budget) break;
+    msgs.push_back(Bytes(len, static_cast<std::uint8_t>(msgs.size())));
+    packed = grown;
+  }
+  ASSERT_GE(msgs.size(), 2u);
+  const Bytes blob = pack_batch(msgs);
+  EXPECT_EQ(blob.size(), packed);  // predictor == encoder
+  EXPECT_LE(data_frame_overhead() + blob.size(), 1500u);
+  auto unpacked = unpack_batch(blob, static_cast<std::uint32_t>(msgs.size()));
+  ASSERT_TRUE(unpacked.has_value());
+  EXPECT_EQ(*unpacked, msgs);
+}
+
+TEST(TotemBatchFraming, MalformedBatchRejected) {
+  const std::vector<Bytes> msgs = {Bytes{1, 2, 3}, Bytes(50, 4), Bytes{5}};
+  const Bytes blob = pack_batch(msgs);
+
+  // Wrong count: too many or too few messages claimed.
+  EXPECT_FALSE(unpack_batch(blob, 2).has_value());   // trailing garbage
+  EXPECT_FALSE(unpack_batch(blob, 4).has_value());   // runs off the end
+  EXPECT_FALSE(unpack_batch(blob, 0).has_value());   // 0 leaves the blob unread
+  // A count no blob of this size could hold (guards the decoder's reserve).
+  EXPECT_FALSE(unpack_batch(blob, 0xFFFFFFFF).has_value());
+
+  // Truncations at every boundary.
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    Bytes t(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(unpack_batch(t, 3).has_value()) << "cut=" << cut;
+  }
+
+  // A length field pointing past the end of the blob.
+  Bytes corrupt = blob;
+  corrupt[0] = 0xFF;
+  EXPECT_FALSE(unpack_batch(corrupt, 3).has_value());
+}
+
+TEST(TotemBatchFraming, DecoderRejectsImpossibleBatchCounts) {
+  DataFrame f = batched_frame({Bytes{1}, Bytes{2}});
+  Bytes wire = encode_frame(NodeId{2}, f);
+
+  // batch_count == 0 is never valid on the wire.
+  DataFrame zero = f;
+  zero.batch_count = 0;
+  EXPECT_FALSE(decode_frame(encode_frame(NodeId{2}, zero)).has_value());
+
+  // A batch_count the payload could not possibly hold is rejected at frame
+  // decode, before unpack_batch ever runs.
+  DataFrame huge = f;
+  huge.batch_count = 1'000'000;
+  EXPECT_FALSE(decode_frame(encode_frame(NodeId{2}, huge)).has_value());
+
+  // The valid frame still decodes (sanity for the two rejections above).
+  EXPECT_TRUE(decode_frame(wire).has_value());
 }
 
 }  // namespace
