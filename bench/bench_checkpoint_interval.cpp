@@ -81,7 +81,8 @@ Row run_once(Duration interval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = eternal::bench::smoke_mode(argc, argv);
   bench::print_header(
       "Ablation §3.3 — checkpoint interval: traffic vs log replay at failover",
       "each checkpoint overwrites its predecessor and truncates the message "
@@ -90,10 +91,14 @@ int main() {
   static const Duration kIntervals[] = {Duration(5'000'000), Duration(10'000'000),
                                         Duration(20'000'000), Duration(50'000'000),
                                         Duration(100'000'000)};
+  static const Duration kSmokeIntervals[] = {Duration(10'000'000), Duration(50'000'000)};
+  const Duration* intervals = smoke ? kSmokeIntervals : kIntervals;
+  const std::size_t n_intervals =
+      smoke ? std::size(kSmokeIntervals) : std::size(kIntervals);
   std::printf("%12s %12s %10s %12s %18s\n", "interval_ms", "checkpoints", "replayed",
               "failover_ms", "faultfree_traffic_MB");
-  for (Duration interval : kIntervals) {
-    const Row row = run_once(interval);
+  for (std::size_t ii = 0; ii < n_intervals; ++ii) {
+    const Row row = run_once(intervals[ii]);
     std::printf("%12.0f %12llu %10llu %12.3f %18.3f\n", row.interval_ms,
                 static_cast<unsigned long long>(row.checkpoints),
                 static_cast<unsigned long long>(row.replayed), row.failover_ms,

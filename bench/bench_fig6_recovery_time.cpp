@@ -43,6 +43,7 @@ using util::NodeId;
 
 struct Row {
   std::size_t state_bytes;
+  const char* mode = "full";   // "full" = one IIOP message; "chunked" = kStateChunk pipeline
   double recovery_ms = -1.0;   // sum of the six Figure-5 phases below
   double reinstated_ms = -1.0; // RecoveryRecord: launch -> set_state applied
   double phase_fault_detection_ms = -1.0;
@@ -57,10 +58,12 @@ struct Row {
   std::uint64_t frames = 0;       // Ethernet frames during the recovery window
 };
 
-Row run_once(std::size_t state_bytes, std::string* chrome_trace_out) {
+Row run_once(std::size_t state_bytes, std::size_t chunk_bytes,
+             std::string* chrome_trace_out) {
   SystemConfig cfg;
   cfg.nodes = 4;
   cfg.span_capacity = 1u << 16;
+  cfg.mechanisms.state_chunk_bytes = chunk_bytes;
   System sys(cfg);
 
   FtProperties props;
@@ -108,6 +111,7 @@ Row run_once(std::size_t state_bytes, std::string* chrome_trace_out) {
   driver.stop();
   Row row{};
   row.state_bytes = state_bytes;
+  row.mode = chunk_bytes == 0 ? "full" : "chunked";
   if (recovered) {
     const core::RecoveryRecord& rec = sys.mech(NodeId{2}).recoveries().front();
     row.reinstated_ms = bench::to_ms(rec.recovery_time());
@@ -138,43 +142,61 @@ Row run_once(std::size_t state_bytes, std::string* chrome_trace_out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = eternal::bench::smoke_mode(argc, argv);
   bench::print_header(
       "Figure 6 — recovery time of a server replica vs application-level state size",
       "active replication; packet-driver client; kill + re-launch one replica; "
-      "10 B .. 350,000 B; recovery time grows with state size once the state "
-      "fragments across >1518 B Ethernet frames");
+      "10 B .. 4 MB; recovery time grows with state size once the state "
+      "fragments across >1518 B Ethernet frames; 'chunked' rows pipeline the "
+      "state in 64 kB kStateChunk envelopes instead of one IIOP message");
 
-  static const std::size_t kSizes[] = {10,     100,    1000,   1518,    5'000,  10'000,
-                                       25'000, 50'000, 100'000, 200'000, 350'000};
-  std::printf("%12s %13s %8s %8s %8s %8s %8s %8s %8s\n", "state_B", "recovery_ms",
-              "fd_ms", "quie_ms", "get_ms", "xfer_ms", "set_ms", "replay", "frames");
+  static const std::size_t kSizes[] = {10,     100,     1000,    1518,
+                                       5'000,  10'000,  25'000,  50'000,
+                                       100'000, 200'000, 350'000, 1'000'000,
+                                       4'000'000};
+  static const std::size_t kSmokeSizes[] = {1000, 50'000};
+  const std::size_t* sizes = smoke ? kSmokeSizes : kSizes;
+  const std::size_t n_sizes =
+      smoke ? std::size(kSmokeSizes) : std::size(kSizes);
+  constexpr std::size_t kChunk = 65'536;
+
+  std::printf("%12s %8s %13s %8s %8s %8s %8s %8s %8s %8s\n", "state_B", "mode",
+              "recovery_ms", "fd_ms", "quie_ms", "get_ms", "xfer_ms", "set_ms",
+              "replay", "frames");
   bench::BenchResultWriter results("fig6_recovery_time");
   std::string chrome_trace;
   double first_small = 0, last_big = 0;
-  for (std::size_t size : kSizes) {
-    const Row row = run_once(size, size == 100'000 ? &chrome_trace : nullptr);
-    std::printf("%12zu %13.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8llu\n",
-                row.state_bytes, row.recovery_ms, row.phase_fault_detection_ms,
-                row.phase_quiesce_ms, row.phase_get_state_ms, row.phase_transfer_ms,
-                row.phase_set_state_ms, row.phase_replay_ms,
-                static_cast<unsigned long long>(row.frames));
-    results.row()
-        .col("state_bytes", static_cast<std::uint64_t>(row.state_bytes))
-        .col("recovery_ms", row.recovery_ms)
-        .col("reinstated_ms", row.reinstated_ms)
-        .col("phase_fault_detection_ms", row.phase_fault_detection_ms)
-        .col("phase_quiesce_ms", row.phase_quiesce_ms)
-        .col("phase_get_state_ms", row.phase_get_state_ms)
-        .col("phase_transfer_ms", row.phase_transfer_ms)
-        .col("phase_set_state_ms", row.phase_set_state_ms)
-        .col("phase_replay_ms", row.phase_replay_ms)
-        .col("coordination_ms", row.coordination_ms)
-        .col("transfer_ms", row.transfer_ms)
-        .col("apply_ms", row.apply_ms)
-        .col("frames", row.frames);
-    if (size == 10) first_small = row.recovery_ms;
-    if (size == 350'000) last_big = row.recovery_ms;
+  for (std::size_t i = 0; i < n_sizes; ++i) {
+    const std::size_t size = sizes[i];
+    for (const std::size_t chunk : {std::size_t{0}, kChunk}) {
+      if (chunk != 0 && size <= kChunk) continue;  // chunking is a no-op below one chunk
+      const Row row = run_once(
+          size, chunk, (!smoke && size == 100'000 && chunk == 0) ? &chrome_trace : nullptr);
+      std::printf("%12zu %8s %13.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8llu\n",
+                  row.state_bytes, row.mode, row.recovery_ms,
+                  row.phase_fault_detection_ms, row.phase_quiesce_ms,
+                  row.phase_get_state_ms, row.phase_transfer_ms,
+                  row.phase_set_state_ms, row.phase_replay_ms,
+                  static_cast<unsigned long long>(row.frames));
+      results.row()
+          .col("state_bytes", static_cast<std::uint64_t>(row.state_bytes))
+          .col("mode", row.mode)
+          .col("recovery_ms", row.recovery_ms)
+          .col("reinstated_ms", row.reinstated_ms)
+          .col("phase_fault_detection_ms", row.phase_fault_detection_ms)
+          .col("phase_quiesce_ms", row.phase_quiesce_ms)
+          .col("phase_get_state_ms", row.phase_get_state_ms)
+          .col("phase_transfer_ms", row.phase_transfer_ms)
+          .col("phase_set_state_ms", row.phase_set_state_ms)
+          .col("phase_replay_ms", row.phase_replay_ms)
+          .col("coordination_ms", row.coordination_ms)
+          .col("transfer_ms", row.transfer_ms)
+          .col("apply_ms", row.apply_ms)
+          .col("frames", row.frames);
+      if (chunk == 0 && size == 10) first_small = row.recovery_ms;
+      if (chunk == 0 && size == 350'000) last_big = row.recovery_ms;
+    }
   }
   std::printf("\nshape check: recovery(350 kB) / recovery(10 B) = %.1fx (paper: grows "
               "steeply with state size)\n",

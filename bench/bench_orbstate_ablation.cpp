@@ -162,7 +162,7 @@ ServerRow run_server_recovery(bool replay_handshakes) {
 
 }  // namespace
 
-int main() {
+int main(int, char**) {  // scenarios are already smoke-sized; --smoke accepted
   bench::print_header(
       "Ablation §4.2 — ORB/POA-level state mechanisms on/off",
       "Fig. 4: without request_id sync a recovered client replica waits "

@@ -121,7 +121,8 @@ Stats eternal_stats(Duration exec_time, std::size_t replicas) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = eternal::bench::smoke_mode(argc, argv);
   bench::print_header(
       "§6 claim — fault-free overhead of interception + multicast + consistency",
       "10-15% of response time for the paper's fault-tolerant test applications "
@@ -130,10 +131,14 @@ int main() {
   static const Duration kExecTimes[] = {Duration(100'000), Duration(250'000),
                                         Duration(500'000), Duration(1'000'000),
                                         Duration(2'000'000), Duration(5'000'000)};
+  static const Duration kSmokeExecTimes[] = {Duration(100'000), Duration(1'000'000)};
+  const Duration* times = smoke ? kSmokeExecTimes : kExecTimes;
+  const std::size_t n_times = smoke ? std::size(kSmokeExecTimes) : std::size(kExecTimes);
   bench::BenchResultWriter results("overhead_faultfree");
   std::printf("%10s %14s %14s %8s %14s %8s\n", "exec_us", "baseline_us", "eternal1_us",
               "ovh1%", "eternal3_us", "ovh3%");
-  for (Duration exec : kExecTimes) {
+  for (std::size_t ti = 0; ti < n_times; ++ti) {
+    const Duration exec = times[ti];
     const Stats base = baseline_stats(exec);
     const Stats e1 = eternal_stats(exec, 1);
     const Stats e3 = eternal_stats(exec, 3);

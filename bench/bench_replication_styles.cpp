@@ -106,7 +106,8 @@ Row run_style(ReplicationStyle style, std::size_t state_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = eternal::bench::smoke_mode(argc, argv);
   bench::print_header(
       "§6 claim — replication style trade-off (same workload, one fault)",
       "active: more resources, faster recovery; passive: fewer resources, "
@@ -116,7 +117,7 @@ int main() {
               "executions", "checkpoints", "MB");
   for (ReplicationStyle style : {ReplicationStyle::kActive, ReplicationStyle::kWarmPassive,
                                  ReplicationStyle::kColdPassive}) {
-    const Row row = run_style(style, 10'000);
+    const Row row = run_style(style, smoke ? 2'000 : 10'000);
     std::printf("%14s %16.3f %12.3f %12llu %12llu %10.3f\n", row.style,
                 row.interruption_ms, row.recovery_ms,
                 static_cast<unsigned long long>(row.executions),

@@ -135,7 +135,8 @@ void print_row(const char* label, const Row& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = eternal::bench::smoke_mode(argc, argv);
   bench::print_header(
       "Extension — throughput under Poisson offered load (400 us operations)",
       "Eternal adds latency, not a throughput ceiling, until the servant "
@@ -161,7 +162,10 @@ int main() {
 
   std::printf("%12s %10s %10s %9s %9s %9s %9s %9s\n", "system", "offered/s",
               "achieved/s", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "backlog");
-  for (double rate : {500.0, 1000.0, 2000.0, 2400.0, 3000.0}) {
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{500.0, 2400.0}
+            : std::vector<double>{500.0, 1000.0, 2000.0, 2400.0, 3000.0};
+  for (double rate : rates) {
     emit("baseline", run_baseline(rate));
     emit("eternal-1", run_eternal(rate, 1));
     emit("eternal-3", run_eternal(rate, 3));

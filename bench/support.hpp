@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/deployment.hpp"
@@ -83,6 +84,16 @@ class PacketDriver {
   std::vector<util::Duration> samples_;
   std::vector<util::TimePoint> arrivals_;
 };
+
+/// True when the binary was invoked with `--smoke`: benches then run a
+/// reduced sweep (fewer/smaller settings, same code paths) so every figure
+/// binary doubles as a tier-1 regression smoke test under ctest.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
 
 inline double to_ms(util::Duration d) { return static_cast<double>(d.count()) / 1e6; }
 inline double to_us(util::Duration d) { return static_cast<double>(d.count()) / 1e3; }

@@ -14,11 +14,15 @@
 // lets Eternal place them in the totally-ordered message sequence.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "orb/sync_servant.hpp"
 #include "util/any.hpp"
+#include "util/cdr.hpp"
 
 namespace eternal::core {
 
@@ -26,10 +30,52 @@ namespace eternal::core {
 /// like on the wire for our mini-ORB).
 inline constexpr const char* kGetStateOp = "_get_state";
 inline constexpr const char* kSetStateOp = "_set_state";
+/// Delta extension: `_get_delta(since_epoch)` asks for only the state that
+/// changed since `since_epoch`; `_apply_delta(delta)` applies one. Both are
+/// optional — servants that don't override get_delta() fall back to the
+/// full-state pair above.
+inline constexpr const char* kGetDeltaOp = "_get_delta";
+inline constexpr const char* kApplyDeltaOp = "_apply_delta";
 
 /// Repository ids of the standard exceptions.
 inline constexpr const char* kNoStateAvailableId = "IDL:NoStateAvailable:1.0";
 inline constexpr const char* kInvalidStateId = "IDL:InvalidState:1.0";
+
+/// `_get_delta` argument encoding: the epoch the caller already holds.
+inline util::Bytes encode_delta_request(std::uint64_t since_epoch) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u64(since_epoch);
+  return std::move(w).take();
+}
+
+/// Throws util::CdrError on malformed bytes.
+inline std::uint64_t decode_delta_request(util::BytesView args) {
+  if (args.empty()) throw util::CdrError("empty delta request");
+  util::CdrReader r(args, static_cast<util::ByteOrder>(args[0] & 1));
+  (void)r.get_u8();
+  return r.get_u64();
+}
+
+/// `_get_delta` reply body: [order u8][is_delta u8][state octets]. is_delta
+/// distinguishes a real delta from the inline full-state fallback, so the
+/// caller learns both in one totally-ordered round.
+inline util::Bytes encode_delta_reply(bool is_delta, const util::Bytes& state) {
+  util::CdrWriter w;
+  w.put_u8(static_cast<std::uint8_t>(w.order()));
+  w.put_u8(is_delta ? 1 : 0);
+  w.put_octets(state);
+  return std::move(w).take();
+}
+
+/// Throws util::CdrError on malformed bytes.
+inline std::pair<bool, util::Bytes> decode_delta_reply(util::BytesView body) {
+  if (body.empty()) throw util::CdrError("empty delta reply");
+  util::CdrReader r(body, static_cast<util::ByteOrder>(body[0] & 1));
+  (void)r.get_u8();
+  const bool is_delta = r.get_u8() != 0;
+  return {is_delta, r.get_octets()};
+}
 
 /// Base class for replicated application servants. Subclasses implement
 /// their business operations in `serve_app()` and the Checkpointable pair in
@@ -45,6 +91,26 @@ class CheckpointableServant : public orb::SyncServant {
   /// Overwrites the application-level state.
   /// Throws orb::UserException{kInvalidStateId} on a malformed value.
   virtual void set_state(const util::Any& state) = 0;
+
+  /// Returns the state changed since `since_epoch`, or nullopt when the
+  /// servant cannot produce one (the caller then falls back to get_state()).
+  ///
+  /// Contract: a delta produced since epoch E must be applicable to the
+  /// servant's state at *any* epoch >= E — deltas carry absolute values for
+  /// the dirty subset, not operation logs, so applying one twice or over a
+  /// newer base is sound.
+  virtual std::optional<util::Any> get_delta(std::uint64_t since_epoch) {
+    (void)since_epoch;
+    return std::nullopt;
+  }
+
+  /// Applies a delta previously produced by get_delta().
+  /// Throws orb::UserException{kInvalidStateId} on a malformed value (the
+  /// default, for servants that never produce deltas).
+  virtual void apply_delta(const util::Any& delta) {
+    (void)delta;
+    throw orb::UserException{kInvalidStateId};
+  }
 
  protected:
   /// Business operations of the object.
@@ -66,11 +132,36 @@ class CheckpointableServant : public orb::SyncServant {
       }
       return util::Bytes{};
     }
+    if (operation == kGetDeltaOp) {
+      std::uint64_t since = 0;
+      try {
+        since = decode_delta_request(args);
+      } catch (const util::CdrError&) {
+        throw orb::UserException{kInvalidStateId};
+      }
+      if (std::optional<util::Any> d = get_delta(since)) {
+        return encode_delta_reply(true, d->to_bytes());
+      }
+      // No delta available since that epoch: answer with the full state in
+      // the same round trip so the caller never has to re-ask.
+      return encode_delta_reply(false, get_state().to_bytes());
+    }
+    if (operation == kApplyDeltaOp) {
+      try {
+        apply_delta(util::Any::from_bytes(args));
+      } catch (const util::CdrError&) {
+        throw orb::UserException{kInvalidStateId};
+      }
+      return util::Bytes{};
+    }
     return serve_app(operation, args);
   }
 
   util::Duration execution_time(const std::string& operation) const final {
-    if (operation == kGetStateOp || operation == kSetStateOp) return state_op_time();
+    if (operation == kGetStateOp || operation == kSetStateOp ||
+        operation == kGetDeltaOp || operation == kApplyDeltaOp) {
+      return state_op_time();
+    }
     return app_execution_time(operation);
   }
 

@@ -17,6 +17,9 @@ Bytes encode_envelope(const Envelope& e) {
   w.put_u64(e.subject.value);
   w.put_u32(e.subject_node.value);
   w.put_u8(static_cast<std::uint8_t>(e.control_op));
+  w.put_u64(e.delta_base);
+  w.put_u32(e.chunk_index);
+  w.put_u32(e.chunk_count);
   w.put_octets(e.payload);
   w.put_octets(e.orb_state);
   w.put_octets(e.infra_state);
@@ -31,7 +34,7 @@ std::optional<Envelope> decode_envelope(BytesView data) {
     (void)r.get_u8();
     Envelope e;
     e.kind = static_cast<EnvelopeKind>(r.get_u8());
-    if (static_cast<std::uint8_t>(e.kind) < 1 || static_cast<std::uint8_t>(e.kind) > 6) {
+    if (static_cast<std::uint8_t>(e.kind) < 1 || static_cast<std::uint8_t>(e.kind) > 7) {
       return std::nullopt;
     }
     if (r.get_u16() != kMagic) return std::nullopt;
@@ -41,6 +44,13 @@ std::optional<Envelope> decode_envelope(BytesView data) {
     e.subject = ReplicaId{r.get_u64()};
     e.subject_node = NodeId{r.get_u32()};
     e.control_op = static_cast<ControlOp>(r.get_u8());
+    e.delta_base = r.get_u64();
+    e.chunk_index = r.get_u32();
+    e.chunk_count = r.get_u32();
+    if (e.kind == EnvelopeKind::kStateChunk &&
+        (e.chunk_count < 1 || e.chunk_index >= e.chunk_count)) {
+      return std::nullopt;
+    }
     e.payload = r.get_octets();
     e.orb_state = r.get_octets();
     e.infra_state = r.get_octets();

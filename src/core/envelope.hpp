@@ -32,6 +32,7 @@ enum class EnvelopeKind : std::uint8_t {
   kSetState = 4,    ///< fabricated set_state with piggybacked 3-kind state
   kCheckpoint = 5,  ///< periodic passive checkpoint with piggybacked state
   kControl = 6,     ///< replicated group-membership operation
+  kStateChunk = 7,  ///< one bounded slice of a large state-bearing envelope
 };
 
 /// Control operations (kControl envelopes), applied in total order by every
@@ -70,9 +71,22 @@ struct Envelope {
 
   ControlOp control_op = ControlOp::kCreateGroup;
 
+  /// kSetState/kCheckpoint: the epoch this state is a delta against (0 = the
+  /// state is a full snapshot). kControl kAddReplica: the recovering
+  /// replica's local log tip epoch, advertised so the state source can ship
+  /// a delta instead of the full state.
+  std::uint64_t delta_base = 0;
+
+  /// kStateChunk: position of this slice in the reassembled envelope.
+  /// A chunked transfer is keyed (target_group, op_seq, subject,
+  /// subject_node); payload holds the slice bytes.
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 0;
+
   /// kRequest/kReply: the untouched IIOP message bytes.
   /// kSetState/kCheckpoint: the application-level state (a get_state reply
   /// body, i.e. an encoded Any).
+  /// kStateChunk: one slice of the encoded inner envelope.
   Bytes payload;
 
   /// kSetState/kCheckpoint: piggybacked ORB/POA-level state snapshot.

@@ -59,6 +59,7 @@ Mechanisms::Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Intercepto
   tap_.divert_to(*this);
   if (!config_.stable_storage_dir.empty()) {
     storage_ = std::make_unique<StableStorage>(config_.stable_storage_dir);
+    storage_->set_sync_every(config_.storage_sync_every);
   }
 }
 
@@ -91,6 +92,18 @@ void Mechanisms::persist_log(GroupId group) {
   storage_->persist(entry->desc, log_it->second);
 }
 
+void Mechanisms::persist_append(GroupId group, const Envelope& message) {
+  if (storage_ == nullptr) return;
+  if (config_.storage_legacy_rewrite) {
+    persist_log(group);
+    return;
+  }
+  const GroupEntry* entry = table_.find(group);
+  auto log_it = logs_.find(group.value);
+  if (entry == nullptr || log_it == logs_.end()) return;
+  storage_->append(entry->desc, log_it->second, message);
+}
+
 std::vector<GroupDescriptor> Mechanisms::stored_groups() const {
   std::vector<GroupDescriptor> out;
   if (storage_ == nullptr) return out;
@@ -107,6 +120,7 @@ void Mechanisms::apply_stored_log(GroupId group) {
   MessageLog& log = logs_[group.value];
   log.clear();
   if (record->checkpoint) log.set_checkpoint(*record->checkpoint);
+  for (Envelope& d : record->deltas) log.set_checkpoint(std::move(d));
   for (Envelope& e : record->messages) log.append(std::move(e));
   cold_restart(group);
 }
@@ -165,6 +179,13 @@ ReplicaId Mechanisms::launch_replica(GroupId group) {
   e.target_group = group;
   e.subject = id;
   e.subject_node = node_;
+  // Advertise the local log's reconstructable epoch so the state source can
+  // ship a delta over it instead of the full state (a same-node relaunch
+  // keeps its checkpoint+message log across the kill).
+  if (config_.delta_chain_cap > 0) {
+    auto log_it = logs_.find(group.value);
+    if (log_it != logs_.end()) e.delta_base = log_it->second.tip_epoch();
+  }
   multicast(e);
   return id;
 }
@@ -478,8 +499,19 @@ void Mechanisms::capture_reply(const orb::Endpoint& to, util::Bytes iiop,
         ETERNAL_LOG(kWarn, kTag,
                     util::to_string(node_) << " set_state raised an exception; replica of "
                                            << util::to_string(group) << " not recovered");
+        r->restore_queue.clear();
         r->busy = false;
         r->dispatch.reset();
+        return;
+      }
+      r->applied_epoch = std::max(r->applied_epoch, d.op_seq);
+      if (!r->restore_queue.empty()) {
+        // Delta recovery: the local base and each chained delta apply as
+        // sequential fabricated dispatches; the final one (checkpoint=false)
+        // lands here again and completes the recovery below.
+        r->busy = false;
+        r->dispatch.reset();
+        apply_next_restore(*r);
         return;
       }
       if (d.checkpoint) {

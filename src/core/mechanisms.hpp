@@ -72,6 +72,25 @@ struct MechanismsConfig {
   /// must survive the logging processor), enabling restore_from_storage()
   /// after a total failure or whole-system restart.
   std::string stable_storage_dir;
+  /// Legacy persistence: rewrite the whole base record on every logged
+  /// message instead of appending one segment entry (kept selectable for
+  /// the storage-cost comparison benchmarks).
+  bool storage_legacy_rewrite = false;
+  /// Segment entries per batched sync (stable-storage append mode).
+  std::uint32_t storage_sync_every = 8;
+
+  // ---- fast-path state transfer (0 = off: seed wire behaviour) ----
+  /// Delta checkpoints: maximum chained deltas a log absorbs before the
+  /// next checkpoint is forced full. 0 disables deltas entirely — every
+  /// fabricated state retrieval is a full get_state().
+  std::size_t delta_chain_cap = 0;
+  /// Chunked state transfer: encoded state envelopes larger than this are
+  /// split into kStateChunk envelopes of at most this many payload bytes,
+  /// interleaving with normal traffic in the total order. 0 = monolithic.
+  std::size_t state_chunk_bytes = 0;
+  /// Chunks submitted to Totem before waiting for self-delivery (pipelining
+  /// window of an in-progress chunked transfer).
+  std::size_t state_chunk_window = 4;
 };
 
 /// Behaviour counters (consumed by tests and the benchmark harness).
@@ -97,6 +116,14 @@ struct MechanismsStats {
   std::uint64_t recoveries_completed = 0;
   std::uint64_t replies_unmatched_dropped = 0;
   std::uint64_t outbound_unroutable = 0;
+  std::uint64_t delta_states_published = 0;   ///< _get_delta answers that were deltas
+  std::uint64_t delta_fallback_full = 0;      ///< _get_delta answers that fell back full
+  std::uint64_t delta_checkpoints_applied = 0;  ///< deltas chained into a log / servant
+  std::uint64_t delta_skipped_unappliable = 0;  ///< live deltas a backup could not use
+  std::uint64_t state_chunks_sent = 0;
+  std::uint64_t state_chunks_received = 0;
+  std::uint64_t state_chunk_duplicates = 0;
+  std::uint64_t state_chunk_aborts = 0;  ///< reassemblies abandoned (superseded epoch)
 };
 
 /// Timing record of one completed recovery (drives paper Figure 6).
@@ -188,6 +215,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   const std::vector<RecoveryRecord>& recoveries() const noexcept { return recoveries_; }
   const MessageLog* log_of(GroupId group) const;
 
+  /// The node's stable storage, or nullptr when storage is disabled
+  /// (read-only: I/O accounting for benches and tests).
+  const class StableStorage* storage() const noexcept { return storage_.get(); }
+
   /// True when this node hosts a replica of `group` in the given phase.
   bool hosts_operational(GroupId group) const;
   bool hosts_recovering(GroupId group) const;
@@ -234,6 +265,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
     orb::Endpoint reply_to;     ///< where the ORB will address the reply
     ReplicaId subject;          ///< state ops: the recovering replica
     bool checkpoint = false;    ///< get_state for a periodic checkpoint
+    /// kGetState: non-zero when the fabricated retrieval is a _get_delta
+    /// since this epoch (the requester's advertised log tip); the published
+    /// state becomes a delta envelope unless the servant fell back full.
+    std::uint64_t delta_since = 0;
     std::uint64_t trace = 0;    ///< causal trace id carried into the reply
     std::uint64_t exec_span = 0;  ///< open "execute" span closed at reply capture
   };
@@ -251,6 +286,14 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
     util::TimePoint set_state_at{};
     std::size_t incoming_state_bytes = 0;
     Bytes pending_infra;  ///< infra snapshot installed last (§4.3 order)
+    /// Epoch of the newest full state or delta applied to the servant
+    /// (0 = none). Gates live delta-checkpoint application at warm backups
+    /// and enables the promotion fast path.
+    std::uint64_t applied_epoch = 0;
+    /// Recovery over a local base: remaining state envelopes (base
+    /// checkpoint, then chained deltas, then the wire delta) applied as
+    /// sequential fabricated dispatches before recovery finishes.
+    std::deque<Envelope> restore_queue;
     /// Promotion replay position in the group's message log. Replay reads
     /// through the log without consuming it — the entries must survive until
     /// a later checkpoint covers them, or a subsequent restoration from this
@@ -311,6 +354,16 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   InfraLevelState build_infra_snapshot(GroupId group);
   void publish_state(LocalReplica& r, const CurrentDispatch& d, util::BytesView reply_iiop);
   void apply_state(LocalReplica& r, const Envelope& e, bool is_checkpoint);
+  /// Chunked transfer: splits an encoded state envelope into kStateChunk
+  /// multicasts, pipelined `state_chunk_window` at a time (the sender pumps
+  /// the next chunk on self-delivery of its own), and reassembles at every
+  /// member — the inner envelope delivers at the final chunk's position.
+  void start_chunked_send(GroupId group, const Envelope& inner);
+  void deliver_state_chunk(const Envelope& e);
+  /// Applies the next queued restore envelope (base checkpoint / chained
+  /// delta / wire state) as a fabricated dispatch; the last one completes
+  /// the recovery.
+  void apply_next_restore(LocalReplica& r);
   void install_orb_state(GroupId group, BytesView blob);
   void inject_stored_handshakes(GroupId group);
   void install_infra_state(GroupId group, BytesView blob);
@@ -337,6 +390,9 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   /// consumes) in lockstep with the actual lifecycle.
   void set_phase(LocalReplica& r, Phase phase);
   void persist_log(GroupId group);
+  /// Fast-path persistence of one logged message: appends a segment entry
+  /// (or falls back to the legacy full rewrite when configured).
+  void persist_append(GroupId group, const Envelope& message);
   void apply_stored_log(GroupId group);
 
   sim::Simulator& sim_;
@@ -373,6 +429,26 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
 
   // Epoch allocator for the kGetState messages this node originates.
   std::unordered_map<std::uint32_t, std::uint64_t> epoch_floor_;
+
+  // Delta recovery: (group, replica) → the log tip epoch the recovering
+  // replica advertised in its kAddReplica (0 = no usable local base).
+  // Recorded at every node in total order, so the eventual state source
+  // fabricates _get_delta(since) instead of a full _get_state.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> recovery_base_;
+
+  // ---- chunked state transfer ----
+  struct ChunkedSend {
+    std::uint64_t epoch = 0;
+    std::vector<Envelope> chunks;  ///< pre-built kStateChunk envelopes
+    std::size_t next = 0;          ///< next chunk to multicast
+  };
+  std::map<std::uint32_t, ChunkedSend> outgoing_chunks_;  // by group
+  struct ChunkReassembly {
+    std::vector<Bytes> parts;  ///< empty slot = not yet received
+    std::size_t received = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, ChunkReassembly>
+      incoming_chunks_;  // by (group, epoch)
 
   // Stable storage (optional) and restores awaiting group re-creation.
   std::unique_ptr<class StableStorage> storage_;

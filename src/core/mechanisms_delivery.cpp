@@ -40,6 +40,7 @@ void Mechanisms::on_deliver(const totem::Delivery& delivery) {
     case EnvelopeKind::kSetState: deliver_set_state(*env); return;
     case EnvelopeKind::kCheckpoint: deliver_checkpoint(*env); return;
     case EnvelopeKind::kControl: deliver_control(*env); return;
+    case EnvelopeKind::kStateChunk: deliver_state_chunk(*env); return;
   }
 }
 
@@ -74,6 +75,9 @@ void Mechanisms::on_view_change(const totem::View& view) {
     checkpoint_seen_.clear();
     awaiting_get_state_.clear();
     epoch_floor_.clear();
+    recovery_base_.clear();
+    outgoing_chunks_.clear();
+    incoming_chunks_.clear();
     return;
   }
 
@@ -158,7 +162,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
         if (passive) {
           logs_[e.target_group.value].append(e);
           stats_.messages_logged += 1;
-          persist_log(e.target_group);
+          persist_append(e.target_group, e);
         }
         trace_enqueue(*r, e);
         QueueItem item{QueueItem::Kind::kRequest, e};
@@ -182,7 +186,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
         if (passive) {
           logs_[e.target_group.value].append(e);
           stats_.messages_logged += 1;
-          persist_log(e.target_group);
+          persist_append(e.target_group, e);
         } else {
           trace_enqueue(*r, e);
           QueueItem item{QueueItem::Kind::kRequest, e};
@@ -202,7 +206,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
       case Phase::kReplaying: {
         logs_[e.target_group.value].append(e);
         stats_.messages_logged += 1;
-        persist_log(e.target_group);
+        persist_append(e.target_group, e);
         return;
       }
       case Phase::kDead:
@@ -211,7 +215,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
         if (passive) {
           logs_[e.target_group.value].append(e);
           stats_.messages_logged += 1;
-          persist_log(e.target_group);
+          persist_append(e.target_group, e);
         }
         return;
     }
@@ -225,7 +229,7 @@ void Mechanisms::deliver_request(const Envelope& e) {
           entry->desc.backup_nodes.end()) {
     logs_[e.target_group.value].append(e);
     stats_.messages_logged += 1;
-    persist_log(e.target_group);
+    persist_append(e.target_group, e);
   }
 }
 
@@ -409,6 +413,24 @@ void Mechanisms::publish_state(LocalReplica& r, const CurrentDispatch& d,
   e.subject = d.subject;
   e.subject_node = node_;
   e.payload = msg->as_reply().body;
+  if (d.delta_since != 0) {
+    // _get_delta reply: either a real delta or the inline full-state
+    // fallback; both arrive in the same totally-ordered round.
+    try {
+      auto [is_delta, state] = decode_delta_reply(e.payload);
+      if (is_delta) {
+        e.delta_base = d.delta_since;
+        stats_.delta_states_published += 1;
+      } else {
+        stats_.delta_fallback_full += 1;
+      }
+      e.payload = std::move(state);
+    } catch (const util::CdrError&) {
+      stats_.state_transfer_failures += 1;
+      ETERNAL_LOG(kWarn, kTag, "malformed _get_delta reply; transfer aborted");
+      return;
+    }
+  }
   if (config_.transfer_orb_state) e.orb_state = build_orb_snapshot(r.group);
   if (config_.transfer_infra_state) {
     e.infra_state = encode_infra_state(build_infra_snapshot(r.group));
@@ -421,7 +443,122 @@ void Mechanisms::publish_state(LocalReplica& r, const CurrentDispatch& d,
               util::to_string(node_) << " publishing " << (d.checkpoint ? "checkpoint" : "set_state")
                                      << " epoch " << d.op_seq << " ("
                                      << e.payload.size() << "B app state)");
+  if (!d.checkpoint && config_.state_chunk_bytes > 0 &&
+      e.payload.size() + e.orb_state.size() + e.infra_state.size() >
+          config_.state_chunk_bytes) {
+    start_chunked_send(r.group, e);
+    return;
+  }
   multicast(e);
+}
+
+void Mechanisms::start_chunked_send(GroupId group, const Envelope& inner) {
+  const Bytes encoded = encode_envelope(inner);
+  const std::size_t chunk = config_.state_chunk_bytes;
+  const std::size_t count = (encoded.size() + chunk - 1) / chunk;
+  ChunkedSend send;
+  send.epoch = inner.op_seq;
+  send.chunks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Envelope c;
+    c.kind = EnvelopeKind::kStateChunk;
+    c.target_group = group;
+    c.op_seq = inner.op_seq;
+    c.subject = inner.subject;
+    c.subject_node = node_;
+    c.chunk_index = static_cast<std::uint32_t>(i);
+    c.chunk_count = static_cast<std::uint32_t>(count);
+    const std::size_t begin = i * chunk;
+    const std::size_t end = std::min(begin + chunk, encoded.size());
+    c.payload.assign(encoded.begin() + static_cast<std::ptrdiff_t>(begin),
+                     encoded.begin() + static_cast<std::ptrdiff_t>(end));
+    send.chunks.push_back(std::move(c));
+  }
+  ETERNAL_LOG(kDebug, kTag,
+              util::to_string(node_) << " chunking " << encoded.size() << "B state epoch "
+                                     << inner.op_seq << " into " << count << " chunks");
+  ChunkedSend& active = outgoing_chunks_[group.value] = std::move(send);
+  // Prime the pipelining window; each self-delivered chunk pumps one more,
+  // so normal traffic interleaves with the transfer in the total order.
+  const std::size_t window = std::max<std::size_t>(1, config_.state_chunk_window);
+  while (active.next < active.chunks.size() && active.next < window) {
+    multicast(active.chunks[active.next++]);
+    stats_.state_chunks_sent += 1;
+  }
+}
+
+void Mechanisms::deliver_state_chunk(const Envelope& e) {
+  // Sender side: our own chunk came back through the total order — the
+  // window has room for the next one.
+  if (e.subject_node == node_) {
+    auto out = outgoing_chunks_.find(e.target_group.value);
+    if (out != outgoing_chunks_.end() && out->second.epoch == e.op_seq) {
+      if (out->second.next < out->second.chunks.size()) {
+        multicast(out->second.chunks[out->second.next++]);
+        stats_.state_chunks_sent += 1;
+      } else if (e.chunk_index + 1 == e.chunk_count) {
+        outgoing_chunks_.erase(out);
+      }
+    }
+  }
+
+  // Receiver side: every member reassembles (the sender included — its own
+  // copy delivers through the same path a monolithic multicast would).
+  const auto key = std::make_pair(e.target_group.value, e.op_seq);
+  ChunkReassembly& ra = incoming_chunks_[key];
+  if (ra.parts.empty()) ra.parts.resize(e.chunk_count);
+  if (e.chunk_count != ra.parts.size() || e.chunk_index >= ra.parts.size()) {
+    ETERNAL_LOG(kWarn, kTag, "inconsistent state-chunk geometry; reassembly aborted");
+    stats_.state_chunk_aborts += 1;
+    incoming_chunks_.erase(key);
+    return;
+  }
+  if (!ra.parts[e.chunk_index].empty()) {
+    stats_.state_chunk_duplicates += 1;
+    return;
+  }
+  ra.parts[e.chunk_index] = e.payload;
+  ra.received += 1;
+  stats_.state_chunks_received += 1;
+  if (obs::SpanStore* spans = rec_.spans()) {
+    spans->recovery().chunk_arrived(e.target_group, e.subject, sim_.now(),
+                                    e.chunk_index, e.chunk_count, e.payload.size());
+  }
+  if (ra.received < ra.parts.size()) return;
+
+  std::size_t total = 0;
+  for (const Bytes& part : ra.parts) total += part.size();
+  Bytes encoded;
+  encoded.reserve(total);
+  for (const Bytes& part : ra.parts) {
+    encoded.insert(encoded.end(), part.begin(), part.end());
+  }
+  incoming_chunks_.erase(key);
+  // A completed transfer supersedes older stalled reassemblies of the same
+  // group (their source died or was overtaken mid-stream).
+  for (auto it = incoming_chunks_.begin(); it != incoming_chunks_.end();) {
+    if (it->first.first == e.target_group.value && it->first.second < e.op_seq) {
+      stats_.state_chunk_aborts += 1;
+      it = incoming_chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::optional<Envelope> inner = decode_envelope(encoded);
+  if (!inner || (inner->kind != EnvelopeKind::kSetState &&
+                 inner->kind != EnvelopeKind::kCheckpoint)) {
+    ETERNAL_LOG(kWarn, kTag, "malformed reassembled state envelope; dropped");
+    stats_.state_chunk_aborts += 1;
+    return;
+  }
+  // The inner envelope's logical delivery point is the final chunk's
+  // total-order position — identical at every member.
+  if (inner->kind == EnvelopeKind::kSetState) {
+    deliver_set_state(*inner);
+  } else {
+    deliver_checkpoint(*inner);
+  }
 }
 
 void Mechanisms::deliver_set_state(const Envelope& e) {
@@ -476,6 +613,29 @@ void Mechanisms::deliver_set_state(const Envelope& e) {
     // passive replica the recovery set_state is, log-wise, a checkpoint
     // (messages before the get_state cut must not be replayed on top).
     auto log_it = logs_.find(e.target_group.value);
+    if (e.delta_base != 0) {
+      // The source shipped only the changes since our advertised log tip.
+      // The full state is our logged base + chained deltas + this one,
+      // applied as sequential fabricated dispatches (restore queue).
+      if (log_it == logs_.end() || !log_it->second.set_checkpoint(e)) {
+        stats_.state_transfer_failures += 1;
+        ETERNAL_LOG(kWarn, kTag,
+                    util::to_string(node_)
+                        << " delta set_state epoch " << e.op_seq << " (base "
+                        << e.delta_base << ") has no applicable local base");
+        return;
+      }
+      persist_log(e.target_group);
+      r->restore_queue.clear();
+      Envelope base = *log_it->second.checkpoint();
+      base.subject = r->id;
+      r->restore_queue.push_back(std::move(base));
+      for (const Envelope& d : log_it->second.delta_chain()) {
+        r->restore_queue.push_back(d);
+      }
+      apply_next_restore(*r);
+      return;
+    }
     if (log_it != logs_.end()) {
       log_it->second.set_checkpoint(e);
       persist_log(e.target_group);
@@ -509,16 +669,27 @@ void Mechanisms::deliver_checkpoint(const Envelope& e) {
 
   // §3.3: the checkpoint overwrites the previous checkpoint and truncates
   // the logged messages, wherever the log is kept (the primary's own node
-  // included — its log must stay restorable).
+  // included — its log must stay restorable). A delta checkpoint chains on
+  // the existing base; one the chain cannot absorb is ignored — the log
+  // stays restorable from its older base plus the retained messages.
   if (r != nullptr || log_role) {
-    logs_[e.target_group.value].set_checkpoint(e);
-    persist_log(e.target_group);
+    if (logs_[e.target_group.value].set_checkpoint(e)) {
+      if (e.delta_base != 0) stats_.delta_checkpoints_applied += 1;
+      persist_log(e.target_group);
+    } else {
+      stats_.delta_skipped_unappliable += 1;
+    }
   }
 
   // Warm passive: synchronize the backup replica's state with the
-  // primary's checkpoint as it arrives (§3.2).
+  // primary's checkpoint as it arrives (§3.2). A delta only applies to a
+  // servant whose state already reflects the delta's base epoch.
   if (r != nullptr && r->phase == Phase::kBackup) {
-    apply_state(*r, e, /*is_checkpoint=*/true);
+    if (e.delta_base != 0 && r->applied_epoch < e.delta_base) {
+      stats_.delta_skipped_unappliable += 1;
+    } else {
+      apply_state(*r, e, /*is_checkpoint=*/true);
+    }
   }
 }
 
@@ -554,7 +725,7 @@ void Mechanisms::apply_state(LocalReplica& r, const Envelope& e, bool is_checkpo
   request.request_id = static_cast<std::uint32_t>(e.op_seq);
   request.response_expected = true;
   request.object_key = util::bytes_of(entry->desc.object_id);
-  request.operation = kSetStateOp;
+  request.operation = e.delta_base != 0 ? kApplyDeltaOp : kSetStateOp;
   request.body = e.payload;
 
   r.busy = true;
@@ -566,6 +737,18 @@ void Mechanisms::apply_state(LocalReplica& r, const Envelope& e, bool is_checkpo
   d.checkpoint = is_checkpoint;
   r.dispatch = d;
   tap_.inject(recovery_endpoint(r.group), giop::encode(request));
+}
+
+void Mechanisms::apply_next_restore(LocalReplica& r) {
+  if (r.restore_queue.empty()) return;
+  Envelope next = std::move(r.restore_queue.front());
+  r.restore_queue.pop_front();
+  // Intermediate entries apply checkpoint-style (no handshake replay, no
+  // recovery completion); the final one of a live recovery runs the full
+  // set_state epilogue. A replaying replica (cold restart / promotion)
+  // continues into its log replay instead, so every entry is intermediate.
+  const bool final_step = r.restore_queue.empty() && r.phase == Phase::kRecovering;
+  apply_state(r, next, /*is_checkpoint=*/!final_step);
 }
 
 void Mechanisms::inject_stored_handshakes(GroupId group) {
@@ -814,11 +997,31 @@ void Mechanisms::inject_request_item(LocalReplica& r, const QueueItem& item) {
 void Mechanisms::inject_get_state(LocalReplica& r, const Envelope& e) {
   const GroupEntry* entry = table_.find(r.group);
   if (entry == nullptr) return;
+
+  // Fast path: fabricate _get_delta instead of the full retrieval when the
+  // requester holds a usable base — its advertised log tip for a recovery,
+  // the log keepers' shared tip for a periodic checkpoint (unless the chain
+  // hit its cap and the next checkpoint must be full).
+  std::uint64_t since = 0;
+  if (config_.delta_chain_cap > 0) {
+    if (e.subject.value == 0) {
+      auto log_it = logs_.find(r.group.value);
+      if (log_it != logs_.end() && log_it->second.checkpoint().has_value() &&
+          log_it->second.chain_length() < config_.delta_chain_cap) {
+        since = log_it->second.tip_epoch();
+      }
+    } else {
+      auto base = recovery_base_.find({r.group.value, e.subject.value});
+      if (base != recovery_base_.end()) since = base->second;
+    }
+  }
+
   giop::Request request;
   request.request_id = static_cast<std::uint32_t>(e.op_seq);
   request.response_expected = true;
   request.object_key = util::bytes_of(entry->desc.object_id);
-  request.operation = kGetStateOp;
+  request.operation = since != 0 ? kGetDeltaOp : kGetStateOp;
+  if (since != 0) request.body = encode_delta_request(since);
 
   // Profiler boundary C: the source replica has drained ahead of the
   // get_state — the group is quiescent for this transfer (checkpoints have
@@ -834,6 +1037,7 @@ void Mechanisms::inject_get_state(LocalReplica& r, const Envelope& e) {
   d.reply_to = recovery_endpoint(r.group);
   d.subject = e.subject;
   d.checkpoint = e.subject.value == 0;
+  d.delta_since = since;
   r.dispatch = d;
   tap_.inject(recovery_endpoint(r.group), giop::encode(request));
 }
@@ -893,7 +1097,26 @@ void Mechanisms::promote_local(GroupId group) {
       // The promoted ORB missed every client-server handshake (§4.2.2);
       // re-enact them ahead of the replayed and future requests.
       inject_stored_handshakes(group);
-      replay_next(*r);
+      // Live delta checkpoints the backup could not apply leave its servant
+      // behind the log tip; feed it the missing base/chain entries before
+      // the logged messages replay (fast path: already at the tip).
+      MessageLog& log = logs_[group.value];
+      if (r->applied_epoch < log.tip_epoch()) {
+        r->restore_queue.clear();
+        if (log.checkpoint().has_value() && r->applied_epoch < log.base_epoch()) {
+          Envelope base = *log.checkpoint();
+          base.subject = r->id;
+          r->restore_queue.push_back(std::move(base));
+        }
+        for (const Envelope& d : log.delta_chain()) {
+          if (d.op_seq > r->applied_epoch) r->restore_queue.push_back(d);
+        }
+      }
+      if (!r->restore_queue.empty()) {
+        apply_next_restore(*r);
+      } else {
+        replay_next(*r);
+      }
     }
     return;
   }
@@ -952,19 +1175,24 @@ void Mechanisms::cold_restart(GroupId group) {
 
   MessageLog& log = logs_[group.value];
   if (log.checkpoint().has_value()) {
-    // Apply the logged checkpoint first (§3.3: checkpoint, then messages).
+    // Apply the logged checkpoint first (§3.3: checkpoint, then messages —
+    // with any chained deltas between the base and the replay).
     Envelope ckpt = *log.checkpoint();
     ckpt.subject = r->id;
-    // Messages enqueued at an orphaned recovery that precede the
-    // checkpoint's get_state cut are covered by the checkpointed state.
-    auto cut = r->recovery_cuts.find(ckpt.op_seq);
+    // Messages enqueued at an orphaned recovery that precede the restored
+    // state's get_state cut are covered by it (the chain tip is the newest
+    // state this log reconstructs).
+    auto cut = r->recovery_cuts.find(log.tip_epoch());
     if (cut != r->recovery_cuts.end()) {
       const std::size_t covered = std::min(cut->second, r->pending.size());
       r->pending.erase(r->pending.begin(),
                        r->pending.begin() + static_cast<std::ptrdiff_t>(covered));
     }
     r->recovery_cuts.clear();
-    apply_state(*r, ckpt, /*is_checkpoint=*/true);
+    r->restore_queue.clear();
+    r->restore_queue.push_back(std::move(ckpt));
+    for (const Envelope& d : log.delta_chain()) r->restore_queue.push_back(d);
+    apply_next_restore(*r);
     inject_stored_handshakes(group);  // after the ORB-level state installed
     // replay continues from complete_dispatch when set_state() returns
   } else {
@@ -1017,6 +1245,12 @@ void Mechanisms::replay_next(LocalReplica& r) {
 // ------------------------------------------------------------ control plane
 
 void Mechanisms::deliver_control(const Envelope& e) {
+  // A recovering replica's advertised log tip, recorded at every node in
+  // total order so whichever member ends up serving the retrieval makes the
+  // same delta-vs-full decision.
+  if (e.control_op == ControlOp::kAddReplica && e.delta_base != 0) {
+    recovery_base_[{e.target_group.value, e.subject.value}] = e.delta_base;
+  }
   std::vector<TableEvent> events = table_.apply_control(e);
 
   // kCreateGroup carries the initial member list in the payload.
@@ -1076,6 +1310,7 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
           }
         }
         awaiting_get_state_[event.group.value].erase(event.replica.value);
+        recovery_base_.erase({event.group.value, event.replica.value});
         // The removed replica may have been the state source of an ongoing
         // recovery; the (possibly new) coordinator re-issues the retrieval
         // for any subject still waiting (duplicate set_states are absorbed
@@ -1102,6 +1337,7 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
         break;
       case TableEvent::Kind::kReplicaOperational: {
         awaiting_get_state_[event.group.value].erase(event.replica.value);
+        recovery_base_.erase({event.group.value, event.replica.value});
         LocalReplica* r = local_replica(event.group);
         if (r != nullptr && r->id == event.replica) maybe_start_checkpoint_timer(*r);
         // A new state source exists; if recoveries were stranded (their

@@ -9,6 +9,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/envelope.hpp"
 
@@ -25,20 +26,29 @@ class MessageLog {
   /// messages the checkpointed state covers (checkpoint-overwrite
   /// semantics, §3.3). Messages logged after the checkpoint's get_state
   /// position are retained — they are not reflected in the state.
-  void set_checkpoint(Envelope checkpoint) {
-    std::size_t covered = messages_.size();
-    auto it = marks_.find(checkpoint.op_seq);
-    if (it != marks_.end()) covered = it->second;
-    messages_.erase(messages_.begin(),
-                    messages_.begin() + static_cast<std::ptrdiff_t>(covered));
-    // Rebase the remaining marks and drop those at or before this epoch.
-    std::map<std::uint64_t, std::size_t> rebased;
-    for (const auto& [epoch, pos] : marks_) {
-      if (epoch > checkpoint.op_seq) rebased[epoch] = pos >= covered ? pos - covered : 0;
+  ///
+  /// A delta checkpoint (delta_base != 0) chains onto the existing base
+  /// instead of overwriting it, provided the chain can absorb it
+  /// (delta_base <= tip_epoch() and the epoch advances); returns false —
+  /// without mutating the log — when it cannot, so the caller can fall back
+  /// to keeping its previous state or forcing a full checkpoint. A full
+  /// checkpoint always succeeds and clears any delta chain.
+  bool set_checkpoint(Envelope checkpoint) {
+    if (checkpoint.delta_base != 0) {
+      if (!checkpoint_ || checkpoint.delta_base > tip_epoch() ||
+          checkpoint.op_seq <= tip_epoch()) {
+        return false;
+      }
+      truncate_covered(checkpoint.op_seq);
+      delta_chain_.push_back(std::move(checkpoint));
+      ++checkpoints_taken_;
+      return true;
     }
-    marks_ = std::move(rebased);
+    truncate_covered(checkpoint.op_seq);
+    delta_chain_.clear();
     checkpoint_ = std::move(checkpoint);
     ++checkpoints_taken_;
+    return true;
   }
 
   /// Appends an ordered message that followed the current checkpoint.
@@ -46,6 +56,24 @@ class MessageLog {
 
   const std::optional<Envelope>& checkpoint() const noexcept { return checkpoint_; }
   const std::deque<Envelope>& messages() const noexcept { return messages_; }
+
+  /// Delta checkpoints chained on top of the base, oldest first. Restoring
+  /// the logged state means: apply checkpoint(), then each chain entry in
+  /// order, then replay messages().
+  const std::vector<Envelope>& delta_chain() const noexcept { return delta_chain_; }
+  std::size_t chain_length() const noexcept { return delta_chain_.size(); }
+
+  /// Epoch of the full base checkpoint (0 when none).
+  std::uint64_t base_epoch() const noexcept {
+    return checkpoint_ ? checkpoint_->op_seq : 0;
+  }
+
+  /// Epoch of the newest state the log can reconstruct: the last chained
+  /// delta, else the base checkpoint, else 0.
+  std::uint64_t tip_epoch() const noexcept {
+    if (!delta_chain_.empty()) return delta_chain_.back().op_seq;
+    return base_epoch();
+  }
 
   bool empty() const noexcept { return messages_.empty(); }
 
@@ -61,6 +89,7 @@ class MessageLog {
 
   void clear() {
     checkpoint_.reset();
+    delta_chain_.clear();
     messages_.clear();
     marks_.clear();
   }
@@ -71,6 +100,9 @@ class MessageLog {
     std::size_t total = 0;
     if (checkpoint_) total += checkpoint_->payload.size() + checkpoint_->orb_state.size() +
                               checkpoint_->infra_state.size();
+    for (const Envelope& e : delta_chain_) {
+      total += e.payload.size() + e.orb_state.size() + e.infra_state.size();
+    }
     for (const Envelope& e : messages_) total += e.payload.size();
     return total;
   }
@@ -78,7 +110,23 @@ class MessageLog {
   std::uint64_t checkpoints_taken() const noexcept { return checkpoints_taken_; }
 
  private:
+  /// Drops the logged messages covered by a checkpoint at `epoch` (up to its
+  /// recorded get_state mark) and rebases the surviving marks.
+  void truncate_covered(std::uint64_t epoch) {
+    std::size_t covered = messages_.size();
+    auto it = marks_.find(epoch);
+    if (it != marks_.end()) covered = it->second;
+    messages_.erase(messages_.begin(),
+                    messages_.begin() + static_cast<std::ptrdiff_t>(covered));
+    std::map<std::uint64_t, std::size_t> rebased;
+    for (const auto& [mark_epoch, pos] : marks_) {
+      if (mark_epoch > epoch) rebased[mark_epoch] = pos >= covered ? pos - covered : 0;
+    }
+    marks_ = std::move(rebased);
+  }
+
   std::optional<Envelope> checkpoint_;
+  std::vector<Envelope> delta_chain_;  ///< deltas over checkpoint_, oldest first
   std::deque<Envelope> messages_;
   std::map<std::uint64_t, std::size_t> marks_;  ///< epoch → log position
   std::uint64_t checkpoints_taken_ = 0;

@@ -5,15 +5,31 @@
 // failure — which, to survive the failure of the logging processor itself
 // (or a whole-system restart), must live on stable storage, not in memory.
 //
-// One StableStorage instance manages one node's directory. Each group's
-// record holds the group descriptor (so the group can be re-registered
-// after a total restart), the latest checkpoint envelope, and the message
-// tail. Writes are atomic (temp file + rename); torn or corrupt records are
-// detected by magic/length checks and reported as absent rather than
-// crashing recovery.
+// One StableStorage instance manages one node's directory. Each group owns
+// two files:
+//
+//   group-<id>.log  — the *base record*: group descriptor, latest full
+//                     checkpoint, chained delta checkpoints, and the message
+//                     tail as of the last compaction. Written atomically
+//                     (temp file + rename); torn or corrupt base records are
+//                     reported as absent.
+//   group-<id>.seg  — the *append-only segment*: one framed entry per
+//                     message logged since the last compaction. Entries are
+//                     generation-stamped so leftovers from a crash between
+//                     the base rewrite and the segment truncation are
+//                     skipped at load; a torn tail truncates to the last
+//                     valid entry instead of dropping the record.
+//
+// `persist()` is the compaction point (the §3.3 checkpoint-overwrite): it
+// bumps the generation, rewrites the base, and truncates the segment.
+// `append()` is the per-message fast path: one segment entry, with syncs
+// batched every `sync_every` appends.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -26,8 +42,28 @@ namespace eternal::core {
 struct StoredGroup {
   GroupDescriptor descriptor;
   std::optional<Envelope> checkpoint;
+  /// Delta checkpoints chained over the base checkpoint, oldest first.
+  std::vector<Envelope> deltas;
   std::vector<Envelope> messages;
 };
+
+/// One decoded segment entry (exposed for fuzzing and tests).
+struct SegmentEntry {
+  std::uint64_t generation = 0;
+  Bytes payload;
+};
+
+/// Result of scanning raw segment bytes: the entries of the valid prefix,
+/// how many bytes that prefix spans, and whether trailing bytes were torn.
+struct SegmentScan {
+  std::vector<SegmentEntry> entries;
+  std::size_t valid_bytes = 0;
+  bool torn = false;
+};
+
+/// Scans framed segment entries, stopping at the first malformed one
+/// (bad magic, short frame, or digest mismatch). Never throws.
+SegmentScan scan_segment_bytes(BytesView data);
 
 class StableStorage {
  public:
@@ -36,10 +72,18 @@ class StableStorage {
 
   const std::filesystem::path& directory() const noexcept { return directory_; }
 
-  /// Atomically persists the group's descriptor and current log.
+  /// Atomically persists the group's descriptor and current log, truncating
+  /// the group's append segment (compaction).
   void persist(const GroupDescriptor& descriptor, const MessageLog& log);
 
-  /// Loads a group's record; nullopt when absent or unreadable/corrupt.
+  /// Appends one logged message to the group's segment. Falls back to a
+  /// full persist() when the group has no base record yet (a segment entry
+  /// alone could not be recovered without the descriptor).
+  void append(const GroupDescriptor& descriptor, const MessageLog& log,
+              const Envelope& message);
+
+  /// Loads a group's record — base plus surviving segment tail; nullopt
+  /// when absent or the base is unreadable/corrupt.
   std::optional<StoredGroup> load(GroupId group) const;
 
   /// Deletes a group's record (e.g. on group destruction).
@@ -48,13 +92,41 @@ class StableStorage {
   /// Groups with a (readable) record in this directory.
   std::vector<GroupId> stored_groups() const;
 
+  /// Segment entries are buffered and flushed every n appends (1 = every).
+  void set_sync_every(std::uint32_t n) { sync_every_ = n == 0 ? 1 : n; }
+
   std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t appends() const noexcept { return appends_; }
+  std::uint64_t syncs() const noexcept { return syncs_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  std::uint64_t torn_truncations() const noexcept { return torn_truncations_; }
 
  private:
+  struct OpenSegment {
+    std::ofstream out;
+    std::uint64_t generation = 0;
+    std::uint32_t unsynced = 0;
+  };
+
   std::filesystem::path path_of(GroupId group) const;
+  std::filesystem::path segment_path_of(GroupId group) const;
+
+  /// Generation of the group's base record (0 when absent/corrupt).
+  std::uint64_t base_generation(GroupId group) const;
+
+  /// Opens (or returns) the group's segment stream positioned after the
+  /// valid prefix, truncating any torn tail.
+  OpenSegment& open_segment(GroupId group, std::uint64_t generation);
 
   std::filesystem::path directory_;
+  std::uint32_t sync_every_ = 8;
+  mutable std::map<std::uint32_t, OpenSegment> open_;
+  mutable std::map<std::uint32_t, std::uint64_t> generations_;
   std::uint64_t writes_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  mutable std::uint64_t torn_truncations_ = 0;
 };
 
 }  // namespace eternal::core

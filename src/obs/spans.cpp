@@ -294,6 +294,16 @@ void RecoveryProfiler::state_captured(util::GroupId group, util::ReplicaId subje
   next_phase(*a, "state-transfer", at, "bytes=" + std::to_string(state_bytes));
 }
 
+void RecoveryProfiler::chunk_arrived(util::GroupId group, util::ReplicaId subject,
+                                     util::TimePoint at, std::uint32_t index,
+                                     std::uint32_t count, std::size_t bytes) {
+  Active* a = find(group, subject, Stage::kDelivered);
+  if (a == nullptr) return;
+  store_.instant(a->trace, a->node, Layer::kMech, "state-chunk", at,
+                 "chunk=" + std::to_string(index) + "/" + std::to_string(count) +
+                     " bytes=" + std::to_string(bytes));
+}
+
 void RecoveryProfiler::state_delivered(util::GroupId group, util::ReplicaId subject,
                                        util::TimePoint at) {
   Active* a = find(group, subject, Stage::kDelivered);

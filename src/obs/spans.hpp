@@ -116,6 +116,11 @@ class RecoveryProfiler {
   void quiescent(util::GroupId group, util::ReplicaId subject, util::TimePoint at);
   void state_captured(util::GroupId group, util::ReplicaId subject, util::TimePoint at,
                       std::size_t state_bytes);
+  /// One kStateChunk slice of an in-progress chunked transfer delivered:
+  /// emits a zero-duration "state-chunk" event inside the state-transfer
+  /// phase (no stage advance — that happens at the reassembled delivery).
+  void chunk_arrived(util::GroupId group, util::ReplicaId subject, util::TimePoint at,
+                     std::uint32_t index, std::uint32_t count, std::size_t bytes);
   void state_delivered(util::GroupId group, util::ReplicaId subject, util::TimePoint at);
   /// `replay_backlog`: messages enqueued during recovery still pending. When
   /// zero the replay phase closes immediately (zero duration).

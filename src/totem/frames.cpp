@@ -57,6 +57,7 @@ Bytes encode_frame(NodeId sender, const DataFrame& f) {
   w.put_u32(f.frag_count);
   w.put_u32(f.batch_count);
   w.put_bool(f.retransmission);
+  w.put_bool(f.authoritative);
   w.put_octets(f.payload);
   return std::move(w).take();
 }
@@ -99,6 +100,8 @@ Bytes encode_frame(NodeId sender, const ReadyFrame& f) {
   CdrWriter w = begin_frame(sender, FrameType::kReady);
   w.put_u64(f.new_view.value);
   put_seqs(w, f.missing);
+  put_seqs(w, f.held_seqs);
+  put_seqs(w, f.held_digests);
   return std::move(w).take();
 }
 
@@ -136,6 +139,7 @@ std::optional<Frame> decode_frame(BytesView data) {
         f.frag_count = r.get_u32();
         f.batch_count = r.get_u32();
         f.retransmission = r.get_bool();
+        f.authoritative = r.get_bool();
         f.payload = r.get_octets();
         if (f.batch_count == 0) return std::nullopt;
         // Each packed message costs at least its 4-byte length prefix, so a
@@ -180,6 +184,9 @@ std::optional<Frame> decode_frame(BytesView data) {
         ReadyFrame f;
         f.new_view = ViewId{r.get_u64()};
         f.missing = get_seqs(r);
+        f.held_seqs = get_seqs(r);
+        f.held_digests = get_seqs(r);
+        if (f.held_seqs.size() != f.held_digests.size()) return std::nullopt;
         return Frame{sender, std::move(f)};
       }
       case FrameType::kInstall: {

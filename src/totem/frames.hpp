@@ -59,6 +59,10 @@ struct DataFrame {
   std::uint32_t frag_count = 1;
   std::uint32_t batch_count = 1;  ///< complete messages packed in payload (>= 2 = batched)
   bool retransmission = false;
+  /// Set on a retransmission whose sender has *delivered* this sequence
+  /// number: its copy is the agreed message, so a receiver holding a
+  /// different (stale-lineage) frame at the same seq replaces it.
+  bool authoritative = false;
   Bytes payload;
 };
 
@@ -114,9 +118,18 @@ struct CommitFrame {
 /// A member's recovery-exchange report. `missing` lists the sequence numbers
 /// up to base_seq the member still lacks (holders rebroadcast them); an empty
 /// list means the member is ready for the view to install.
+///
+/// `held_seqs`/`held_digests` (parallel vectors) advertise the content
+/// digest of every *undelivered* frame the member already holds up to
+/// base_seq. A member that has delivered one of those sequence numbers
+/// validates the digest and rebroadcasts the authoritative copy on a
+/// mismatch — closing the stale-store hazard where a laggard holds frames
+/// at sequence numbers a merged ring reassigned.
 struct ReadyFrame {
   ViewId new_view;
   std::vector<std::uint64_t> missing;
+  std::vector<std::uint64_t> held_seqs;
+  std::vector<std::uint64_t> held_digests;
 };
 
 /// Final installation of the new ring; sequencing resumes at next_seq.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <stdexcept>
 
 #include "obs/spans.hpp"
@@ -114,6 +115,8 @@ void TotemNode::crash() {
   highest_seen_seq_ = 0;
   adaptive_window_ = 1;
   queue_wait_ewma_ = 0;
+  drain_ewma16_ = 0;
+  last_visit_delivered_ = 0;
   recovery_stalls_ = 0;
   last_stall_missing_ = 0;
   held_token_.reset();
@@ -200,7 +203,26 @@ void TotemNode::handle_data(const DataFrame& f) {
   }
   if (f.seq == 0) return;
   highest_seen_seq_ = std::max(highest_seen_seq_, f.seq);
-  if (f.seq <= delivered_up_to_ || store_.count(f.seq) > 0) return;  // duplicate
+  if (f.seq <= delivered_up_to_) return;  // already delivered
+  if (auto held = store_.find(f.seq); held != store_.end()) {
+    // Duplicate — unless it exposes a stale entry: a retransmission from a
+    // member that *delivered* this sequence number carries the agreed
+    // message, so a differing copy we stored under a superseded lineage
+    // (the merged ring reassigned that number while we were cut off) is
+    // stale and must be replaced before delivery reaches it.
+    if (f.retransmission && f.authoritative &&
+        util::fnv1a(held->second.payload) != util::fnv1a(f.payload)) {
+      ETERNAL_LOG(kWarn, kTag,
+                  util::to_string(node_) << " replacing stale held frame at seq " << f.seq);
+      held->second = f;
+      stats_.stale_frames_replaced += 1;
+      if (rec_.tracing()) {
+        rec_.record(node_, obs::Layer::kTotem, "stale_replace", f.seq,
+                    "ring=" + std::to_string(f.ring_id));
+      }
+    }
+    return;
+  }
   store_.emplace(f.seq, f);
   advance_delivery();
 
@@ -295,6 +317,15 @@ void TotemNode::handle_token(NodeId /*from*/, TokenFrame token) {
   if (token.target != node_) return;  // token is logically point-to-point
   stats_.tokens_handled += 1;
   ctr_tokens_.add();  // rotation volume is metered, never traced
+
+  // Drain rate: messages this member delivered since its previous token
+  // visit (one ring rotation), smoothed. Feeds the proportional
+  // backpressure controller. Fixed-point ×16, integer EWMA alpha = 1/4.
+  {
+    const std::uint64_t drained = delivered_up_to_ - last_visit_delivered_;
+    last_visit_delivered_ = delivered_up_to_;
+    drain_ewma16_ = drain_ewma16_ - drain_ewma16_ / 4 + drained * 4;
+  }
 
   bool did_work = false;
 
@@ -470,7 +501,21 @@ void TotemNode::apply_backpressure(TokenFrame& token) {
   const std::uint64_t assigned = token.next_seq - 1;
   const bool congested = assigned > delivered_up_to_ &&
                          assigned - delivered_up_to_ > config_.backpressure_gap;
-  const auto budget = static_cast<std::uint32_t>(config_.backpressure_budget);
+  std::uint32_t budget = static_cast<std::uint32_t>(config_.backpressure_budget);
+  if (congested && config_.proportional_backpressure) {
+    // Proportional controller: size the ring's per-member budget so total
+    // origination tracks our drain rate minus a term that pays the excess
+    // gap down — instead of the fixed on/off step, whose full-rate release
+    // immediately re-congests us and causes a throughput sawtooth.
+    const std::uint64_t excess = assigned - delivered_up_to_ - config_.backpressure_gap;
+    const std::uint64_t drain_per_rotation = drain_ewma16_ / 16;
+    const std::uint64_t paydown = excess / 16;
+    const std::uint64_t sendable =
+        drain_per_rotation > paydown ? drain_per_rotation - paydown : 0;
+    const std::size_t members = view_.members.empty() ? 1 : view_.members.size();
+    budget = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(config_.backpressure_min_budget, sendable / members));
+  }
   if (congested) {
     // Lower-only, like aru: a budget may shrink mid-rotation, never grow.
     if (token.flow_budget == 0 || budget < token.flow_budget) {
@@ -504,6 +549,7 @@ void TotemNode::serve_retransmissions(std::vector<std::uint64_t>& rtr) {
     }
     DataFrame copy = it->second;
     copy.retransmission = true;
+    copy.authoritative = seq <= delivered_up_to_;
     broadcast(encode_frame(node_, copy));
     stats_.retransmissions += 1;
     ctr_retransmissions_.add();
@@ -702,6 +748,25 @@ void TotemNode::handle_commit(NodeId /*from*/, const CommitFrame& f) {
     // ring and handle_data would drop them — recovery could never finish.
     ancestor_rings_.insert(f.surviving_ring);
     ancestor_rings_.insert(f.surviving_ancestors.begin(), f.surviving_ancestors.end());
+    // Store hygiene: anything we hold above the merged base was sequenced
+    // by our pre-merge ring at numbers the descendant never counted (our
+    // join reported them under the old ring id) and may reassign. Keeping
+    // them would make handle_data drop the legitimate reassigned frames as
+    // duplicates — the stale-store hazard.
+    const auto first_stale = store_.upper_bound(f.base_seq);
+    if (first_stale != store_.end()) {
+      const auto discarded =
+          static_cast<std::uint64_t>(std::distance(first_stale, store_.end()));
+      ETERNAL_LOG(kInfo, kTag,
+                  util::to_string(node_) << " discarding " << discarded
+                                         << " stale held frames above base " << f.base_seq);
+      store_.erase(first_stale, store_.end());
+      stats_.stale_frames_discarded += discarded;
+      if (rec_.tracing()) {
+        rec_.record(node_, obs::Layer::kTotem, "stale_discard", f.base_seq,
+                    "count=" + std::to_string(discarded));
+      }
+    }
   }
   // Divergence safety net: we delivered past the ring's agreed history.
   if (delivered_up_to_ > f.base_seq) {
@@ -731,6 +796,19 @@ void TotemNode::send_ready() {
   f.new_view = commit_->new_view;
   f.missing = compute_missing(commit_->base_seq);
   requested_missing_check_ = f.missing;
+  // Advertise digests of the undelivered frames we already hold so members
+  // that delivered those sequence numbers can validate them — a held frame
+  // from a superseded lineage is detected and corrected by an authoritative
+  // rebroadcast instead of silently shadowing the agreed message.
+  if (!fresh_member_) {
+    for (auto it = store_.upper_bound(delivered_up_to_);
+         it != store_.end() && it->first <= commit_->base_seq &&
+         f.held_seqs.size() < config_.max_rtr_per_token;
+         ++it) {
+      f.held_seqs.push_back(it->first);
+      f.held_digests.push_back(util::fnv1a(it->second.payload));
+    }
+  }
   broadcast(encode_frame(node_, f));
   if (f.missing.empty()) {
     ready_members_.insert(node_);
@@ -741,6 +819,29 @@ void TotemNode::send_ready() {
 void TotemNode::handle_ready(NodeId from, const ReadyFrame& f) {
   if (state_ != State::kRecovery || !commit_.has_value()) return;
   if (f.new_view != commit_->new_view) return;
+  // Serve-side validation of the reporter's held frames: for any sequence
+  // number we have *delivered*, our copy is the agreed message. A digest
+  // mismatch means the reporter holds a stale frame (a superseded lineage's
+  // assignment); rebroadcast the authoritative copy so its handle_data can
+  // replace it before the view installs.
+  for (std::size_t i = 0; i < f.held_seqs.size(); ++i) {
+    const std::uint64_t seq = f.held_seqs[i];
+    if (seq > delivered_up_to_) continue;  // not delivered here: no authority
+    auto it = store_.find(seq);
+    if (it == store_.end()) continue;  // garbage-collected
+    if (util::fnv1a(it->second.payload) == f.held_digests[i]) continue;
+    DataFrame copy = it->second;
+    copy.retransmission = true;
+    copy.authoritative = true;  // seq <= delivered_up_to_ checked above
+    broadcast(encode_frame(node_, copy));
+    stats_.stale_rebroadcasts += 1;
+    stats_.retransmissions += 1;
+    ctr_retransmissions_.add();
+    if (rec_.tracing()) {
+      rec_.record(node_, obs::Layer::kTotem, "stale_rebroadcast", seq,
+                  "reporter=" + std::to_string(from.value));
+    }
+  }
   if (f.missing.empty()) {
     ready_members_.insert(from);
     maybe_install();
@@ -752,6 +853,7 @@ void TotemNode::handle_ready(NodeId from, const ReadyFrame& f) {
     if (it == store_.end()) continue;
     DataFrame copy = it->second;
     copy.retransmission = true;
+    copy.authoritative = seq <= delivered_up_to_;
     broadcast(encode_frame(node_, copy));
     stats_.retransmissions += 1;
     ctr_retransmissions_.add();
@@ -838,6 +940,8 @@ void TotemNode::install_view(const InstallFrame& f) {
   view_ = next;
   ever_installed_ = true;
   fresh_member_ = false;
+  // delivered_up_to_ may have jumped at install; don't count that as drain.
+  last_visit_delivered_ = delivered_up_to_;
   recovery_stalls_ = 0;
   last_stall_missing_ = 0;
   state_ = State::kOperational;

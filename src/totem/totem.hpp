@@ -79,6 +79,14 @@ struct TotemConfig {
   std::uint64_t backpressure_gap = 512;
   /// Data frames per token visit the ring drops to while congested.
   std::size_t backpressure_budget = 2;
+  /// Proportional controller: instead of the fixed backpressure_budget
+  /// step, size the budget from the congested member's own drain rate
+  /// (delivered messages per token rotation, EWMA) minus a term that pays
+  /// the excess gap down — shrinking the sawtooth the on/off step causes
+  /// under sustained asymmetric load.
+  bool proportional_backpressure = false;
+  /// Budget floor for the proportional controller (keeps the ring live).
+  std::size_t backpressure_min_budget = 1;
 };
 
 /// An installed membership view.
@@ -121,6 +129,12 @@ struct TotemStats {
   std::uint64_t backpressure_sets = 0;  ///< token visits where we imposed a budget
   std::uint64_t backpressure_throttled = 0;  ///< sends deferred by a foreign budget
   std::uint64_t forced_demotions = 0;   ///< gave up continuity after stalled recovery
+  std::uint64_t stale_frames_discarded = 0;  ///< held frames dropped at commit
+                                             ///< (seqs beyond the merged base)
+  std::uint64_t stale_frames_replaced = 0;   ///< held frames overwritten by a
+                                             ///< differing retransmission
+  std::uint64_t stale_rebroadcasts = 0;      ///< authoritative re-sends after a
+                                             ///< Ready held-digest mismatch
 };
 
 /// One ring endpoint, living on one simulated processor.
@@ -239,6 +253,8 @@ class TotemNode : public sim::Station {
   // Batching / flow control.
   std::size_t adaptive_window_ = 1;   ///< live batch window (adaptive mode)
   std::int64_t queue_wait_ewma_ = 0;  ///< ns; smoothed submission→origination wait
+  std::uint64_t drain_ewma16_ = 0;    ///< messages delivered per token rotation, ×16
+  std::uint64_t last_visit_delivered_ = 0;  ///< delivered_up_to_ at the previous visit
 
   // Span bookkeeping (obs/spans.hpp; raw ids to keep the header light).
   // Only populated while a SpanStore is attached to the recorder.

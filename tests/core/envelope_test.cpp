@@ -7,6 +7,7 @@
 #include "core/message_log.hpp"
 #include "core/seq_window.hpp"
 #include "core/state_snapshots.hpp"
+#include "util/rng.hpp"
 
 namespace eternal::core {
 namespace {
@@ -25,6 +26,7 @@ TEST(Envelope, FullRoundTrip) {
   e.subject = ReplicaId{77};
   e.subject_node = NodeId{4};
   e.control_op = ControlOp::kAddReplica;
+  e.delta_base = 0xABCDULL;
   e.payload = Bytes{1, 2, 3};
   e.orb_state = Bytes{4, 5};
   e.infra_state = Bytes{6};
@@ -39,6 +41,7 @@ TEST(Envelope, FullRoundTrip) {
   EXPECT_EQ(d->subject, e.subject);
   EXPECT_EQ(d->subject_node, e.subject_node);
   EXPECT_EQ(d->control_op, e.control_op);
+  EXPECT_EQ(d->delta_base, e.delta_base);
   EXPECT_EQ(d->payload, e.payload);
   EXPECT_EQ(d->orb_state, e.orb_state);
   EXPECT_EQ(d->infra_state, e.infra_state);
@@ -51,6 +54,38 @@ TEST(Envelope, RejectsMalformed) {
   Bytes wire = encode_envelope(Envelope{});
   wire[1] = 99;  // bad kind
   EXPECT_FALSE(decode_envelope(wire).has_value());
+}
+
+TEST(Envelope, StateChunkRoundTrip) {
+  Envelope e;
+  e.kind = EnvelopeKind::kStateChunk;
+  e.target_group = GroupId{5};
+  e.op_seq = 12;
+  e.subject = ReplicaId{3};
+  e.subject_node = NodeId{2};
+  e.chunk_index = 4;
+  e.chunk_count = 9;
+  e.payload = Bytes(100, 0xC4);
+
+  auto d = decode_envelope(encode_envelope(e));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, EnvelopeKind::kStateChunk);
+  EXPECT_EQ(d->chunk_index, 4u);
+  EXPECT_EQ(d->chunk_count, 9u);
+  EXPECT_EQ(d->payload, e.payload);
+}
+
+TEST(Envelope, StateChunkGeometryValidated) {
+  Envelope e;
+  e.kind = EnvelopeKind::kStateChunk;
+  e.chunk_index = 0;
+  e.chunk_count = 0;  // a chunked transfer always has >= 1 chunk
+  EXPECT_FALSE(decode_envelope(encode_envelope(e)).has_value());
+  e.chunk_index = 3;
+  e.chunk_count = 3;  // index out of range
+  EXPECT_FALSE(decode_envelope(encode_envelope(e)).has_value());
+  e.chunk_index = 2;
+  EXPECT_TRUE(decode_envelope(encode_envelope(e)).has_value());
 }
 
 TEST(Envelope, InitialMembersRoundTrip) {
@@ -214,6 +249,133 @@ TEST(MessageLog, BytesAccountsCheckpointAndMessages) {
   ckpt.orb_state = Bytes(50, 3);
   log.set_checkpoint(ckpt);
   EXPECT_EQ(log.bytes(), 550u);
+}
+
+TEST(MessageLog, DeltaChainsOnBaseAndTruncates) {
+  MessageLog log;
+  Envelope base;
+  base.kind = EnvelopeKind::kCheckpoint;
+  base.op_seq = 5;
+  log.set_checkpoint(base);
+  EXPECT_EQ(log.base_epoch(), 5u);
+  EXPECT_EQ(log.tip_epoch(), 5u);
+
+  Envelope m;
+  m.op_seq = 1;
+  log.append(m);
+  log.mark(8);
+  m.op_seq = 2;
+  log.append(m);
+
+  Envelope delta;
+  delta.kind = EnvelopeKind::kCheckpoint;
+  delta.op_seq = 8;
+  delta.delta_base = 5;
+  EXPECT_TRUE(log.set_checkpoint(delta));
+  EXPECT_EQ(log.base_epoch(), 5u);
+  EXPECT_EQ(log.tip_epoch(), 8u);
+  EXPECT_EQ(log.chain_length(), 1u);
+  // The delta covers the messages before its mark, exactly like a full one.
+  ASSERT_EQ(log.messages().size(), 1u);
+  EXPECT_EQ(log.messages()[0].op_seq, 2u);
+}
+
+TEST(MessageLog, UnappliableDeltaRejectedWithoutMutation) {
+  MessageLog log;
+  Envelope delta;
+  delta.op_seq = 8;
+  delta.delta_base = 5;
+  // No base at all: nothing to chain on.
+  EXPECT_FALSE(log.set_checkpoint(delta));
+  EXPECT_FALSE(log.checkpoint().has_value());
+
+  Envelope base;
+  base.op_seq = 5;
+  log.set_checkpoint(base);
+  Envelope m;
+  m.op_seq = 1;
+  log.append(m);
+
+  // Base epoch ahead of the delta's: the chain cannot absorb it.
+  Envelope future;
+  future.op_seq = 9;
+  future.delta_base = 7;
+  EXPECT_FALSE(log.set_checkpoint(future));
+  // Epoch regression: a delta must advance the tip.
+  Envelope stale;
+  stale.op_seq = 5;
+  stale.delta_base = 5;
+  EXPECT_FALSE(log.set_checkpoint(stale));
+  // Rejection never mutates: messages and chain are untouched.
+  EXPECT_EQ(log.messages().size(), 1u);
+  EXPECT_EQ(log.chain_length(), 0u);
+  EXPECT_EQ(log.tip_epoch(), 5u);
+}
+
+TEST(MessageLog, FullCheckpointClearsChain) {
+  MessageLog log;
+  Envelope base;
+  base.op_seq = 5;
+  log.set_checkpoint(base);
+  for (std::uint64_t epoch = 6; epoch <= 8; ++epoch) {
+    Envelope d;
+    d.op_seq = epoch;
+    d.delta_base = epoch - 1;
+    ASSERT_TRUE(log.set_checkpoint(d));
+  }
+  EXPECT_EQ(log.chain_length(), 3u);
+  EXPECT_EQ(log.bytes(), 0u);
+
+  Envelope full;
+  full.op_seq = 9;
+  log.set_checkpoint(full);
+  EXPECT_EQ(log.chain_length(), 0u);
+  EXPECT_EQ(log.base_epoch(), 9u);
+  EXPECT_EQ(log.tip_epoch(), 9u);
+}
+
+TEST(MessageLog, DeltaChainProperty) {
+  // Property sweep: under a random mix of appends, marks, full and delta
+  // checkpoints, the log's invariants hold — the tip never regresses, the
+  // chain epochs are strictly increasing above the base, and a delta is
+  // accepted exactly when it extends the reconstructable state.
+  util::Rng rng(0xD317A);
+  for (int round = 0; round < 50; ++round) {
+    MessageLog log;
+    std::uint64_t epoch = 0;
+    std::uint64_t msg_seq = 0;
+    for (int step = 0; step < 120; ++step) {
+      const std::uint64_t tip_before = log.tip_epoch();
+      const auto pick = rng.below(10);
+      if (pick < 5) {
+        Envelope m;
+        m.op_seq = ++msg_seq;
+        log.append(m);
+      } else if (pick < 7) {
+        log.mark(epoch + 1);
+      } else {
+        Envelope ckpt;
+        ckpt.op_seq = ++epoch;
+        if (rng.chance(0.6)) {
+          // Sometimes a valid base (the current tip), sometimes garbage.
+          // A zero tip makes delta_base 0 — legitimately a full checkpoint.
+          ckpt.delta_base = rng.chance(0.7) ? log.tip_epoch() : epoch + 40;
+        }
+        const bool expect_ok =
+            ckpt.delta_base == 0 ||
+            (log.checkpoint().has_value() && ckpt.delta_base <= tip_before &&
+             ckpt.op_seq > tip_before);
+        EXPECT_EQ(log.set_checkpoint(ckpt), expect_ok);
+      }
+      EXPECT_GE(log.tip_epoch(), tip_before) << "tip regressed";
+      std::uint64_t prev = log.base_epoch();
+      for (const Envelope& d : log.delta_chain()) {
+        EXPECT_GT(d.op_seq, prev) << "chain epochs not strictly increasing";
+        EXPECT_LE(d.delta_base, prev) << "chain entry not applicable to its base";
+        prev = d.op_seq;
+      }
+    }
+  }
 }
 
 TEST(Snapshots, OrbLevelRoundTrip) {

@@ -6,6 +6,7 @@
 
 #include "core/envelope.hpp"
 #include "core/group_table.hpp"
+#include "core/stable_storage.hpp"
 #include "core/state_snapshots.hpp"
 #include "giop/giop.hpp"
 #include "giop/ior.hpp"
@@ -138,6 +139,86 @@ TEST_P(DecodeFuzz, MutatedValidEnvelopesNeverCrash) {
     Bytes mutated = valid;
     mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
     (void)core::decode_envelope(mutated);
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedChunkEnvelopesNeverCrash) {
+  Rng rng(GetParam() ^ 0xC4A4);
+  core::Envelope chunk;
+  chunk.kind = core::EnvelopeKind::kStateChunk;
+  chunk.op_seq = 40;
+  chunk.delta_base = 7;
+  chunk.chunk_index = 3;
+  chunk.chunk_count = 9;
+  chunk.payload = Bytes(96, 0xC4);
+  const Bytes valid = core::encode_envelope(chunk);
+
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    auto decoded = core::decode_envelope(mutated);
+    // A surviving chunk must carry a consistent geometry — the reassembly
+    // path indexes parts[chunk_index] of a chunk_count-sized vector.
+    if (decoded && decoded->kind == core::EnvelopeKind::kStateChunk) {
+      ASSERT_GT(decoded->chunk_count, 0u);
+      ASSERT_LT(decoded->chunk_index, decoded->chunk_count);
+    }
+  }
+}
+
+TEST_P(DecodeFuzz, RandomBytesNeverCrashSegmentScan) {
+  Rng rng(GetParam() ^ 0x5E60);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes junk = random_bytes(rng, 512);
+    const auto scan = core::scan_segment_bytes(junk);
+    // The reported valid prefix can never exceed the input.
+    ASSERT_LE(scan.valid_bytes, junk.size());
+    ASSERT_EQ(scan.torn, scan.valid_bytes < junk.size());
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedSegmentEntriesNeverCrashOrOverread) {
+  Rng rng(GetParam() ^ 0x5E61);
+  // Hand-build two valid entries (layout documented in stable_storage.cpp:
+  // [u32 magic][u64 gen][u32 len][payload][u64 fnv1a], all little-endian).
+  auto entry = [](std::uint64_t gen, const Bytes& payload) {
+    Bytes out;
+    auto le32 = [&out](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    auto le64 = [&out](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    le32(0xE7E45E60u);
+    le64(gen);
+    le32(static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    le64(util::fnv1a(payload));
+    return out;
+  };
+  Bytes valid = entry(1, Bytes(40, 0xAA));
+  const Bytes second = entry(1, Bytes(24, 0xBB));
+  valid.insert(valid.end(), second.begin(), second.end());
+
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    const auto scan = core::scan_segment_bytes(mutated);
+    ASSERT_LE(scan.entries.size(), 2u);  // a flip can only tear, never invent
+    ASSERT_LE(scan.valid_bytes, mutated.size());
+  }
+
+  // Truncations: the scan must degrade to a (possibly empty) valid prefix.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const auto scan = core::scan_segment_bytes(
+        Bytes(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut)));
+    ASSERT_LE(scan.valid_bytes, cut);
   }
 }
 

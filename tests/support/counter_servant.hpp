@@ -26,6 +26,8 @@ class CounterServant : public core::CheckpointableServant {
   std::uint64_t notes() const noexcept { return notes_; }
   std::uint64_t ops_served() const noexcept { return ops_served_; }
   std::uint64_t set_state_calls() const noexcept { return set_state_calls_; }
+  std::uint64_t get_delta_calls() const noexcept { return get_delta_calls_; }
+  std::uint64_t apply_delta_calls() const noexcept { return apply_delta_calls_; }
 
   util::Any get_state() override {
     util::Any::Struct s;
@@ -38,6 +40,21 @@ class CounterServant : public core::CheckpointableServant {
     value_ = state.field("value").as_long();
     pad_ = state.field("pad").as_octets();
     ++set_state_calls_;
+  }
+
+  // Delta = the mutable subset only ({value}; `pad` never changes after
+  // construction). The absolute value makes the delta applicable over any
+  // base epoch, per the Checkpointable delta contract.
+  std::optional<util::Any> get_delta(std::uint64_t) override {
+    ++get_delta_calls_;
+    util::Any::Struct s;
+    s.emplace_back("value", util::Any::of_long(value_));
+    return util::Any::of_struct(std::move(s));
+  }
+
+  void apply_delta(const util::Any& delta) override {
+    value_ = delta.field("value").as_long();
+    ++apply_delta_calls_;
   }
 
   static util::Bytes encode_i32(std::int32_t v) {
@@ -79,6 +96,8 @@ class CounterServant : public core::CheckpointableServant {
   std::uint64_t notes_ = 0;
   std::uint64_t ops_served_ = 0;
   std::uint64_t set_state_calls_ = 0;
+  std::uint64_t get_delta_calls_ = 0;
+  std::uint64_t apply_delta_calls_ = 0;
 };
 
 }  // namespace eternal::test_support

@@ -98,6 +98,55 @@ TEST(TotemFrames, MembershipFramesRoundTrip) {
   EXPECT_EQ(dq->sender, NodeId{9});
 }
 
+TEST(TotemFrames, AuthoritativeRetransmissionRoundTrips) {
+  DataFrame f;
+  f.view = ViewId{7};
+  f.origin = NodeId{3};
+  f.seq = 88;
+  f.retransmission = true;
+  f.authoritative = true;
+  f.payload = Bytes{9, 9, 9};
+
+  auto decoded = decode_frame(encode_frame(NodeId{3}, f));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& d = std::get<DataFrame>(decoded->body);
+  EXPECT_TRUE(d.retransmission);
+  EXPECT_TRUE(d.authoritative);
+
+  // The flag defaults off and round-trips off.
+  f.authoritative = false;
+  auto plain = decode_frame(encode_frame(NodeId{3}, f));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(std::get<DataFrame>(plain->body).authoritative);
+}
+
+TEST(TotemFrames, ReadyHeldDigestsRoundTrip) {
+  ReadyFrame ready;
+  ready.new_view = ViewId{6};
+  ready.missing = {71};
+  ready.held_seqs = {72, 73, 75};
+  ready.held_digests = {0xDEADBEEFULL, 0x12345678ULL, 0xFFFFFFFFFFFFFFFFULL};
+
+  auto decoded = decode_frame(encode_frame(NodeId{4}, ready));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& r = std::get<ReadyFrame>(decoded->body);
+  EXPECT_EQ(r.missing, (std::vector<std::uint64_t>{71}));
+  EXPECT_EQ(r.held_seqs, (std::vector<std::uint64_t>{72, 73, 75}));
+  EXPECT_EQ(r.held_digests,
+            (std::vector<std::uint64_t>{0xDEADBEEFULL, 0x12345678ULL,
+                                        0xFFFFFFFFFFFFFFFFULL}));
+}
+
+TEST(TotemFrames, ReadyHeldVectorSizeMismatchRejected) {
+  // The encoder writes whatever it is handed; the decoder rejects parallel
+  // vectors of different lengths (a malformed or corrupted report).
+  ReadyFrame bad;
+  bad.new_view = ViewId{6};
+  bad.held_seqs = {72, 73};
+  bad.held_digests = {0xAAULL};
+  EXPECT_FALSE(decode_frame(encode_frame(NodeId{4}, bad)).has_value());
+}
+
 TEST(TotemFrames, MalformedInputRejected) {
   EXPECT_FALSE(decode_frame(Bytes{}).has_value());
   EXPECT_FALSE(decode_frame(Bytes{1, 2, 3}).has_value());
