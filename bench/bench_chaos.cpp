@@ -1,0 +1,471 @@
+// Fleet-scale chaos suite: composed fault scenarios under open-loop fleet
+// load, each scored on throughput, tail latency, recovery time and the
+// cross-layer trace invariants (src/obs/invariants.hpp).
+//
+// Every scenario deploys a full System with whole-run tracing, drives it
+// with the FleetDriver (thousands of simulated clients, configurable
+// arrival process, hot-key skew, optional fan-out) and injects faults via
+// ChaosScript (src/sim/chaos.hpp), so fault actions appear in the same
+// trace stream the InvariantChecker replays. On any violation a
+// flight-recorder dump is written next to the binary.
+//
+// Scenarios (the matrix rows; EXPERIMENTS.md documents the full table):
+//   baseline        no faults — the reference row
+//   cascade         cascading replica loss: two kills in quick succession,
+//                   staggered re-launches, all under load
+//   partition       network partition with ring reformation on both sides,
+//                   then heal (minority rejoins fresh)
+//   flap            a flapping member: repeated full receive-loss bursts at
+//                   one node (drops off the ring, rejoins, drops again)
+//   torn_storage    torn/short/failed disk writes into the cold-passive
+//                   log, then primary loss forcing a log-based promotion
+//   chunk_reform    ring reformation killing the state source mid chunked
+//                   set_state — the recoverer must be re-served, not left
+//                   with a half-filled reassembly colliding with the retry
+//   delta_reform    state source crashes mid delta-chain recovery; the
+//                   promoted backup re-serves the retrieval
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "support.hpp"
+#include "core/stable_storage.hpp"
+#include "sim/chaos.hpp"
+#include "workload/fleet.hpp"
+
+#include "../tests/support/counter_servant.hpp"
+
+namespace {
+
+using namespace eternal;
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+using workload::ArrivalProcess;
+using workload::FleetConfig;
+using workload::FleetDriver;
+
+constexpr Duration kSecond{1'000'000'000};
+constexpr Duration kMs{1'000'000};
+
+bool g_smoke = false;
+
+struct Row {
+  std::string scenario;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  double throughput_per_s = 0.0;
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double recovery_ms = -1.0;  // slowest completed recovery; -1 = none ran
+  std::string verdict = "ok";  // ok | HANG | VIOLATION (| HANG+VIOLATION)
+  std::uint64_t violations = 0;
+  std::uint64_t chaos_actions = 0;
+  std::uint64_t chunk_aborts = 0;
+  std::uint64_t storage_failures = 0;
+};
+
+/// Shared post-run scoring: latency/throughput from the fleet, recovery
+/// times from every node's Mechanisms, invariant verdict from the trace.
+void score(System& sys, const FleetDriver& fleet, Duration measured,
+           const sim::ChaosScript& chaos, bool hang, Row& row) {
+  row.sent = fleet.sent();
+  row.completed = fleet.completed();
+  row.throughput_per_s =
+      static_cast<double>(fleet.completed()) /
+      (static_cast<double>(measured.count()) / 1e9);
+  if (fleet.completed() > 0) {
+    row.p50_ms = bench::to_ms(fleet.latency().percentile(50));
+    row.p99_ms = bench::to_ms(fleet.latency().percentile(99));
+  }
+  row.chaos_actions = chaos.fired();
+  for (NodeId n : sys.all_nodes()) {
+    const core::Mechanisms& mech = sys.mech(n);
+    for (const core::RecoveryRecord& rec : mech.recoveries()) {
+      row.recovery_ms = std::max(row.recovery_ms, bench::to_ms(rec.recovery_time()));
+    }
+    row.chunk_aborts +=
+        mech.stats().state_chunk_aborts + mech.stats().chunk_sends_aborted;
+    row.storage_failures += mech.stats().storage_persist_failures +
+                            mech.stats().storage_append_failures;
+  }
+
+  const std::vector<obs::Violation> violations =
+      obs::InvariantChecker::check(*sys.trace());
+  row.violations = violations.size();
+  if (hang) row.verdict = "HANG";
+  if (!violations.empty()) {
+    row.verdict = hang ? "HANG+VIOLATION" : "VIOLATION";
+    obs::FlightRecorder recorder(sys.trace(), sys.spans());
+    const std::string path = "flight_chaos_" + row.scenario + ".json";
+    if (recorder.write_file(path)) {
+      std::fprintf(stderr, "chaos: %s invariants violated; flight recorder -> %s\n",
+                   row.scenario.c_str(), path.c_str());
+    }
+    std::fprintf(stderr, "%s\n", obs::InvariantChecker::report(violations).c_str());
+  }
+}
+
+SystemConfig base_config(std::size_t nodes) {
+  SystemConfig cfg;
+  cfg.nodes = nodes;
+  cfg.trace_capacity = 1u << 21;  // whole-run trace feeds the checker
+  return cfg;
+}
+
+FtProperties active_props() {
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 3;
+  props.minimum_replicas = 1;
+  props.fault_monitoring_interval = Duration(5'000'000);
+  return props;
+}
+
+/// Deploys `n` active 3-way replicated counter groups on nodes 1..3 and a
+/// fleet client on `client`, returning the group refs hot-key-skewed.
+std::vector<orb::ObjectRef> deploy_groups(System& sys, std::size_t n, NodeId client,
+                                          std::vector<GroupId>* out_groups = nullptr) {
+  std::vector<GroupId> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    groups.push_back(sys.deploy("svc" + std::to_string(i), "IDL:Svc:1.0",
+                                active_props(), {NodeId{1}, NodeId{2}, NodeId{3}},
+                                [&](NodeId) {
+                                  return std::make_shared<CounterServant>(
+                                      sys.sim(), 512, Duration(50'000));
+                                }));
+  }
+  sys.deploy_client("fleet", client, groups);
+  std::vector<orb::ObjectRef> refs;
+  for (GroupId g : groups) refs.push_back(sys.client(client, g));
+  if (out_groups != nullptr) *out_groups = groups;
+  return refs;
+}
+
+FleetConfig fleet_config(ArrivalProcess arrival) {
+  FleetConfig fc;
+  fc.clients = g_smoke ? 200 : 2000;
+  fc.rate_per_second = g_smoke ? 150.0 : 400.0;
+  fc.arrival = arrival;
+  fc.skew = 1.0;  // hot-key skew: group 0 absorbs most of the load
+  fc.args = CounterServant::encode_i32(1);
+  return fc;
+}
+
+Duration run_time() { return g_smoke ? kSecond : 3 * kSecond; }
+
+// --------------------------------------------------------------- scenarios
+
+Row scenario_baseline() {
+  Row row{.scenario = "baseline"};
+  System sys(base_config(5));
+  auto refs = deploy_groups(sys, 3, NodeId{5});
+  FleetDriver fleet(sys.sim(), refs, fleet_config(ArrivalProcess::kPoisson));
+  sim::ChaosScript chaos(sys.sim(), row.scenario);  // empty: the control row
+  chaos.arm();
+  fleet.start();
+  sys.run_for(run_time());
+  fleet.stop();
+  sys.run_for(200 * kMs);
+  score(sys, fleet, run_time(), chaos, false, row);
+  return row;
+}
+
+Row scenario_cascade() {
+  Row row{.scenario = "cascade"};
+  System sys(base_config(5));
+  std::vector<GroupId> groups;
+  auto refs = deploy_groups(sys, 3, NodeId{5}, &groups);
+  FleetDriver fleet(sys.sim(), refs, fleet_config(ArrivalProcess::kPoisson));
+
+  // Two replicas of the hot group die in quick succession (cascading loss
+  // down to the minimum), then re-launch staggered while load continues.
+  sim::ChaosScript chaos(sys.sim(), row.scenario);
+  const Duration t0 = run_time() / 6;
+  chaos.at(t0, "kill-hot@2", [&] { sys.kill_replica(NodeId{2}, groups[0]); });
+  chaos.at(t0 + 80 * kMs, "kill-hot@3", [&] { sys.kill_replica(NodeId{3}, groups[0]); });
+  chaos.at(t0 + 400 * kMs, "relaunch-hot@2",
+           [&] { sys.relaunch_replica(NodeId{2}, groups[0]); });
+  chaos.at(t0 + 800 * kMs, "relaunch-hot@3",
+           [&] { sys.relaunch_replica(NodeId{3}, groups[0]); });
+  chaos.arm();
+
+  fleet.start();
+  sys.run_for(run_time());
+  fleet.stop();
+  // Settle: both re-launched replicas must finish recovery.
+  const bool recovered = sys.run_until(
+      [&] {
+        return sys.mech(NodeId{2}).hosts_operational(groups[0]) &&
+               sys.mech(NodeId{3}).hosts_operational(groups[0]);
+      },
+      10 * kSecond);
+  sys.run_for(200 * kMs);
+  score(sys, fleet, run_time(), chaos, !recovered, row);
+  return row;
+}
+
+Row scenario_partition() {
+  Row row{.scenario = "partition"};
+  System sys(base_config(5));
+  std::vector<GroupId> groups;
+  auto refs = deploy_groups(sys, 3, NodeId{5}, &groups);
+  FleetConfig fc = fleet_config(ArrivalProcess::kBursty);
+  FleetDriver fleet(sys.sim(), refs, fc);
+
+  // {3,4} split off mid-run: both sides reform their rings (the majority
+  // keeps serving; node 3's replicas are removed from the surviving table),
+  // then the partition heals and the minority rejoins fresh.
+  sim::ChaosScript chaos(sys.sim(), row.scenario);
+  const Duration t0 = run_time() / 3;
+  chaos.partition_at(t0, sys.ethernet(), {NodeId{3}, NodeId{4}}, 1);
+  chaos.heal_at(t0 + run_time() / 3, sys.ethernet());
+  chaos.arm();
+
+  fleet.start();
+  sys.run_for(run_time());
+  fleet.stop();
+  // Settle: the healed ring must re-form with all five members.
+  const bool merged = sys.run_until(
+      [&] {
+        return sys.totem(NodeId{3}).operational() &&
+               sys.totem(NodeId{3}).view().members.size() == 5;
+      },
+      10 * kSecond);
+  sys.run_for(200 * kMs);
+  score(sys, fleet, run_time(), chaos, !merged, row);
+  return row;
+}
+
+Row scenario_flap() {
+  Row row{.scenario = "flap"};
+  System sys(base_config(5));
+  auto refs = deploy_groups(sys, 3, NodeId{5});
+  FleetDriver fleet(sys.sim(), refs, fleet_config(ArrivalProcess::kUniform));
+
+  // Node 3's NIC flaps: full receive loss long enough to drop it off the
+  // ring, then silence ends and it rejoins — three times in a row.
+  sim::ChaosScript chaos(sys.sim(), row.scenario);
+  const Duration t0 = run_time() / 6;
+  const std::size_t bursts = g_smoke ? 2 : 3;
+  for (std::size_t i = 0; i < bursts; ++i) {
+    const Duration start = t0 + static_cast<std::int64_t>(i) * 600 * kMs;
+    chaos.receiver_loss_burst(start, 200 * kMs, sys.ethernet(), NodeId{3}, 1.0);
+  }
+  chaos.arm();
+
+  fleet.start();
+  sys.run_for(run_time());
+  fleet.stop();
+  const bool rejoined = sys.run_until(
+      [&] {
+        return sys.totem(NodeId{3}).operational() &&
+               sys.totem(NodeId{3}).view().members.size() == 5;
+      },
+      10 * kSecond);
+  sys.run_for(200 * kMs);
+  score(sys, fleet, run_time(), chaos, !rejoined, row);
+  return row;
+}
+
+Row scenario_torn_storage() {
+  Row row{.scenario = "torn_storage"};
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() /
+                        ("bench_chaos." + std::to_string(::getpid()) + ".storage");
+  fs::remove_all(root);
+
+  SystemConfig cfg = base_config(4);
+  cfg.stable_storage_root = root.string();
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = ReplicationStyle::kColdPassive;
+  props.initial_replicas = 1;
+  props.minimum_replicas = 1;
+  props.checkpoint_interval = 40 * kMs;
+  props.fault_monitoring_interval = Duration(5'000'000);
+  const GroupId group = sys.deploy(
+      "svc", "IDL:Svc:1.0", props, {NodeId{1}},
+      [&](NodeId) {
+        return std::make_shared<CounterServant>(sys.sim(), 512, Duration(50'000));
+      },
+      {NodeId{2}});
+  sys.deploy_client("fleet", NodeId{4}, {group});
+  FleetConfig fc = fleet_config(ArrivalProcess::kPoisson);
+  fc.skew = 0.0;
+  FleetDriver fleet(sys.sim(), {sys.client(NodeId{4}, group)}, fc);
+
+  // Node 2 keeps the cold-passive log. Its disk starts misbehaving mid-run
+  // (torn writes, failed appends, a failed compaction), and then the
+  // primary dies — the promotion must come out of whatever the degraded
+  // storage managed to keep, with every failure surfaced, not swallowed.
+  sim::ChaosScript chaos(sys.sim(), row.scenario);
+  const Duration t0 = run_time() / 4;
+  chaos.at(t0, "torn-writes", [&] {
+    core::StorageFaultPlan plan;
+    plan.torn_appends = 2;
+    plan.fail_appends = 2;
+    plan.fail_persists = 1;
+    sys.mech(NodeId{2}).storage()->inject_faults(plan);
+  });
+  chaos.at(t0 + run_time() / 4, "kill-primary",
+           [&] { sys.kill_replica(NodeId{1}, group); });
+  chaos.arm();
+
+  fleet.start();
+  sys.run_for(run_time());
+  fleet.stop();
+  // Settle: node 2 promoted from the (degraded) log and went operational.
+  const bool promoted = sys.run_until(
+      [&] { return sys.mech(NodeId{2}).hosts_operational(group); }, 10 * kSecond);
+  sys.run_for(200 * kMs);
+  score(sys, fleet, run_time(), chaos, !promoted, row);
+  fs::remove_all(root);
+  return row;
+}
+
+/// Shared rig for the two mid-recovery reformation scenarios: warm-passive
+/// group, primary on node 1, backups on nodes 2 and 3; the backup on node 2
+/// is killed and re-launched, and the state source crashes mid-transfer.
+Row run_reform_mid_recovery(const std::string& name, std::size_t delta_cap) {
+  Row row{.scenario = name};
+  SystemConfig cfg = base_config(5);
+  // Small chunks + window 1 stretch the transfer over many totally-ordered
+  // rounds, so the mid-transfer crash window is wide and deterministic.
+  cfg.mechanisms.state_chunk_bytes = 4'096;
+  cfg.mechanisms.state_chunk_window = 1;
+  cfg.mechanisms.delta_chain_cap = delta_cap;
+  System sys(cfg);
+
+  FtProperties props;
+  props.style = ReplicationStyle::kWarmPassive;
+  props.initial_replicas = 3;
+  props.minimum_replicas = 1;
+  props.checkpoint_interval = delta_cap > 0 ? 60 * kMs : 500 * kMs;
+  props.fault_monitoring_interval = Duration(5'000'000);
+  const std::size_t state_bytes = g_smoke ? 100'000 : 400'000;
+  const GroupId group = sys.deploy(
+      "svc", "IDL:Svc:1.0", props, {NodeId{1}, NodeId{2}, NodeId{3}}, [&](NodeId) {
+        return std::make_shared<CounterServant>(sys.sim(), state_bytes,
+                                                Duration(50'000));
+      });
+  sys.deploy_client("fleet", NodeId{5}, {group});
+  FleetConfig fc = fleet_config(ArrivalProcess::kPoisson);
+  fc.skew = 0.0;
+  fc.rate_per_second = g_smoke ? 100.0 : 200.0;
+  FleetDriver fleet(sys.sim(), {sys.client(NodeId{5}, group)}, fc);
+  fleet.start();
+
+  // Warm up (the delta variant needs the backups to hold a checkpoint base).
+  sys.run_for(delta_cap > 0 ? 300 * kMs : 100 * kMs);
+
+  // Kill the node-2 backup and re-launch it once its removal is agreed.
+  sys.kill_replica(NodeId{2}, group);
+  sys.run_until(
+      [&] {
+        const auto* e = sys.mech(NodeId{1}).groups().find(group);
+        return e != nullptr && e->replica_on(NodeId{2}) == nullptr;
+      },
+      5 * kSecond);
+  sys.relaunch_replica(NodeId{2}, group);
+
+  // The primary (node 1) starts serving the retrieval; the source crashes
+  // mid-protocol — a ring reformation lands mid chunked set_state (chunk
+  // variant: several chunks received, many still to come) or mid
+  // delta-chain recovery (delta variant: the delta set_state is small, so
+  // the crash is timed a few totem rounds into the recovery instead).
+  bool mid_transfer = false;
+  if (delta_cap == 0) {
+    mid_transfer = sys.run_until(
+        [&] { return sys.mech(NodeId{2}).stats().state_chunks_received >= 4; },
+        10 * kSecond);
+  } else {
+    mid_transfer = sys.run_until(
+        [&] { return sys.mech(NodeId{2}).hosts_recovering(group); }, 10 * kSecond);
+    sys.run_for(Duration(400'000));
+    mid_transfer = mid_transfer && !sys.mech(NodeId{2}).hosts_operational(group);
+  }
+  sim::ChaosScript chaos(sys.sim(), row.scenario);
+  chaos.at(Duration::zero(), "crash-source", [&] { sys.crash_node(NodeId{1}); });
+  chaos.arm();
+
+  // The surviving backup (node 3) must promote, re-serve the retrieval and
+  // bring node 2 operational; anything else is a hang.
+  const bool recovered = sys.run_until(
+      [&] { return sys.mech(NodeId{2}).hosts_operational(group); }, 20 * kSecond);
+  sys.run_for(200 * kMs);
+  fleet.stop();
+  sys.run_for(200 * kMs);
+  score(sys, fleet, run_time(), chaos, !(mid_transfer && recovered), row);
+  return row;
+}
+
+Row scenario_chunk_reform() { return run_reform_mid_recovery("chunk_reform", 0); }
+Row scenario_delta_reform() { return run_reform_mid_recovery("delta_reform", 8); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_smoke = bench::smoke_mode(argc, argv);
+
+  bench::print_header(
+      "Chaos scenario matrix — fleet load vs composed faults",
+      "recovery machinery of §5 under cascading loss, partitions, flapping "
+      "members, torn disk writes and mid-transfer reformations");
+
+  Row (*scenarios[])() = {
+      scenario_baseline,   scenario_cascade,      scenario_partition,
+      scenario_flap,       scenario_torn_storage, scenario_chunk_reform,
+      scenario_delta_reform,
+  };
+
+  bench::BenchResultWriter results("chaos");
+  std::printf("\n%14s %8s %8s %10s %9s %9s %11s %7s %7s %7s %14s\n", "scenario",
+              "sent", "done", "ops/s", "p50_ms", "p99_ms", "recovery_ms",
+              "chaos", "aborts", "io_err", "verdict");
+  bool all_ok = true;
+  for (auto* fn : scenarios) {
+    const Row row = fn();
+    std::printf("%14s %8llu %8llu %10.1f %9.2f %9.2f %11.1f %7llu %7llu %7llu %14s\n",
+                row.scenario.c_str(), static_cast<unsigned long long>(row.sent),
+                static_cast<unsigned long long>(row.completed),
+                row.throughput_per_s, row.p50_ms, row.p99_ms, row.recovery_ms,
+                static_cast<unsigned long long>(row.chaos_actions),
+                static_cast<unsigned long long>(row.chunk_aborts),
+                static_cast<unsigned long long>(row.storage_failures),
+                row.verdict.c_str());
+    results.row()
+        .col("scenario", row.scenario)
+        .col("sent", row.sent)
+        .col("completed", row.completed)
+        .col("throughput_per_s", row.throughput_per_s)
+        .col("p50_ms", row.p50_ms)
+        .col("p99_ms", row.p99_ms)
+        .col("recovery_ms", row.recovery_ms)
+        .col("verdict", row.verdict)
+        .col("violations", row.violations)
+        .col("chaos_actions", row.chaos_actions)
+        .col("chunk_aborts", row.chunk_aborts)
+        .col("storage_failures", row.storage_failures);
+    if (row.verdict != "ok") all_ok = false;
+  }
+  results.write_file("BENCH_chaos.json");
+
+  if (!all_ok) {
+    std::fprintf(stderr, "\nbench_chaos: at least one scenario hung or violated "
+                         "an invariant\n");
+    return 1;
+  }
+  return 0;
+}

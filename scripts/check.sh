@@ -19,6 +19,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build -L tier1 --output-on-failure
 
+echo
+echo "== chaos scenario matrix (smoke) =="
+# Composed-fault sweep: every scenario must come back InvariantChecker-clean
+# (bench_chaos exits non-zero on a violation or a hung recovery).
+(cd build && ./bench/bench_chaos --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "check.sh: tier-1 gate passed (sanitizer stage skipped)"
   exit 0

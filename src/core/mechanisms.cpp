@@ -89,7 +89,16 @@ void Mechanisms::persist_log(GroupId group) {
   const GroupEntry* entry = table_.find(group);
   auto log_it = logs_.find(group.value);
   if (entry == nullptr || log_it == logs_.end()) return;
-  storage_->persist(entry->desc, log_it->second);
+  if (!storage_->persist(entry->desc, log_it->second)) {
+    // The previous base record is still loadable (storage failure contract),
+    // so recovery loses only what this compaction would have added.
+    stats_.storage_persist_failures += 1;
+    ETERNAL_LOG(kWarn, kTag,
+                "node " << node_.value << ": stable-storage persist failed for group "
+                        << group.value);
+    rec_.record(node_, obs::Layer::kMech, "storage_fault", group.value,
+                "group=" + std::to_string(group.value) + " op=persist");
+  }
 }
 
 void Mechanisms::persist_append(GroupId group, const Envelope& message) {
@@ -101,7 +110,15 @@ void Mechanisms::persist_append(GroupId group, const Envelope& message) {
   const GroupEntry* entry = table_.find(group);
   auto log_it = logs_.find(group.value);
   if (entry == nullptr || log_it == logs_.end()) return;
-  storage_->append(entry->desc, log_it->second, message);
+  if (!storage_->append(entry->desc, log_it->second, message)) {
+    stats_.storage_append_failures += 1;
+    ETERNAL_LOG(kWarn, kTag,
+                "node " << node_.value << ": stable-storage append failed for group "
+                        << group.value << "; message op_seq " << message.op_seq);
+    rec_.record(node_, obs::Layer::kMech, "storage_fault", group.value,
+                "group=" + std::to_string(group.value) +
+                    " op=append op_seq=" + std::to_string(message.op_seq));
+  }
 }
 
 std::vector<GroupDescriptor> Mechanisms::stored_groups() const {
@@ -142,6 +159,13 @@ bool Mechanisms::restore_from_storage(GroupId group) {
 }
 
 void Mechanisms::multicast(const Envelope& e) {
+  if (totem_.is_down()) {
+    // The processor crashed under us (System::crash_node): locally scheduled
+    // periodic work — checkpoint ticks, fault-detector probes — may still
+    // fire in the simulation, but a dead node puts nothing on the medium.
+    stats_.outbound_unroutable += 1;
+    return;
+  }
   stats_.multicasts += 1;
   totem_.multicast(encode_envelope(e));
 }

@@ -124,6 +124,9 @@ struct MechanismsStats {
   std::uint64_t state_chunks_received = 0;
   std::uint64_t state_chunk_duplicates = 0;
   std::uint64_t state_chunk_aborts = 0;  ///< reassemblies abandoned (superseded epoch)
+  std::uint64_t chunk_sends_aborted = 0;  ///< outgoing chunked sends dropped on membership change
+  std::uint64_t storage_persist_failures = 0;  ///< base compactions that failed (surfaced)
+  std::uint64_t storage_append_failures = 0;   ///< segment appends that failed/tore (surfaced)
 };
 
 /// Timing record of one completed recovery (drives paper Figure 6).
@@ -218,6 +221,8 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   /// The node's stable storage, or nullptr when storage is disabled
   /// (read-only: I/O accounting for benches and tests).
   const class StableStorage* storage() const noexcept { return storage_.get(); }
+  /// Mutable access for chaos fault injection (StableStorage::inject_faults).
+  class StableStorage* storage() noexcept { return storage_.get(); }
 
   /// True when this node hosts a replica of `group` in the given phase.
   bool hosts_operational(GroupId group) const;
@@ -439,11 +444,14 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   // ---- chunked state transfer ----
   struct ChunkedSend {
     std::uint64_t epoch = 0;
+    ReplicaId subject{};           ///< the recoverer this transfer serves
     std::vector<Envelope> chunks;  ///< pre-built kStateChunk envelopes
     std::size_t next = 0;          ///< next chunk to multicast
   };
   std::map<std::uint32_t, ChunkedSend> outgoing_chunks_;  // by group
   struct ChunkReassembly {
+    NodeId sender{};      ///< first sender seen; rival senders' chunks dropped
+    ReplicaId subject{};  ///< the recoverer this transfer serves
     std::vector<Bytes> parts;  ///< empty slot = not yet received
     std::size_t received = 0;
   };

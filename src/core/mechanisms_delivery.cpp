@@ -81,6 +81,23 @@ void Mechanisms::on_view_change(const totem::View& view) {
     return;
   }
 
+  // In-flight chunked transfers whose sender departed can never complete,
+  // and a later transfer keyed to the same (group, epoch) must not inherit
+  // their partial bytes — drop them now. The recoverer's retrieval is
+  // re-issued by react() below; duplicate set_states are absorbed by the
+  // epoch windows.
+  for (auto it = incoming_chunks_.begin(); it != incoming_chunks_.end();) {
+    const bool sender_gone =
+        std::find(view.departed.begin(), view.departed.end(), it->second.sender) !=
+        view.departed.end();
+    if (sender_gone) {
+      stats_.state_chunk_aborts += 1;
+      it = incoming_chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   // Replicas on departed processors are gone; apply deterministically.
   std::vector<TableEvent> events;
   for (NodeId gone : view.departed) {
@@ -458,6 +475,7 @@ void Mechanisms::start_chunked_send(GroupId group, const Envelope& inner) {
   const std::size_t count = (encoded.size() + chunk - 1) / chunk;
   ChunkedSend send;
   send.epoch = inner.op_seq;
+  send.subject = inner.subject;
   send.chunks.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     Envelope c;
@@ -506,7 +524,19 @@ void Mechanisms::deliver_state_chunk(const Envelope& e) {
   // copy delivers through the same path a monolithic multicast would).
   const auto key = std::make_pair(e.target_group.value, e.op_seq);
   ChunkReassembly& ra = incoming_chunks_[key];
-  if (ra.parts.empty()) ra.parts.resize(e.chunk_count);
+  if (ra.parts.empty()) {
+    ra.parts.resize(e.chunk_count);
+    ra.sender = e.subject_node;
+    ra.subject = e.subject;
+  } else if (ra.sender != e.subject_node) {
+    // In active replication every operational member answers the same
+    // retrieval epoch; the copies need not be byte-identical (infra
+    // snapshots differ per node), so interleaving two senders' chunks into
+    // one buffer would reassemble garbage. First sender wins; rivals'
+    // chunks are redundant copies of the same logical transfer.
+    stats_.state_chunk_duplicates += 1;
+    return;
+  }
   if (e.chunk_count != ra.parts.size() || e.chunk_index >= ra.parts.size()) {
     ETERNAL_LOG(kWarn, kTag, "inconsistent state-chunk geometry; reassembly aborted");
     stats_.state_chunk_aborts += 1;
@@ -1307,6 +1337,29 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
             // consumers never see the replica as still live.
             set_phase(*r, Phase::kDead);
             replicas_.erase(event.group.value);
+            // Any chunked send our replica was sourcing dies with it.
+            if (outgoing_chunks_.erase(event.group.value) > 0) {
+              stats_.chunk_sends_aborted += 1;
+            }
+          }
+        }
+        // GC chunked transfers tied to the removed replica: an outgoing send
+        // serving it would keep multicasting chunks nobody applies, and a
+        // partial reassembly for it would collide with a later transfer
+        // keyed to the same (group, epoch).
+        auto out_it = outgoing_chunks_.find(event.group.value);
+        if (out_it != outgoing_chunks_.end() &&
+            out_it->second.subject == event.replica) {
+          stats_.chunk_sends_aborted += 1;
+          outgoing_chunks_.erase(out_it);
+        }
+        for (auto it = incoming_chunks_.begin(); it != incoming_chunks_.end();) {
+          if (it->first.first == event.group.value &&
+              it->second.subject == event.replica) {
+            stats_.state_chunk_aborts += 1;
+            it = incoming_chunks_.erase(it);
+          } else {
+            ++it;
           }
         }
         awaiting_get_state_[event.group.value].erase(event.replica.value);
@@ -1316,6 +1369,17 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
         // for any subject still waiting (duplicate set_states are absorbed
         // by the epoch windows).
         const GroupEntry* entry = table_.find(event.group);
+        // Survivors record the agreed death: a replica whose processor
+        // crashed never writes its own final phase event, so trace
+        // consumers (the multi-primary invariant) would keep counting it
+        // as operational through the successor's promotion.
+        if (rec_.tracing()) {
+          rec_.record(node_, obs::Layer::kMech, "phase", event.replica.value,
+                      "group=" + std::to_string(event.group.value) +
+                          " replica=" + std::to_string(event.replica.value) +
+                          " phase=dead style=" +
+                          (entry ? to_string(entry->desc.properties.style) : "?"));
+        }
         if (entry != nullptr) {
           const auto coord = entry->coordinator();
           if (coord && *coord == node_) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <set>
 
 #include "util/cdr.hpp"
@@ -55,6 +56,10 @@ class SeqWindow {
   void compact() {
     auto it = sparse_.begin();
     while (it != sparse_.end() && *it == next_) {
+      // Saturate at the top of the sequence space: advancing past the
+      // maximum would wrap next_ to 0 and forget every recorded number.
+      // UINT64_MAX itself stays in sparse_ so seen() still reports it.
+      if (next_ == std::numeric_limits<std::uint64_t>::max()) break;
       ++next_;
       it = sparse_.erase(it);
     }

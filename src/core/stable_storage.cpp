@@ -124,7 +124,7 @@ std::uint64_t StableStorage::base_generation(GroupId group) const {
   return generation;
 }
 
-void StableStorage::persist(const GroupDescriptor& descriptor, const MessageLog& log) {
+bool StableStorage::persist(const GroupDescriptor& descriptor, const MessageLog& log) {
   const std::uint64_t generation = base_generation(descriptor.id) + 1;
 
   util::CdrWriter w;
@@ -144,14 +144,25 @@ void StableStorage::persist(const GroupDescriptor& descriptor, const MessageLog&
 
   const std::filesystem::path final_path = path_of(descriptor.id);
   const std::filesystem::path tmp_path = final_path.string() + ".tmp";
-  {
+  bool wrote = false;
+  if (faults_.fail_persists > 0) {
+    faults_.fail_persists -= 1;
+  } else {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     out.write(reinterpret_cast<const char*>(w.bytes().data()),
               static_cast<std::streamsize>(w.size()));
-    if (!out.good()) {
-      ETERNAL_LOG(kWarn, kTag, "stable-storage write failed for " << final_path.string());
-      return;
-    }
+    out.flush();
+    wrote = out.good();
+  }
+  if (!wrote) {
+    // Failure contract: the previous generation's base stays in place (the
+    // rename never happened), the segment is not truncated, and the stale
+    // temp file is removed so it can't be mistaken for durable state.
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    persist_failures_ += 1;
+    ETERNAL_LOG(kWarn, kTag, "stable-storage write failed for " << final_path.string());
+    return false;
   }
   std::filesystem::rename(tmp_path, final_path);
   generations_[descriptor.id.value] = generation;
@@ -162,6 +173,7 @@ void StableStorage::persist(const GroupDescriptor& descriptor, const MessageLog&
   open_.erase(descriptor.id.value);
   std::error_code ec;
   std::filesystem::remove(segment_path_of(descriptor.id), ec);
+  return true;
 }
 
 StableStorage::OpenSegment& StableStorage::open_segment(GroupId group,
@@ -191,27 +203,62 @@ StableStorage::OpenSegment& StableStorage::open_segment(GroupId group,
   return seg;
 }
 
-void StableStorage::append(const GroupDescriptor& descriptor, const MessageLog& log,
+bool StableStorage::append(const GroupDescriptor& descriptor, const MessageLog& log,
                            const Envelope& message) {
   const std::uint64_t generation = base_generation(descriptor.id);
   if (generation == 0) {
     // No base yet: a bare segment entry could not be recovered (no
     // descriptor), so take the compaction path once.
-    persist(descriptor, log);
-    return;
+    return persist(descriptor, log);
   }
 
   OpenSegment& seg = open_segment(descriptor.id, generation);
   const Bytes entry = encode_segment_entry(generation, encode_envelope(message));
+
+  if (faults_.fail_appends > 0) {
+    // The write never reaches the medium (e.g. ENOSPC before any byte).
+    faults_.fail_appends -= 1;
+    append_failures_ += 1;
+    return false;
+  }
+  if (faults_.torn_appends > 0) {
+    // A short write: only a prefix of the frame lands. Close the stream so
+    // the next append reopens the segment and truncates the torn tail —
+    // exactly what a crash between write and sync looks like on replay.
+    faults_.torn_appends -= 1;
+    const std::size_t torn = entry.size() / 2;
+    seg.out.write(reinterpret_cast<const char*>(entry.data()),
+                  static_cast<std::streamsize>(torn));
+    seg.out.flush();
+    open_.erase(descriptor.id.value);
+    append_failures_ += 1;
+    return false;
+  }
+
   seg.out.write(reinterpret_cast<const char*>(entry.data()),
                 static_cast<std::streamsize>(entry.size()));
+  if (!seg.out.good()) {
+    append_failures_ += 1;
+    open_.erase(descriptor.id.value);
+    ETERNAL_LOG(kWarn, kTag,
+                "segment append failed for group " << descriptor.id.value);
+    return false;
+  }
   appends_ += 1;
   bytes_written_ += entry.size();
   if (++seg.unsynced >= sync_every_) {
     seg.out.flush();
     seg.unsynced = 0;
     syncs_ += 1;
+    if (!seg.out.good()) {
+      append_failures_ += 1;
+      open_.erase(descriptor.id.value);
+      ETERNAL_LOG(kWarn, kTag,
+                  "segment sync failed for group " << descriptor.id.value);
+      return false;
+    }
   }
+  return true;
 }
 
 std::optional<StoredGroup> StableStorage::load(GroupId group) const {

@@ -65,6 +65,15 @@ struct SegmentScan {
 /// (bad magic, short frame, or digest mismatch). Never throws.
 SegmentScan scan_segment_bytes(BytesView data);
 
+/// Deterministic write-fault injection for chaos scenarios: counts are
+/// consumed one per matching operation, additively (each inject_faults()
+/// call adds to what remains).
+struct StorageFaultPlan {
+  std::uint32_t fail_persists = 0;  ///< next n persist() compactions fail
+  std::uint32_t fail_appends = 0;   ///< next n append() entries fail outright
+  std::uint32_t torn_appends = 0;   ///< next n append() entries written short
+};
+
 class StableStorage {
  public:
   /// Opens (creating if needed) the node's storage directory.
@@ -73,13 +82,18 @@ class StableStorage {
   const std::filesystem::path& directory() const noexcept { return directory_; }
 
   /// Atomically persists the group's descriptor and current log, truncating
-  /// the group's append segment (compaction).
-  void persist(const GroupDescriptor& descriptor, const MessageLog& log);
+  /// the group's append segment (compaction). Returns false when the write
+  /// (or its flush-to-disk) failed — the failure contract guarantees the
+  /// previous generation's base record is left intact and loadable, and the
+  /// append segment is NOT truncated (nothing logged is lost).
+  bool persist(const GroupDescriptor& descriptor, const MessageLog& log);
 
   /// Appends one logged message to the group's segment. Falls back to a
   /// full persist() when the group has no base record yet (a segment entry
-  /// alone could not be recovered without the descriptor).
-  void append(const GroupDescriptor& descriptor, const MessageLog& log,
+  /// alone could not be recovered without the descriptor). Returns false
+  /// when the entry could not be durably written (the caller must surface
+  /// the failure — a silent gap here becomes a silent gap in recovery).
+  bool append(const GroupDescriptor& descriptor, const MessageLog& log,
               const Envelope& message);
 
   /// Loads a group's record — base plus surviving segment tail; nullopt
@@ -100,6 +114,15 @@ class StableStorage {
   std::uint64_t syncs() const noexcept { return syncs_; }
   std::uint64_t bytes_written() const noexcept { return bytes_written_; }
   std::uint64_t torn_truncations() const noexcept { return torn_truncations_; }
+  std::uint64_t persist_failures() const noexcept { return persist_failures_; }
+  std::uint64_t append_failures() const noexcept { return append_failures_; }
+
+  /// Adds `plan` to the pending fault counters (chaos fault injection).
+  void inject_faults(const StorageFaultPlan& plan) {
+    faults_.fail_persists += plan.fail_persists;
+    faults_.fail_appends += plan.fail_appends;
+    faults_.torn_appends += plan.torn_appends;
+  }
 
  private:
   struct OpenSegment {
@@ -127,6 +150,9 @@ class StableStorage {
   std::uint64_t syncs_ = 0;
   std::uint64_t bytes_written_ = 0;
   mutable std::uint64_t torn_truncations_ = 0;
+  std::uint64_t persist_failures_ = 0;
+  std::uint64_t append_failures_ = 0;
+  StorageFaultPlan faults_;
 };
 
 }  // namespace eternal::core

@@ -1,0 +1,77 @@
+#include "sim/chaos.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace eternal::sim {
+
+namespace {
+constexpr const char* kTag = "chaos";
+}
+
+ChaosScript::ChaosScript(Simulator& sim, std::string scenario)
+    : sim_(sim), scenario_(std::move(scenario)) {}
+
+ChaosScript& ChaosScript::at(Duration offset, std::string name,
+                             std::function<void()> fn) {
+  if (armed_) throw std::logic_error("ChaosScript: already armed");
+  actions_.push_back(Action{offset, std::move(name), std::move(fn)});
+  return *this;
+}
+
+ChaosScript& ChaosScript::repeat(Duration start, Duration period, std::size_t times,
+                                 const std::string& name,
+                                 const std::function<void()>& fn) {
+  for (std::size_t i = 0; i < times; ++i) {
+    at(start + period * static_cast<std::int64_t>(i),
+       name + "#" + std::to_string(i), fn);
+  }
+  return *this;
+}
+
+ChaosScript& ChaosScript::partition_at(Duration offset, Ethernet& net,
+                                       std::vector<NodeId> side, int component) {
+  return at(offset, "partition", [&net, side = std::move(side), component] {
+    net.set_partition(side, component);
+  });
+}
+
+ChaosScript& ChaosScript::heal_at(Duration offset, Ethernet& net) {
+  return at(offset, "heal", [&net] { net.heal_partition(); });
+}
+
+ChaosScript& ChaosScript::loss_burst(Duration start, Duration duration, Ethernet& net,
+                                     double p) {
+  at(start, "loss-on", [&net, p] { net.set_loss_probability(p); });
+  return at(start + duration, "loss-off", [&net] { net.set_loss_probability(0.0); });
+}
+
+ChaosScript& ChaosScript::receiver_loss_burst(Duration start, Duration duration,
+                                              Ethernet& net, NodeId node, double p) {
+  at(start, "rx-loss-on", [&net, node, p] { net.set_receiver_loss(node, p); });
+  return at(start + duration, "rx-loss-off",
+            [&net, node] { net.set_receiver_loss(node, 0.0); });
+}
+
+void ChaosScript::arm() {
+  if (armed_) throw std::logic_error("ChaosScript: already armed");
+  armed_ = true;
+  // Sorting is not needed: the simulator orders by timestamp with FIFO
+  // tie-break, so same-offset actions fire in registration order.
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    sim_.schedule(actions_[i].offset, [this, i] { fire(actions_[i]); });
+  }
+}
+
+void ChaosScript::fire(const Action& action) {
+  fired_ += 1;
+  ETERNAL_LOG(kDebug, kTag, "scenario " << scenario_ << ": " << action.name);
+  sim_.recorder().record(util::NodeId{0}, obs::Layer::kSim, "chaos", fired_,
+                         "scenario=" + scenario_ + " action=" + action.name);
+  sim_.recorder().counter("chaos." + scenario_ + ".actions").add();
+  sim_.recorder().counter("chaos.action." + action.name).add();
+  action.fn();
+}
+
+}  // namespace eternal::sim

@@ -48,6 +48,13 @@ void Ethernet::broadcast(NodeId from, Bytes payload) {
   stats_.bytes_sent += payload.size() + config_.frame_header_bytes + config_.frame_gap_bytes;
   stats_.payload_bytes += payload.size();
 
+  // Blackout burst: the frame occupied the medium but nobody receives it.
+  if (drop_next_ > 0) {
+    drop_next_ -= 1;
+    stats_.frames_dropped += 1;
+    return;
+  }
+
   const int sender_component = component_of(from);
   // Snapshot recipients now; attachment changes before `arrival` are checked
   // again at delivery time (a station that crashed mid-flight gets nothing).
@@ -55,7 +62,10 @@ void Ethernet::broadcast(NodeId from, Bytes payload) {
   for (const auto& [node, station] : stations_) {
     if (node == from) continue;
     if (component_of(node) != sender_component) continue;
-    if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+    auto loss_it = receiver_loss_.find(node);
+    const double loss =
+        loss_it != receiver_loss_.end() ? loss_it->second : config_.loss_probability;
+    if (loss > 0 && rng_.chance(loss)) {
       stats_.frames_dropped += 1;
       continue;
     }
@@ -70,6 +80,14 @@ void Ethernet::broadcast(NodeId from, Bytes payload) {
 
 void Ethernet::set_partition(const std::vector<NodeId>& nodes, int component) {
   for (NodeId n : nodes) partition_[n] = component;
+}
+
+void Ethernet::set_receiver_loss(NodeId node, double p) {
+  if (p <= 0.0) {
+    receiver_loss_.erase(node);
+  } else {
+    receiver_loss_[node] = p;
+  }
 }
 
 void Ethernet::heal_partition() { partition_.clear(); }

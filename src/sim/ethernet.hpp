@@ -98,6 +98,15 @@ class Ethernet {
   /// Sets the independent per-receiver frame-loss probability.
   void set_loss_probability(double p) noexcept { config_.loss_probability = p; }
 
+  /// Per-receiver loss override: frames addressed to `node` are dropped with
+  /// probability `p` regardless of the segment-wide setting (a flaky NIC /
+  /// flapping member). 0 removes the override.
+  void set_receiver_loss(NodeId node, double p);
+
+  /// Drops the next `n` frames outright, before any receiver sees them (a
+  /// deterministic blackout burst for chaos scenarios). Additive.
+  void drop_next_frames(std::uint64_t n) noexcept { drop_next_ += n; }
+
   const EthernetStats& stats() const noexcept { return stats_; }
 
   /// Time the medium needs to carry one frame with `payload_bytes` payload.
@@ -111,6 +120,8 @@ class Ethernet {
   util::Rng rng_;
   std::unordered_map<NodeId, Station*> stations_;
   std::unordered_map<NodeId, int> partition_;
+  std::unordered_map<NodeId, double> receiver_loss_;
+  std::uint64_t drop_next_ = 0;
   TimePoint medium_free_at_{};
   EthernetStats stats_;
 };

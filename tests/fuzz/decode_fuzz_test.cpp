@@ -4,6 +4,8 @@
 // (simulated) network.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/envelope.hpp"
 #include "core/group_table.hpp"
 #include "core/stable_storage.hpp"
@@ -20,6 +22,20 @@ namespace {
 using util::Bytes;
 using util::Rng;
 
+// Iteration budget for every fuzz sweep: ETERNAL_FUZZ_ITERS overrides the
+// default so CI tiers can bound the work (and soak runs can raise it)
+// without recompiling.
+int fuzz_iters() {
+  static const int iters = [] {
+    if (const char* env = std::getenv("ETERNAL_FUZZ_ITERS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<int>(v);
+    }
+    return 500;
+  }();
+  return iters;
+}
+
 Bytes random_bytes(Rng& rng, std::size_t max_len) {
   Bytes out(rng.below(max_len + 1));
   for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
@@ -30,7 +46,7 @@ class DecodeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DecodeFuzz, RandomBytesNeverCrashDecoders) {
   Rng rng(GetParam());
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     const Bytes junk = random_bytes(rng, 256);
     (void)giop::decode(junk);
     (void)giop::inspect(junk);
@@ -60,7 +76,7 @@ TEST_P(DecodeFuzz, MutatedValidGiopNeverCrashes) {
   req.body = Bytes(64, 0x5A);
   const Bytes valid = giop::encode(req);
 
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     Bytes mutated = valid;
     const std::size_t flips = 1 + rng.below(4);
     for (std::size_t f = 0; f < flips; ++f) {
@@ -84,7 +100,7 @@ TEST_P(DecodeFuzz, MutatedValidTotemFramesNeverCrash) {
   data.payload = Bytes(48, 0xAB);
   const Bytes valid = totem::encode_frame(util::NodeId{2}, data);
 
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     Bytes mutated = valid;
     mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
     (void)totem::decode_frame(mutated);
@@ -102,7 +118,7 @@ TEST_P(DecodeFuzz, MutatedValidBatchedFramesNeverCrash) {
   data.payload = totem::pack_batch(msgs);
   const Bytes valid = totem::encode_frame(util::NodeId{2}, data);
 
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     Bytes mutated = valid;
     const std::size_t flips = 1 + rng.below(4);
     for (std::size_t f = 0; f < flips; ++f) {
@@ -119,7 +135,7 @@ TEST_P(DecodeFuzz, MutatedValidBatchedFramesNeverCrash) {
 
 TEST_P(DecodeFuzz, RandomBlobsNeverCrashBatchUnpack) {
   Rng rng(GetParam() ^ 0xB10B);
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     const Bytes blob = random_bytes(rng, 256);
     (void)totem::unpack_batch(blob, static_cast<std::uint32_t>(rng.below(300)));
     (void)totem::unpack_batch(blob, static_cast<std::uint32_t>(rng.next()));
@@ -135,7 +151,7 @@ TEST_P(DecodeFuzz, MutatedValidEnvelopesNeverCrash) {
   env.infra_state = Bytes(16, 3);
   const Bytes valid = core::encode_envelope(env);
 
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     Bytes mutated = valid;
     mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
     (void)core::decode_envelope(mutated);
@@ -153,7 +169,7 @@ TEST_P(DecodeFuzz, MutatedChunkEnvelopesNeverCrash) {
   chunk.payload = Bytes(96, 0xC4);
   const Bytes valid = core::encode_envelope(chunk);
 
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     Bytes mutated = valid;
     const std::size_t flips = 1 + rng.below(4);
     for (std::size_t f = 0; f < flips; ++f) {
@@ -171,7 +187,7 @@ TEST_P(DecodeFuzz, MutatedChunkEnvelopesNeverCrash) {
 
 TEST_P(DecodeFuzz, RandomBytesNeverCrashSegmentScan) {
   Rng rng(GetParam() ^ 0x5E60);
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     const Bytes junk = random_bytes(rng, 512);
     const auto scan = core::scan_segment_bytes(junk);
     // The reported valid prefix can never exceed the input.
@@ -203,7 +219,7 @@ TEST_P(DecodeFuzz, MutatedSegmentEntriesNeverCrashOrOverread) {
   const Bytes second = entry(1, Bytes(24, 0xBB));
   valid.insert(valid.end(), second.begin(), second.end());
 
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < fuzz_iters(); ++i) {
     Bytes mutated = valid;
     const std::size_t flips = 1 + rng.below(4);
     for (std::size_t f = 0; f < flips; ++f) {
