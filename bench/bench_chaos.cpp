@@ -107,7 +107,11 @@ void score(System& sys, const FleetDriver& fleet, Duration measured,
   if (!violations.empty()) {
     row.verdict = hang ? "HANG+VIOLATION" : "VIOLATION";
     obs::FlightRecorder recorder(sys.trace(), sys.spans());
-    const std::string path = "flight_chaos_" + row.scenario + ".json";
+    recorder.attach_violations(violations);
+    // Run-counter suffix: a scenario scored twice in one process (reruns,
+    // sweeps) gets flight_chaos_<s>.json then flight_chaos_<s>.2.json.
+    const std::string path =
+        obs::FlightRecorder::unique_path("flight_chaos_" + row.scenario + ".json");
     if (recorder.write_file(path)) {
       std::fprintf(stderr, "chaos: %s invariants violated; flight recorder -> %s\n",
                    row.scenario.c_str(), path.c_str());

@@ -127,6 +127,76 @@ Row run_baseline(double rate) {
   return row;
 }
 
+// ----------------------------------------------------------------------
+// Slow-servant head-of-line scenario (FOM execution engine).
+//
+// One 50 ms operation fired every ~100 ms shares the object with a fast
+// 400 us bystander stream at utilisation ~0.9. Under the synchronous
+// upcall path the combined utilisation exceeds 1, so the run-queue grows
+// for the whole run and bystander latency diverges with it. Under the
+// FOM engine (exec_concurrency / poa_max_inflight >> 1) bystanders
+// execute concurrently with the slow operation; the in-order reply
+// sequencer still parks their replies behind it, so bystander p99 is
+// bounded by the *remaining* slow-op time (~50 ms), not by the backlog.
+
+constexpr Duration kSlowOp = Duration(50'000'000);  // 50 ms head-of-line op
+constexpr double kSlowRate = 10.0;                  // ~every 100 ms (util 0.5)
+constexpr double kBystanderRate = 2200.0;           // 400 us ops (util 0.88)
+
+struct ExecRow {
+  double bystander_achieved;
+  double bystander_mean_ms;
+  double bystander_p95_ms;
+  double bystander_p99_ms;
+  double slow_p99_ms;
+  std::uint64_t backlog;
+  bool drained;
+};
+
+ExecRow run_slow_servant(bool engine) {
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  cfg.mechanisms.exec_engine = engine;
+  cfg.mechanisms.exec_concurrency = engine ? 1024 : 1;
+  cfg.orb.poa_max_inflight = engine ? 1024 : 1;
+  System sys(cfg);
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 1;
+  props.minimum_replicas = 1;
+  const GroupId group = sys.deploy("svc", "IDL:Svc:1.0", props, {NodeId{1}}, [&](NodeId) {
+    auto servant = std::make_shared<CounterServant>(sys.sim(), 0, kExec);
+    servant->set_slow_op("get", kSlowOp);
+    return servant;
+  });
+  sys.deploy_client("load", NodeId{2}, {group});
+
+  OpenLoopDriver bystander(sys.sim(), sys.client(NodeId{2}, group), "inc",
+                           CounterServant::encode_i32(1), kBystanderRate, 0xB57);
+  OpenLoopDriver slow(sys.sim(), sys.client(NodeId{2}, group), "get", {}, kSlowRate, 0x510);
+  bystander.start();
+  slow.start();
+  sys.run_for(kRun);
+  bystander.stop();
+  slow.stop();
+  // Drain the whole backlog so queued bystanders count in the percentile —
+  // cutting them off would hide exactly the tail this scenario measures.
+  const bool drained = sys.run_until(
+      [&] { return bystander.in_flight() == 0 && slow.in_flight() == 0; },
+      Duration(5'000'000'000));
+
+  ExecRow row{};
+  row.bystander_achieved = static_cast<double>(bystander.completed()) /
+                           (static_cast<double>(kRun.count()) / 1e9);
+  row.bystander_mean_ms = bench::to_ms(bystander.latency().mean());
+  row.bystander_p95_ms = bench::to_ms(bystander.latency().percentile(95));
+  row.bystander_p99_ms = bench::to_ms(bystander.latency().percentile(99));
+  row.slow_p99_ms = bench::to_ms(slow.latency().percentile(99));
+  row.backlog = bystander.in_flight() + slow.in_flight();
+  row.drained = drained;
+  return row;
+}
+
 void print_row(const char* label, const Row& r) {
   std::printf("%12s %10.0f %10.0f %9.3f %9.3f %9.3f %9.3f %9llu\n", label, r.offered,
               r.achieved, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
@@ -175,5 +245,40 @@ int main(int argc, char** argv) {
               "past saturation the open-loop backlog and p99 blow up identically —\n"
               "the group communication layer is not the bottleneck.\n");
   results.write_file("BENCH_throughput.json");
+
+  // Slow-servant head-of-line scenario: sync upcalls vs the FOM engine.
+  // Runs in smoke mode too — the acceptance gate reads BENCH_exec_engine.json.
+  std::printf("\nslow-servant head-of-line (50 ms op every ~100 ms + 400 us bystanders):\n");
+  std::printf("%12s %12s %9s %9s %9s %9s %9s\n", "mode", "bystander/s", "mean_ms",
+              "p95_ms", "p99_ms", "slow_p99", "backlog");
+  bench::BenchResultWriter exec_results("exec_engine");
+  auto emit_exec = [&](const char* mode, const ExecRow& r) {
+    std::printf("%12s %12.0f %9.3f %9.3f %9.3f %9.3f %9llu\n", mode,
+                r.bystander_achieved, r.bystander_mean_ms, r.bystander_p95_ms,
+                r.bystander_p99_ms, r.slow_p99_ms,
+                static_cast<unsigned long long>(r.backlog));
+    exec_results.row()
+        .col("mode", mode)
+        .col("bystander_achieved_per_s", r.bystander_achieved)
+        .col("bystander_mean_ms", r.bystander_mean_ms)
+        .col("bystander_p95_ms", r.bystander_p95_ms)
+        .col("bystander_p99_ms", r.bystander_p99_ms)
+        .col("slow_p99_ms", r.slow_p99_ms)
+        .col("backlog", r.backlog)
+        .col("drained", std::uint64_t{r.drained ? 1u : 0u});
+  };
+  const ExecRow sync_row = run_slow_servant(/*engine=*/false);
+  const ExecRow fom_row = run_slow_servant(/*engine=*/true);
+  emit_exec("sync", sync_row);
+  emit_exec("fom", fom_row);
+  const double ratio = sync_row.bystander_p99_ms > 0.0
+                           ? fom_row.bystander_p99_ms / sync_row.bystander_p99_ms
+                           : 0.0;
+  exec_results.row().col("mode", "ratio").col("bystander_p99_fom_over_sync", ratio);
+  std::printf("bystander p99 ratio fom/sync = %.3f (engine overlaps the slow op;\n"
+              "the reply sequencer bounds bystanders by the remaining slow-op time,\n"
+              "while the sync path's run-queue backlog diverges)\n",
+              ratio);
+  exec_results.write_file("BENCH_exec_engine.json");
   return 0;
 }

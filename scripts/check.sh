@@ -25,6 +25,12 @@ echo "== chaos scenario matrix (smoke) =="
 # (bench_chaos exits non-zero on a violation or a hung recovery).
 (cd build && ./bench/bench_chaos --smoke)
 
+echo
+echo "== exec-engine slow-servant bench (smoke) =="
+# Sync-vs-FOM head-of-line row; writes BENCH_exec_engine.json next to the
+# other BENCH_* artifacts (acceptance: fom bystander p99 < 0.5x sync).
+(cd build && ./bench/bench_throughput --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "check.sh: tier-1 gate passed (sanitizer stage skipped)"
   exit 0
@@ -35,12 +41,16 @@ echo "== ASan/UBSan: obs + core suites =="
 cmake -B build-asan -S . -DETERNAL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS" --target \
   obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test \
-  batching_equivalence_test
-for t in obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test; do
+  batching_equivalence_test exec_conformance_test chaos_script_test fleet_stats_test
+for t in obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test \
+         chaos_script_test fleet_stats_test; do
   "build-asan/tests/$t"
 done
 # Batch packing/unpacking moves raw payload bytes on the hot path; run the
 # fast ordering-equivalence seeds under the sanitizers too.
 "build-asan/tests/batching_equivalence_test" --gtest_filter='BatchingEquivalenceFast.*'
+# FOM engine conformance: the fast seeds exercise the full enqueue/phase/
+# reply-sequencer machinery (including the overlap scenario) under ASan/UBSan.
+"build-asan/tests/exec_conformance_test" --gtest_filter='ExecConformanceFast.*'
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,53 @@
+#include "core/exec/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace eternal::core::exec {
+
+Fom& ReplicaEngine::admit(util::GroupId client_group, std::uint64_t op_seq,
+                          const orb::Endpoint& reply_to, bool response_expected) {
+  Fom fom;
+  fom.position = next_position_++;
+  fom.phase = FomPhase::kDecode;
+  fom.client_group = client_group;
+  fom.op_seq = op_seq;
+  fom.reply_to = reply_to;
+  fom.response_expected = response_expected;
+  inflight_.push_back(fom);
+  stats_.admitted += 1;
+  stats_.max_inflight = std::max(stats_.max_inflight, inflight_.size());
+  return inflight_.back();
+}
+
+Fom* ReplicaEngine::match(const orb::Endpoint& reply_to, std::uint64_t op_seq) {
+  for (Fom& fom : inflight_) {
+    if (fom.response_expected && fom.reply_to == reply_to && fom.op_seq == op_seq) {
+      return &fom;
+    }
+  }
+  return nullptr;
+}
+
+Fom* ReplicaEngine::find(std::uint64_t position) {
+  for (Fom& fom : inflight_) {
+    if (fom.position == position) return &fom;
+  }
+  return nullptr;
+}
+
+void ReplicaEngine::finish(std::uint64_t position, std::function<void()> emit) {
+  inflight_.remove_if([position](const Fom& f) { return f.position == position; });
+  if (position != next_retire_) stats_.replies_parked += 1;
+  parked_.emplace(position, std::move(emit));
+  stats_.max_parked = std::max(stats_.max_parked, parked_.size());
+  while (!parked_.empty() && parked_.begin()->first == next_retire_) {
+    std::function<void()> fn = std::move(parked_.begin()->second);
+    parked_.erase(parked_.begin());
+    next_retire_ += 1;
+    stats_.retired += 1;
+    if (fn) fn();
+  }
+}
+
+}  // namespace eternal::core::exec

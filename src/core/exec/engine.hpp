@@ -1,0 +1,78 @@
+// Per-replica locality scheduler for request FOMs: admission slots, the
+// position allocator, and the in-order reply sequencer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+
+#include "core/exec/fom.hpp"
+
+namespace eternal::core::exec {
+
+/// Drains one replica's run queue through the FOM phase table.
+///
+/// Admission: at most `concurrency` FOMs are in flight; positions are
+/// assigned at admission, so position order equals run-queue (total-order)
+/// order and is gap-free across every admitted FOM.
+///
+/// Retirement: `finish(position, emit)` frees the slot immediately (later
+/// requests may start executing) but runs `emit` — the reply multicast —
+/// only when every earlier position has emitted. Out-of-order completions
+/// park; the completion of the blocking position flushes them in order.
+class ReplicaEngine {
+ public:
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t replies_parked = 0;  ///< completed out of order, held for position
+    std::size_t max_inflight = 0;
+    std::size_t max_parked = 0;
+  };
+
+  explicit ReplicaEngine(std::size_t concurrency)
+      : concurrency_(concurrency == 0 ? 1 : concurrency) {}
+
+  ReplicaEngine(const ReplicaEngine&) = delete;
+  ReplicaEngine& operator=(const ReplicaEngine&) = delete;
+
+  std::size_t concurrency() const noexcept { return concurrency_; }
+  std::size_t inflight() const noexcept { return inflight_.size(); }
+  std::size_t parked() const noexcept { return parked_.size(); }
+  bool can_admit() const noexcept { return inflight_.size() < concurrency_; }
+  /// No FOM executing and no reply parked: the replica is quiescent from the
+  /// engine's point of view (state-op barrier condition).
+  bool idle() const noexcept { return inflight_.empty() && parked_.empty(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Admits the next run-queue item as a FOM. Pre: can_admit().
+  Fom& admit(util::GroupId client_group, std::uint64_t op_seq,
+             const orb::Endpoint& reply_to, bool response_expected);
+
+  /// The in-flight FOM a captured reply belongs to, by the ORB-visible
+  /// (reply endpoint, request id) pair; nullptr when none matches.
+  Fom* match(const orb::Endpoint& reply_to, std::uint64_t op_seq);
+
+  /// The in-flight FOM at `position` (oneway grace retirement), or nullptr.
+  Fom* find(std::uint64_t position);
+
+  /// Removes `position` from the in-flight set and sequences `emit`: runs it
+  /// now if every earlier position already emitted, otherwise parks it. A
+  /// null emit retires silently (oneways, discarded items) but still
+  /// advances the cursor so later replies are not stuck behind it.
+  void finish(std::uint64_t position, std::function<void()> emit);
+
+  void retire_immediate(std::uint64_t position) { finish(position, nullptr); }
+
+ private:
+  std::size_t concurrency_;
+  std::uint64_t next_position_ = 0;  ///< assigned at admission
+  std::uint64_t next_retire_ = 0;    ///< lowest position not yet emitted
+  std::list<Fom> inflight_;
+  std::map<std::uint64_t, std::function<void()>> parked_;
+  Stats stats_;
+};
+
+}  // namespace eternal::core::exec

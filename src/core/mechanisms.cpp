@@ -247,6 +247,10 @@ void Mechanisms::do_launch(GroupId group, ReplicaId id, bool as_recovering) {
   replica->group = group;
   replica->servant = fit->second();
   replica->launched_at = sim_.now();
+  if (config_.exec_engine) {
+    replica->engine = std::make_unique<exec::ReplicaEngine>(
+        std::max<std::size_t>(1, config_.exec_concurrency));
+  }
   tap_.orb().root_poa().activate(entry->desc.object_id, replica->servant,
                                  entry->desc.type_id);
 
@@ -287,6 +291,10 @@ void Mechanisms::kill_replica(GroupId group) {
   r->busy = false;
   r->dispatch.reset();
   r->pending.clear();
+  // In-flight FOMs and parked replies die with the process; a relaunch gets
+  // a fresh engine (do_launch), so stale grace timers can never retire into
+  // the new incarnation (they check the replica id).
+  r->engine.reset();
   // The dead process's local request ids are meaningless now; the group-
   // level counters and handshake material survive in the mechanisms.
   for (auto& [key, conn] : outbound_) {
@@ -575,6 +583,9 @@ void Mechanisms::capture_reply(const orb::Endpoint& to, util::Bytes iiop,
     stats_.replies_unmatched_dropped += 1;
     return;
   }
+  // FOM mode: match against the in-flight FOMs first; state-op dispatches
+  // (which still use r.dispatch even in engine mode) fall through below.
+  if (engine_capture_reply(to, iiop, info)) return;
   for (auto& [gid, replica] : replicas_) {
     LocalReplica& r = *replica;
     if (!r.dispatch.has_value()) continue;

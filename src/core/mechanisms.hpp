@@ -36,6 +36,7 @@
 #include <unordered_map>
 
 #include "core/envelope.hpp"
+#include "core/exec/engine.hpp"
 #include "core/group_table.hpp"
 #include "core/message_log.hpp"
 #include "core/seq_window.hpp"
@@ -91,6 +92,20 @@ struct MechanismsConfig {
   /// Chunks submitted to Totem before waiting for self-delivery (pipelining
   /// window of an in-progress chunked transfer).
   std::size_t state_chunk_window = 4;
+
+  // ---- non-blocking execution engine (off = seed synchronous upcalls) ----
+  /// Run delivered requests as run-to-completion FOMs: agreed delivery only
+  /// enqueues at the total-order position; a per-replica engine drains the
+  /// run queue through explicit phases and emits replies strictly in
+  /// total-order position (src/core/exec/). With exec_concurrency == 1 the
+  /// observable behaviour is identical to the synchronous path — proven by
+  /// tests/core/exec_conformance_test.cpp.
+  bool exec_engine = false;
+  /// Execution FOMs admitted concurrently per replica. Values > 1 require
+  /// the hosting ORB to admit as many POA dispatches per object
+  /// (OrbConfig::poa_max_inflight), otherwise admitted FOMs just queue
+  /// inside the POA.
+  std::size_t exec_concurrency = 1;
 };
 
 /// Behaviour counters (consumed by tests and the benchmark harness).
@@ -224,6 +239,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   /// Mutable access for chaos fault injection (StableStorage::inject_faults).
   class StableStorage* storage() noexcept { return storage_.get(); }
 
+  /// The execution engine of the local replica of `group`; nullptr when the
+  /// engine is disabled or no replica is hosted here (tests/benches).
+  const exec::ReplicaEngine* engine_of(GroupId group) const;
+
   /// True when this node hosts a replica of `group` in the given phase.
   bool hosts_operational(GroupId group) const;
   bool hosts_recovering(GroupId group) const;
@@ -284,6 +303,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
     std::shared_ptr<orb::Servant> servant;
     Phase phase = Phase::kRecovering;
     bool busy = false;
+    /// FOM engine (config.exec_engine): drains `pending` through the phase
+    /// table while kOperational. Null in sync mode; dies with the replica,
+    /// so a relaunched incarnation always starts from an empty engine.
+    std::unique_ptr<exec::ReplicaEngine> engine;
     std::deque<QueueItem> pending;
     std::optional<CurrentDispatch> dispatch;
     util::TimePoint launched_at{};
@@ -343,6 +366,19 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   void deliver_checkpoint(const Envelope& e);
   void deliver_control(const Envelope& e);
   void react(const std::vector<TableEvent>& events);
+
+  // ---- FOM execution engine (mechanisms_exec.cpp) ----
+  /// Engine-mode pump: pops run-queue items while admission slots are free;
+  /// state ops wait for the engine to drain (exclusive barrier) and then
+  /// take the classic busy/dispatch path.
+  void engine_pump(LocalReplica& r);
+  /// Decode phase + injection of one popped request as a FOM.
+  void engine_admit(LocalReplica& r, const QueueItem& item);
+  /// Matches a captured servant reply against the in-flight FOMs of
+  /// engine-enabled replicas; on a match the reply is sequenced through the
+  /// in-order emitter. Returns true when consumed.
+  bool engine_capture_reply(const orb::Endpoint& to, util::Bytes& iiop,
+                            const giop::Inspection& info);
 
   // ---- per-replica queue pump (quiescence-gated delivery) ----
   /// Records a request joining a replica's execution order — from the live

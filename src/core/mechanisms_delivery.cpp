@@ -926,6 +926,13 @@ void Mechanisms::trace_enqueue(const LocalReplica& r, const Envelope& e) {
 }
 
 void Mechanisms::pump(LocalReplica& r) {
+  // FOM mode: an operational replica drains its run queue through the
+  // execution engine (mechanisms_exec.cpp). Every other phase — recovery,
+  // backup log absorption, promotion replay — keeps the classic path.
+  if (r.engine != nullptr && r.phase == Phase::kOperational) {
+    engine_pump(r);
+    return;
+  }
   // Passive backups never execute queued requests; anything a freshly
   // recovered backup accumulated belongs in the message log (§3.3).
   if (r.phase == Phase::kBackup && !r.pending.empty()) {

@@ -1,0 +1,181 @@
+// FOM execution engine integration (MechanismsConfig::exec_engine).
+//
+// The sync path (mechanisms_delivery.cpp) serializes a replica with one
+// `busy` flag: pump() pops a run-queue item, upcalls the servant, and pops
+// the next only after the reply is captured. Here pump() routes to
+// engine_pump() instead: items still pop strictly in run-queue order (the
+// total order), but each request becomes a FOM with its own admission slot,
+// so a stalled servant operation no longer blocks the items behind it.
+// Replies are sequenced by exec::ReplicaEngine so they are emitted in
+// total-order position regardless of completion order.
+//
+// Equivalence contract: with exec_concurrency == 1 every side effect below
+// happens at the same virtual instant, in the same order, as the sync path —
+// the conformance harness (tests/core/exec_conformance_test.cpp) holds the
+// two modes to byte-identical delivery streams. State operations
+// (get_state/set_state) remain exclusive barriers in both modes because the
+// published state piggybacks ORB/infra snapshots that are only consistent
+// when no FOM is mid-execution.
+#include "core/checkpointable.hpp"
+#include "core/mechanisms.hpp"
+#include "obs/spans.hpp"
+#include "util/log.hpp"
+
+namespace eternal::core {
+
+const exec::ReplicaEngine* Mechanisms::engine_of(GroupId group) const {
+  const LocalReplica* r = local_replica(group);
+  return r == nullptr ? nullptr : r->engine.get();
+}
+
+void Mechanisms::engine_pump(LocalReplica& r) {
+  exec::ReplicaEngine& engine = *r.engine;
+  while (!r.busy && !r.pending.empty() && r.phase == Phase::kOperational) {
+    // State ops need the engine drained (exclusive barrier); everything else
+    // needs a free admission slot. At concurrency 1 both conditions reduce
+    // to the sync path's !busy, so pop instants match exactly.
+    const bool admissible = r.pending.front().kind == QueueItem::Kind::kGetState
+                                ? engine.idle()
+                                : engine.can_admit();
+    if (!admissible) return;
+    QueueItem item = std::move(r.pending.front());
+    r.pending.pop_front();
+    if (obs::SpanStore* spans = rec_.spans()) {
+      spans->recovery().replayed_one(r.group, r.id, sim_.now());
+    }
+    switch (item.kind) {
+      case QueueItem::Kind::kRequest:
+        engine_admit(r, item);
+        break;
+      case QueueItem::Kind::kGetState:
+        // Classic exclusive dispatch: r.busy gates the queue until the
+        // published state's reply lands at the recovery endpoint.
+        inject_get_state(r, item.env);
+        break;
+      case QueueItem::Kind::kSetStateDiscard:
+        stats_.set_state_discarded_at_existing += 1;
+        break;
+    }
+  }
+}
+
+void Mechanisms::engine_admit(LocalReplica& r, const QueueItem& item) {
+  const Envelope& e = item.env;
+
+  // ---- decode: the agreed envelope becomes a GIOP request again.
+  std::optional<giop::Inspection> info = giop::inspect(e.payload);
+  if (!info) return;
+  const orb::Endpoint from = orb::group_endpoint(e.client_group);
+
+  obs::SpanStore* const spans = rec_.spans();
+  if (spans != nullptr && item.span != 0) spans->end(item.span, sim_.now());
+
+  if (info->has_context(giop::kVendorHandshakeContextId)) {
+    // Handshakes are served inside the ORB and never occupy a FOM slot
+    // (same as the sync path: they do not make the object busy).
+    handshake_flights_[std::make_pair(from, info->request_id)] =
+        HandshakeFlight{r.group, /*replay=*/false};
+    tap_.inject(from, e.payload);
+    return;
+  }
+
+  stats_.requests_delivered += 1;
+  ctr_requests_injected_.add();
+
+  exec::Fom& fom =
+      r.engine->admit(e.client_group, e.op_seq, from, info->response_expected);
+  if (rec_.tracing()) {
+    rec_.record(node_, obs::Layer::kMech, "request_inject", e.op_seq,
+                "group=" + std::to_string(r.group.value) +
+                    " replica=" + std::to_string(r.id.value) +
+                    " client=" + std::to_string(e.client_group.value) +
+                    " op_seq=" + std::to_string(e.op_seq) +
+                    " fom_pos=" + std::to_string(fom.position) +
+                    " fom_phase=" + exec::to_string(fom.phase));
+  }
+  if (spans != nullptr && item.trace != 0 && info->response_expected) {
+    fom.trace = item.trace;
+    const obs::SpanId parent = spans->find_named(item.trace, "invocation");
+    // Zero-length decode marker plus the open execute span: the per-phase
+    // breakdown the critical-path analysis attributes stall time with.
+    const obs::SpanId decode =
+        spans->begin(item.trace, parent, node_, obs::Layer::kMech, "fom-decode",
+                     sim_.now(), "pos=" + std::to_string(fom.position));
+    spans->end(decode, sim_.now());
+    fom.exec_span = spans->begin(item.trace, parent, node_, obs::Layer::kOrb,
+                                 "execute", sim_.now(),
+                                 "replica=" + std::to_string(r.id.value));
+  }
+  fom.phase = exec::FomPhase::kExecute;
+  tap_.inject(from, e.payload);
+  if (info->response_expected) return;
+
+  // Oneway: no reply will ever match this FOM. The slot is held for the
+  // quiescence grace period (§5), then the FOM retires at its position so
+  // later replies are not stuck behind it.
+  const GroupId group = r.group;
+  const ReplicaId incarnation = r.id;
+  const std::uint64_t position = fom.position;
+  sim_.schedule(config_.oneway_grace, [this, group, incarnation, position] {
+    LocalReplica* replica = local_replica(group);
+    if (replica == nullptr || replica->id != incarnation ||
+        replica->engine == nullptr) {
+      return;
+    }
+    if (exec::Fom* f = replica->engine->find(position)) {
+      f->phase = exec::FomPhase::kDone;
+      replica->engine->retire_immediate(position);
+      pump(*replica);
+    }
+  });
+}
+
+bool Mechanisms::engine_capture_reply(const orb::Endpoint& to, util::Bytes& iiop,
+                                      const giop::Inspection& info) {
+  for (auto& [gid, replica] : replicas_) {
+    LocalReplica& r = *replica;
+    if (r.engine == nullptr) continue;
+    exec::Fom* fom = r.engine->match(to, info.request_id);
+    if (fom == nullptr) continue;
+
+    Envelope e;
+    e.kind = EnvelopeKind::kReply;
+    e.client_group = fom->client_group;
+    e.target_group = r.group;
+    e.op_seq = fom->op_seq;
+    e.payload = std::move(iiop);
+
+    obs::SpanStore* const spans = rec_.spans();
+    const std::uint64_t trace = fom->trace;
+    const ReplicaId incarnation = r.id;
+    // ---- log: the operation's effect is on record (under active
+    // replication a zero-cost hop; passive logging happened at delivery).
+    fom->phase = exec::FomPhase::kLog;
+    if (spans != nullptr && trace != 0) {
+      if (fom->exec_span != 0) spans->end(fom->exec_span, sim_.now());
+      const obs::SpanId parent = spans->find_named(trace, "invocation");
+      const obs::SpanId log_span =
+          spans->begin(trace, parent, node_, obs::Layer::kMech, "fom-log",
+                       sim_.now(), "pos=" + std::to_string(fom->position));
+      spans->end(log_span, sim_.now());
+      e.payload = giop::with_trace_context(e.payload, trace);
+    }
+    // ---- reply: built and handed to the sequencer; emitted now if this is
+    // the lowest outstanding position, parked otherwise.
+    fom->phase = exec::FomPhase::kReply;
+    r.engine->finish(
+        fom->position, [this, envelope = std::move(e), trace, incarnation]() mutable {
+          if (obs::SpanStore* s = rec_.spans(); s != nullptr && trace != 0) {
+            s->begin_named(trace, s->find_named(trace, "invocation"), node_,
+                           obs::Layer::kTotem, "reply", sim_.now(),
+                           "replica=" + std::to_string(incarnation.value));
+          }
+          multicast(envelope);
+        });
+    pump(r);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace eternal::core

@@ -30,8 +30,8 @@
 namespace eternal::obs {
 
 struct Violation {
-  /// event_index value for violations not tied to one event (e.g. the
-  /// post-scan replay-order rule, or "trace-dropped").
+  /// event_index value for violations not tied to one event
+  /// (e.g. "trace-dropped").
   static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
 
   std::string rule;     ///< e.g. "delivery-gap", "duplicate-op"
@@ -39,6 +39,12 @@ struct Violation {
   /// Index into the checked event snapshot of the event that tripped the
   /// rule; lets reports show the surrounding stream (report_with_context).
   std::size_t event_index = kNoIndex;
+  /// Execution phase of the offending operation when known: the FOM phase
+  /// recorded at injection ("decode"/"execute"/...) under the execution
+  /// engine, "sync-upcall" for the synchronous path. Empty when the rule has
+  /// no per-operation context. Replay-order violations always set this, so
+  /// an execution/delivery interleaving bug names the phase it surfaced in.
+  std::string phase;
 };
 
 /// Splits a "k1=v1 k2=v2" detail string into a lookup map. Tokens without

@@ -365,6 +365,20 @@ std::string FlightRecorder::to_json() const {
   w.field("spans_dropped", spans_ != nullptr ? spans_->dropped() : 0);
   w.end_object();
 
+  w.key("violations");
+  w.begin_array();
+  for (const Violation& v : violations_) {
+    w.begin_object();
+    w.field("rule", v.rule);
+    w.field("message", v.message);
+    if (v.event_index != Violation::kNoIndex) {
+      w.field("event_index", static_cast<std::uint64_t>(v.event_index));
+    }
+    if (!v.phase.empty()) w.field("phase", v.phase);
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("events");
   w.begin_array();
   if (trace_ != nullptr) {
@@ -404,6 +418,17 @@ bool FlightRecorder::write_file(const std::string& path) const {
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   std::fclose(f);
   return ok;
+}
+
+std::string FlightRecorder::unique_path(const std::string& base) {
+  static std::map<std::string, unsigned> runs;  // per-process run counter
+  const unsigned run = ++runs[base];
+  if (run == 1) return base;
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    return base + "." + std::to_string(run);
+  }
+  return base.substr(0, dot) + "." + std::to_string(run) + base.substr(dot);
 }
 
 }  // namespace eternal::obs

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/invariants.hpp"
 #include "obs/trace.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -248,16 +249,33 @@ class FlightRecorder {
                  std::size_t last_n = 512)
       : trace_(trace), spans_(spans), last_n_(last_n) {}
 
-  /// {"flight_recorder":{...},"events":[last N],"spans":[last N]}.
+  /// Embeds the violations that triggered this dump: the JSON gains a
+  /// "violations" array (rule, message, event_index, phase), so a flight
+  /// file is self-describing — the offending event index and the FOM phase
+  /// it was executing in travel with the stream excerpt.
+  void attach_violations(std::vector<Violation> violations) {
+    violations_ = std::move(violations);
+  }
+
+  /// {"flight_recorder":{...},"violations":[...],"events":[last N],
+  ///  "spans":[last N]}.
   std::string to_json() const;
 
   /// to_json() + write to `path`. Returns whether the write succeeded.
   bool write_file(const std::string& path) const;
 
+  /// Collision-free dump path: the first request for `base` in this process
+  /// returns it unchanged; every repeat returns "<stem>.<run>.<ext>"
+  /// ("flight_chaos_x.json", "flight_chaos_x.2.json", ...). Scenarios run
+  /// twice in one process (reruns, parameter sweeps) no longer overwrite
+  /// their earlier dump.
+  static std::string unique_path(const std::string& base);
+
  private:
   const TraceBuffer* trace_;
   const SpanStore* spans_;
   std::size_t last_n_;
+  std::vector<Violation> violations_;
 };
 
 }  // namespace eternal::obs

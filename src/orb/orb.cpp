@@ -153,7 +153,7 @@ bool Poa::is_active(const std::string& object_id) const {
 std::size_t Poa::busy_objects() const {
   std::size_t n = 0;
   for (const auto& [key, obj] : objects_) {
-    if (obj.busy) ++n;
+    if (obj.inflight > 0) ++n;
   }
   return n;
 }
@@ -177,37 +177,89 @@ void Poa::dispatch(const Endpoint& from, giop::Request request) {
     return;
   }
   ActiveObject& obj = it->second;
-  if (obj.busy) {
-    // SINGLE_THREAD_MODEL: serialize invocations per object.
+  const std::size_t max_inflight =
+      std::max<std::size_t>(1, orb_.config().poa_max_inflight);
+  if (obj.inflight >= max_inflight) {
+    // SINGLE_THREAD_MODEL (max_inflight == 1) or a full admission window:
+    // serialize the overflow per object.
     obj.queue.push_back(PendingDispatch{from, std::move(request)});
     return;
   }
-  obj.busy = true;
+  obj.inflight += 1;
+  const std::uint64_t ticket = obj.next_ticket++;
 
   const std::uint32_t request_id = request.request_id;
   const bool response_expected = request.response_expected;
   const Endpoint reply_to = from;
-  auto completion = [this, key, request_id, response_expected, reply_to](
+  auto completion = [this, key, ticket, request_id, response_expected, reply_to](
                         bool user_exception, util::Bytes body) {
     if (response_expected) {
       orb_.send_reply(reply_to, request_id, user_exception, std::move(body));
     }
-    run_next(key);
+    finish_ticket(key, ticket);
   };
   orb_.stats_.requests_dispatched += 1;
   auto server_request = std::make_shared<ServerRequest>(
       std::move(request.operation), std::move(request.body), std::move(completion));
+  // The gate keeps overlapped invocations' state mutations in admission
+  // order: a servant that wraps its body in run_when_clear executes only
+  // when every earlier admitted invocation has completed.
+  server_request->set_execution_gate(
+      [this, key, ticket](std::function<void()> body) {
+        gate_run(key, ticket, std::move(body));
+      });
   obj.servant->invoke(std::move(server_request));
 }
 
-void Poa::run_next(const std::string& key) {
+void Poa::finish_ticket(const std::string& key, std::uint64_t ticket) {
   auto it = objects_.find(key);
   if (it == objects_.end()) return;  // deactivated mid-flight
-  it->second.busy = false;
-  if (it->second.queue.empty()) return;
-  PendingDispatch next = std::move(it->second.queue.front());
-  it->second.queue.pop_front();
-  dispatch(next.from, std::move(next.request));
+  ActiveObject& obj = it->second;
+  if (obj.inflight > 0) obj.inflight -= 1;
+  obj.completed.insert(ticket);
+  while (obj.completed.erase(obj.next_gate) != 0) obj.next_gate += 1;
+  if (!obj.queue.empty() &&
+      obj.inflight < std::max<std::size_t>(1, orb_.config().poa_max_inflight)) {
+    PendingDispatch next = std::move(obj.queue.front());
+    obj.queue.pop_front();
+    dispatch(next.from, std::move(next.request));
+  }
+  drain_gate(key);
+}
+
+void Poa::gate_run(const std::string& key, std::uint64_t ticket,
+                   std::function<void()> body) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    body();  // deactivated mid-flight: nothing left to order against
+    return;
+  }
+  ActiveObject& obj = it->second;
+  if (ticket != obj.next_gate) {
+    obj.parked.emplace(ticket, std::move(body));
+    return;
+  }
+  body();
+}
+
+void Poa::drain_gate(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return;
+  ActiveObject& obj = it->second;
+  auto ready = obj.parked.find(obj.next_gate);
+  if (ready == obj.parked.end()) return;
+  // One parked body per simulator event: a long stall releasing a backlog
+  // drains deterministically (FIFO at this instant) without re-entrancy.
+  orb_.sim_.defer([this, key] {
+    auto it2 = objects_.find(key);
+    if (it2 == objects_.end()) return;
+    ActiveObject& obj2 = it2->second;
+    auto front = obj2.parked.find(obj2.next_gate);
+    if (front == obj2.parked.end()) return;
+    std::function<void()> body = std::move(front->second);
+    obj2.parked.erase(front);
+    body();
+  });
 }
 
 // ------------------------------------------------------------------------ Orb

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -60,6 +62,12 @@ struct OrbConfig {
   bool vendor_shortcuts = true;  ///< negotiate short keys with same-vendor peers
   util::Duration dispatch_overhead = util::Duration(10'000);  ///< 10 us per message
   std::uint16_t port = 2809;
+  /// POA dispatches admitted concurrently per object. 1 models the CORBA
+  /// SINGLE_THREAD_MODEL default (the seed behaviour). Larger values admit
+  /// several invocations whose modelled execution overlaps; their bodies
+  /// still run in admission-ticket order (see ServerRequest::run_when_clear),
+  /// so state mutations and replies keep the serialized order.
+  std::size_t poa_max_inflight = 1;
 };
 
 /// Externally observable ORB behaviour counters. The discard counters are
@@ -130,12 +138,23 @@ class Poa {
   struct ActiveObject {
     std::shared_ptr<Servant> servant;
     std::string type_id;
-    bool busy = false;
+    std::size_t inflight = 0;        ///< admitted, not yet completed
+    std::uint64_t next_ticket = 0;   ///< admission order of dispatches
+    std::uint64_t next_gate = 0;     ///< lowest ticket not yet completed
+    std::set<std::uint64_t> completed;  ///< completed out of ticket order
+    std::map<std::uint64_t, std::function<void()>> parked;  ///< gated bodies
     std::deque<PendingDispatch> queue;
   };
 
   void dispatch(const Endpoint& from, giop::Request request);
-  void run_next(const std::string& key);
+  /// Completion of the dispatch holding `ticket`: frees its admission slot,
+  /// admits queued work, advances the execution gate past every
+  /// consecutively completed ticket and releases parked bodies.
+  void finish_ticket(const std::string& key, std::uint64_t ticket);
+  /// Runs `body` if `ticket` is the execution front, parks it otherwise.
+  void gate_run(const std::string& key, std::uint64_t ticket,
+                std::function<void()> body);
+  void drain_gate(const std::string& key);
 
   Orb& orb_;
   std::unordered_map<std::string, ActiveObject> objects_;

@@ -29,6 +29,25 @@ class ServerRequest {
   const std::string& operation() const noexcept { return operation_; }
   const util::Bytes& args() const noexcept { return args_; }
 
+  using ExecutionGate = std::function<void(std::function<void()>)>;
+
+  /// Installed by the POA before invoke(): defers a body passed to
+  /// run_when_clear() until every invocation admitted earlier on the same
+  /// object has completed, so overlapped dispatches mutate state in
+  /// admission order. Absent a gate, bodies run immediately.
+  void set_execution_gate(ExecutionGate gate) { gate_ = std::move(gate); }
+
+  /// Runs `body` once this request reaches the front of its object's
+  /// admission order (immediately when no gate is installed). Servants with
+  /// order-sensitive state run their serve+reply step through this.
+  void run_when_clear(std::function<void()> body) {
+    if (gate_) {
+      gate_(std::move(body));
+    } else {
+      body();
+    }
+  }
+
   /// Completes the invocation normally with an encoded result.
   void reply(util::Bytes result) { complete(false, std::move(result)); }
 
@@ -48,6 +67,7 @@ class ServerRequest {
   std::string operation_;
   util::Bytes args_;
   CompletionFn on_complete_;
+  ExecutionGate gate_;
   bool completed_ = false;
 };
 

@@ -24,15 +24,20 @@ class SyncServant : public Servant {
 
   void invoke(ServerRequestPtr request) final {
     const util::Duration delay = execution_time(request->operation());
+    // The modelled execution runs for `delay`, then the serve+reply step
+    // waits for the POA's execution gate: overlapped invocations (POA
+    // admission window > 1) still mutate state in admission order.
     sim_.schedule(delay, [this, request] {
-      try {
-        request->reply(serve(request->operation(), request->args()));
-      } catch (const UserException& ex) {
-        util::CdrWriter w;
-        w.put_u8(static_cast<std::uint8_t>(w.order()));
-        w.put_string(ex.repository_id);
-        request->reply_exception(std::move(w).take());
-      }
+      request->run_when_clear([this, request] {
+        try {
+          request->reply(serve(request->operation(), request->args()));
+        } catch (const UserException& ex) {
+          util::CdrWriter w;
+          w.put_u8(static_cast<std::uint8_t>(w.order()));
+          w.put_string(ex.repository_id);
+          request->reply_exception(std::move(w).take());
+        }
+      });
     });
   }
 

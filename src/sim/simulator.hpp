@@ -55,6 +55,14 @@ class Simulator {
   /// Schedules `fn` at an absolute instant (clamped to `now()`).
   EventId schedule_at(TimePoint when, std::function<void()> fn);
 
+  /// Schedules `fn` at the current instant, after every event already queued
+  /// for now() (the FIFO tie-break). The deterministic yield point the
+  /// execution engine uses to drain a backlog of parked work one event at a
+  /// time instead of recursing through it.
+  EventId defer(std::function<void()> fn) {
+    return schedule(Duration(0), std::move(fn));
+  }
+
   /// Cancels a pending event; cancelling an already-fired or unknown event
   /// is a harmless no-op (the common race with timeouts).
   void cancel(EventId id);

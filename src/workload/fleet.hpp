@@ -19,6 +19,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -75,6 +76,14 @@ class FleetDriver {
     schedule_next();
   }
   void stop() { running_ = false; }
+
+  /// Test seam: when set, fire_one() reports each logical operation to the
+  /// probe instead of invoking its targets. The arrival process and target
+  /// sampling run unchanged — same RNG draws, same bookkeeping — so their
+  /// statistics are testable without a deployed System (the target refs may
+  /// then be placeholder ObjectRefs; they are never dereferenced).
+  using SendProbe = std::function<void(std::size_t target_index, util::TimePoint at)>;
+  void set_send_probe(SendProbe probe) { probe_ = std::move(probe); }
 
   const LatencyProfile& latency() const noexcept { return latency_; }
   std::uint64_t sent() const noexcept { return sent_; }
@@ -133,6 +142,10 @@ class FleetDriver {
     const std::size_t first = sample_target();
     per_target_[first] += 1;
     ++sent_;
+    if (probe_) {
+      probe_(first, sim_.now());
+      return;
+    }
 
     const std::size_t legs =
         std::min(std::max<std::size_t>(1, config_.fanout), targets_.size());
@@ -163,6 +176,7 @@ class FleetDriver {
   std::uint64_t sent_ = 0;
   std::uint64_t next_op_ = 0;
   LatencyProfile latency_;
+  SendProbe probe_;
   std::vector<std::uint64_t> per_target_;
   std::vector<double> cumulative_;
   std::map<std::uint64_t, Pending> pending_;

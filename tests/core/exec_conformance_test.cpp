@@ -1,0 +1,436 @@
+// FOM execution-engine conformance harness (ISSUE 7 tentpole deliverable).
+//
+// The run-to-completion execution engine (MechanismsConfig::exec_engine,
+// src/core/exec/) restructures delivery: agreed messages only *enqueue* a
+// FOM at their total-order position, and a locality scheduler drains the
+// run queue through decode → execute → log → reply phases, emitting replies
+// strictly in total-order position even when execution completes out of
+// order. The refactor is only admissible if it is observationally invisible:
+// this harness replays the same seeded scenarios — clean, lossy, ring
+// reformation, chunked set_state recovery, and a chaos smoke — once with the
+// seed's synchronous upcall path and once with the engine, and requires
+//
+//   - byte-identical per-sender agreed-delivery streams at every node
+//     (sequence of frame digests from each origin, in delivery order);
+//   - with exec_concurrency == 1, the *interleaved* per-node delivery
+//     stream is byte-identical too (same frames, same total order, same
+//     ring sequence numbers — the engine changed nothing on the wire);
+//   - identical per-client reply ordering and reply bodies;
+//   - identical servant state digests (value / oneway notes / ops served)
+//     at every replica incarnation;
+//   - a clean InvariantChecker verdict in both modes.
+//
+// A slow-servant scenario additionally runs the engine with
+// exec_concurrency 4 (and a matching POA admission window): a stalling
+// operation overlaps with bystander requests, so completion order differs
+// from admission order and the in-order reply sequencer is load-bearing.
+// Wire-level interleaving may then legitimately shift, but per-sender
+// streams, per-client reply order and state digests must still match the
+// synchronous run. (The latency effect of that overlap — bystander p99 —
+// is measured in bench/bench_throughput.cpp, BENCH_exec_engine.json.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "obs/invariants.hpp"
+#include "sim/chaos.hpp"
+#include "support/counter_servant.hpp"
+
+namespace eternal {
+namespace {
+
+using core::FtProperties;
+using core::ReplicationStyle;
+using core::System;
+using core::SystemConfig;
+using test_support::CounterServant;
+using util::Duration;
+using util::GroupId;
+using util::NodeId;
+
+constexpr Duration kMs{1'000'000};
+
+enum class Scenario { kClean, kLossy, kReformation, kChunked, kChaos, kSlowServant };
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kClean: return "clean";
+    case Scenario::kLossy: return "lossy";
+    case Scenario::kReformation: return "reformation";
+    case Scenario::kChunked: return "chunked";
+    case Scenario::kChaos: return "chaos";
+    case Scenario::kSlowServant: return "slow-servant";
+  }
+  return "?";
+}
+
+/// Everything the two execution modes are compared on.
+struct Outcome {
+  /// node → full interleaved agreed-delivery stream (one entry per Totem
+  /// deliver event, all identity fields). Only compared at concurrency 1.
+  std::map<std::uint32_t, std::vector<std::string>> per_node;
+  /// (node, origin) → frame digest stream: what this node delivered from
+  /// that sender, in order. Frame packing is timing-sensitive (Totem
+  /// batching), so this is compared only at concurrency 1.
+  std::map<std::string, std::vector<std::string>> per_sender;
+  /// replica → "<client>#<op_seq>" run-queue stream (mech enqueue events):
+  /// the application-level per-sender delivery order. Compared in every
+  /// mode — overlapped execution must not reorder the total order.
+  std::map<std::string, std::vector<std::string>> enqueue_streams;
+  /// client tag → reply log in callback order ("<tag>#<i>:<op>=<result>").
+  std::map<std::string, std::vector<std::string>> replies;
+  /// One digest line per servant incarnation that finished the run live.
+  std::vector<std::string> servant_digests;
+  std::vector<obs::Violation> violations;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t engine_max_inflight = 0;  ///< from Mechanisms stats (FOM mode)
+  bool drained = false;
+};
+
+struct ModeConfig {
+  bool engine = false;
+  std::size_t concurrency = 1;
+};
+
+/// Decodes the reply body of a two-way counter op into a short tag.
+std::string reply_tag(const orb::ReplyOutcome& out) {
+  if (out.status != giop::ReplyStatus::kNoException) return "exception";
+  if (out.body.empty()) return "void";
+  return std::to_string(CounterServant::decode_i32(out.body));
+}
+
+/// Runs one scenario in one execution mode and extracts its Outcome.
+/// The scenario script (workload schedule, fault injections, drain
+/// predicates) is identical across modes by construction — only
+/// exec_engine / exec_concurrency / poa_max_inflight differ.
+Outcome run_scenario(Scenario scenario, ModeConfig mode, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.seed = seed;
+  cfg.trace_capacity = 1u << 18;
+  cfg.span_capacity = 1u << 14;  // exercise the per-phase FOM spans too
+  cfg.mechanisms.exec_engine = mode.engine;
+  cfg.mechanisms.exec_concurrency = mode.concurrency;
+  cfg.orb.poa_max_inflight = mode.concurrency;
+  if (scenario == Scenario::kChunked) cfg.mechanisms.state_chunk_bytes = 512;
+
+  System sys(cfg);
+  FtProperties props;
+  props.style = ReplicationStyle::kActive;
+  props.initial_replicas = 2;
+  props.minimum_replicas = 1;
+
+  const std::size_t pad = scenario == Scenario::kChunked ? 3000 : 0;
+  std::vector<std::shared_ptr<CounterServant>> servants(cfg.nodes + 1);
+  const GroupId server = sys.deploy(
+      "counter", "IDL:Counter:1.0", props, {NodeId{1}, NodeId{2}},
+      [&](NodeId n) {
+        auto s = std::make_shared<CounterServant>(sys.sim(), pad);
+        if (scenario == Scenario::kSlowServant) s->set_slow_op("get", 3 * kMs);
+        servants[n.value] = s;
+        return s;
+      });
+  sys.deploy_client("client-a", NodeId{3}, {server});
+  sys.deploy_client("client-b", NodeId{4}, {server});
+  orb::ObjectRef ref_a = sys.client(NodeId{3}, server);
+  orb::ObjectRef ref_b = sys.client(NodeId{4}, server);
+
+  Outcome out;
+  int expected = 0;
+  int replied = 0;
+  int notes = 0;
+  // Fires round i's operation on one client: a deterministic mix of two-way
+  // incs and (slow-able) gets with an occasional oneway note. Back-to-back
+  // rounds outpace the servant, so the run queue is never trivially empty.
+  auto fire = [&](const std::string& tag, orb::ObjectRef& ref, int i) {
+    if (i % 7 == 3) {
+      ref.oneway("note", {});
+      ++notes;
+      return;
+    }
+    const bool get = i % 5 == 2;
+    const std::string op = get ? "get" : "inc";
+    util::Bytes args = get ? util::Bytes{} : CounterServant::encode_i32(1 + i % 3);
+    ++expected;
+    ref.invoke(op, std::move(args), [&, tag, i, op](const orb::ReplyOutcome& reply) {
+      out.replies[tag].push_back(tag + "#" + std::to_string(i) + ":" + op + "=" +
+                                 reply_tag(reply));
+      ++replied;
+    });
+  };
+  auto fire_rounds = [&](int from, int to) {
+    for (int i = from; i < to; ++i) {
+      fire("a", ref_a, i);
+      fire("b", ref_b, i);
+      sys.run_for(2 * kMs);
+    }
+  };
+
+  sim::ChaosScript chaos(sys.sim(), std::string("conf_") + to_string(scenario));
+  switch (scenario) {
+    case Scenario::kLossy:
+      sys.ethernet().set_loss_probability(0.02);
+      break;
+    case Scenario::kChaos:
+      chaos.loss_burst(4 * kMs, 8 * kMs, sys.ethernet(), 0.05);
+      chaos.receiver_loss_burst(14 * kMs, 6 * kMs, sys.ethernet(), NodeId{3}, 0.5);
+      chaos.arm();
+      break;
+    default:
+      break;
+  }
+
+  if (scenario == Scenario::kReformation) {
+    // Crash a hosting processor mid-stream: the ring reforms and the
+    // surviving replica serves on. Rounds continue across the reformation.
+    fire_rounds(0, 6);
+    sys.crash_node(NodeId{2});
+    fire_rounds(6, 16);
+  } else if (scenario == Scenario::kChunked) {
+    // Kill → serve degraded → relaunch: the 3 KB servant state rides back
+    // as a fragmented (chunked) set_state, with live traffic before,
+    // during and after the transfer.
+    fire_rounds(0, 4);
+    sys.kill_replica(NodeId{2}, server);
+    EXPECT_TRUE(sys.run_until(
+        [&] {
+          const auto* entry = sys.mech(NodeId{1}).groups().find(server);
+          return entry != nullptr && entry->members.size() == 1;
+        },
+        Duration(3'000'000'000)));
+    fire_rounds(4, 10);
+    sys.relaunch_replica(NodeId{2}, server);
+    fire_rounds(10, 16);
+    EXPECT_TRUE(sys.run_until(
+        [&] { return sys.mech(NodeId{2}).hosts_operational(server); },
+        Duration(5'000'000'000)));
+  } else {
+    fire_rounds(0, 16);
+  }
+
+  if (scenario == Scenario::kLossy) sys.ethernet().set_loss_probability(0.0);
+
+  // Drain: every two-way reply back, every oneway note executed at every
+  // live replica, then a settle window for grace timers and reply tails.
+  out.drained =
+      sys.run_until([&] { return replied == expected; }, Duration(10'000'000'000));
+  sys.run_until(
+      [&] {
+        for (std::uint32_t n = 1; n <= cfg.nodes; ++n) {
+          if (servants[n] == nullptr) continue;
+          if (!sys.mech(NodeId{n}).hosts_operational(server)) continue;
+          if (servants[n]->notes() != static_cast<std::uint64_t>(notes)) return false;
+        }
+        return true;
+      },
+      Duration(2'000'000'000));
+  sys.run_for(50 * kMs);
+
+  // ---- extraction ----
+  out.trace_dropped = sys.trace()->dropped();
+  out.violations = obs::InvariantChecker::check(*sys.trace());
+  for (const obs::TraceEvent& ev : sys.trace()->snapshot()) {
+    if (ev.layer == obs::Layer::kMech && ev.kind == "enqueue") {
+      auto kv = obs::parse_detail(ev.detail);
+      out.enqueue_streams["replica" + kv["replica"]].push_back(kv["client"] + "#" +
+                                                               kv["op_seq"]);
+      continue;
+    }
+    if (ev.layer != obs::Layer::kTotem || ev.kind != "deliver") continue;
+    auto kv = obs::parse_detail(ev.detail);
+    const std::string identity = "origin=" + kv["origin"] + " digest=" + kv["digest"] +
+                                 " size=" + kv["size"];
+    out.per_node[ev.node.value].push_back("ring=" + kv["ring"] +
+                                          " seq=" + std::to_string(ev.seq) + " " +
+                                          identity);
+    out.per_sender["node" + std::to_string(ev.node.value) + "/from" + kv["origin"]]
+        .push_back(identity);
+  }
+  for (std::uint32_t n = 1; n <= cfg.nodes; ++n) {
+    if (servants[n] == nullptr) continue;
+    if (!sys.mech(NodeId{n}).hosts_operational(server)) continue;
+    out.servant_digests.push_back("node=" + std::to_string(n) +
+                                  " value=" + std::to_string(servants[n]->value()) +
+                                  " notes=" + std::to_string(servants[n]->notes()) +
+                                  " ops=" + std::to_string(servants[n]->ops_served()));
+  }
+  if (mode.engine) {
+    for (std::uint32_t n = 1; n <= cfg.nodes; ++n) {
+      if (const core::exec::ReplicaEngine* eng = sys.mech(NodeId{n}).engine_of(server)) {
+        out.engine_max_inflight = std::max<std::uint64_t>(out.engine_max_inflight,
+                                                          eng->stats().max_inflight);
+      }
+    }
+  }
+  return out;
+}
+
+void expect_equivalent(const Outcome& sync_run, const Outcome& fom_run,
+                       bool compare_interleaving) {
+  ASSERT_TRUE(sync_run.drained) << "sync mode did not drain its replies";
+  ASSERT_TRUE(fom_run.drained) << "FOM mode did not drain its replies";
+  EXPECT_EQ(sync_run.trace_dropped, 0u);
+  EXPECT_EQ(fom_run.trace_dropped, 0u);
+  EXPECT_TRUE(sync_run.violations.empty())
+      << obs::InvariantChecker::report(sync_run.violations);
+  EXPECT_TRUE(fom_run.violations.empty())
+      << obs::InvariantChecker::report(fom_run.violations);
+
+  // Application-level per-sender delivery order (the run-queue stream each
+  // replica enqueued): identical in every mode, overlap or not.
+  EXPECT_EQ(sync_run.enqueue_streams, fom_run.enqueue_streams)
+      << "per-replica run-queue (total-order) streams diverged";
+  // At concurrency 1 the engine must be invisible on the wire: per-sender
+  // frame digests, the interleaved per-node order and the ring sequence
+  // numbers all coincide byte-for-byte. At higher concurrency reply
+  // multicast instants legitimately move, so Totem packs frames differently
+  // and wire-level streams are exempt.
+  if (compare_interleaving) {
+    EXPECT_EQ(sync_run.per_sender, fom_run.per_sender)
+        << "per-sender agreed-delivery streams diverged between sync and FOM";
+    EXPECT_EQ(sync_run.per_node, fom_run.per_node)
+        << "interleaved per-node delivery streams diverged at concurrency 1";
+  }
+  EXPECT_EQ(sync_run.replies, fom_run.replies)
+      << "per-client reply order or bodies diverged";
+  EXPECT_EQ(sync_run.servant_digests, fom_run.servant_digests)
+      << "servant state digests diverged";
+}
+
+/// Keeps only the entries of `stream` belonging to `prefix` (e.g. "2#").
+std::vector<std::string> project(const std::vector<std::string>& stream,
+                                 const std::string& prefix) {
+  std::vector<std::string> out;
+  for (const std::string& s : stream) {
+    if (s.rfind(prefix, 0) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+/// Strips the "=<result>" suffix: the reply *schedule* (which op answered
+/// when, per client) without the state-dependent payload.
+std::vector<std::string> reply_schedule(const std::vector<std::string>& replies) {
+  std::vector<std::string> out;
+  for (const std::string& r : replies) out.push_back(r.substr(0, r.rfind('=')));
+  return out;
+}
+
+/// Overlapped execution (exec_concurrency > 1) legitimately shifts reply
+/// multicast instants, which perturbs token rotation and thus the *total
+/// order across senders* — both runs are valid linearizations, but they are
+/// not the same one, so cross-sender interleavings and intermediate counter
+/// values cannot be compared against the synchronous run. What must still
+/// hold, and what this checks:
+///   - per-sender FIFO: each client's projection of every replica's
+///     run-queue stream is identical to the sync run's;
+///   - total-order agreement inside the run: all replicas enqueue the same
+///     interleaved stream;
+///   - in-order replies: each client's reply schedule (which op answered,
+///     in what order) matches the sync run — the reply sequencer emitted
+///     strictly by position even though completions overlapped;
+///   - convergence: final servant digests (value/notes/ops) match sync —
+///     the op multiset commutes to the same final state.
+void expect_overlap_equivalent(const Outcome& sync_run, const Outcome& fom_run) {
+  ASSERT_TRUE(sync_run.drained);
+  ASSERT_TRUE(fom_run.drained);
+  EXPECT_TRUE(sync_run.violations.empty())
+      << obs::InvariantChecker::report(sync_run.violations);
+  EXPECT_TRUE(fom_run.violations.empty())
+      << obs::InvariantChecker::report(fom_run.violations);
+
+  const std::vector<std::string>* reference = nullptr;
+  for (const auto& [replica, stream] : fom_run.enqueue_streams) {
+    const auto sync_it = sync_run.enqueue_streams.find(replica);
+    ASSERT_NE(sync_it, sync_run.enqueue_streams.end()) << replica;
+    for (const std::string& client : {std::string("2#"), std::string("3#")}) {
+      EXPECT_EQ(project(stream, client), project(sync_it->second, client))
+          << "per-sender FIFO order broken for client " << client << " at " << replica;
+    }
+    if (reference == nullptr) {
+      reference = &stream;
+    } else {
+      EXPECT_EQ(stream, *reference) << "replicas disagree on the total order";
+    }
+  }
+  ASSERT_EQ(sync_run.replies.size(), fom_run.replies.size());
+  for (const auto& [client, replies] : fom_run.replies) {
+    const auto sync_it = sync_run.replies.find(client);
+    ASSERT_NE(sync_it, sync_run.replies.end()) << client;
+    EXPECT_EQ(reply_schedule(replies), reply_schedule(sync_it->second))
+        << "client " << client << " saw replies out of issue order";
+  }
+  EXPECT_EQ(sync_run.servant_digests, fom_run.servant_digests)
+      << "final servant state diverged despite identical op multisets";
+}
+
+class ExecConformance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecConformance, Clean) {
+  const std::uint64_t seed = GetParam();
+  expect_equivalent(run_scenario(Scenario::kClean, {false, 1}, seed),
+                    run_scenario(Scenario::kClean, {true, 1}, seed), true);
+}
+
+TEST_P(ExecConformance, Lossy) {
+  const std::uint64_t seed = GetParam();
+  expect_equivalent(run_scenario(Scenario::kLossy, {false, 1}, seed),
+                    run_scenario(Scenario::kLossy, {true, 1}, seed), true);
+}
+
+TEST_P(ExecConformance, Reformation) {
+  const std::uint64_t seed = GetParam();
+  expect_equivalent(run_scenario(Scenario::kReformation, {false, 1}, seed),
+                    run_scenario(Scenario::kReformation, {true, 1}, seed), true);
+}
+
+TEST_P(ExecConformance, ChunkedRecovery) {
+  const std::uint64_t seed = GetParam();
+  expect_equivalent(run_scenario(Scenario::kChunked, {false, 1}, seed),
+                    run_scenario(Scenario::kChunked, {true, 1}, seed), true);
+}
+
+TEST_P(ExecConformance, ChaosSmoke) {
+  const std::uint64_t seed = GetParam();
+  expect_equivalent(run_scenario(Scenario::kChaos, {false, 1}, seed),
+                    run_scenario(Scenario::kChaos, {true, 1}, seed), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecConformance, ::testing::Values(11, 29, 73),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Fast tier-1 slice: one seed of the cheapest and the most recovery-heavy
+// scenarios (registered via --gtest_filter in tests/CMakeLists.txt).
+TEST(ExecConformanceFast, CleanSeed11) {
+  expect_equivalent(run_scenario(Scenario::kClean, {false, 1}, 11),
+                    run_scenario(Scenario::kClean, {true, 1}, 11), true);
+}
+
+TEST(ExecConformanceFast, ChunkedRecoverySeed29) {
+  expect_equivalent(run_scenario(Scenario::kChunked, {false, 1}, 29),
+                    run_scenario(Scenario::kChunked, {true, 1}, 29), true);
+}
+
+// Slow-servant overlap: a 3 ms "get" stalls the object while 100 µs incs
+// queue behind it. With exec_concurrency 4 the engine genuinely overlaps
+// executions (max_inflight > 1) and completion order differs from admission
+// order, so the in-order reply sequencer is load-bearing — see
+// expect_overlap_equivalent for exactly which observables must survive.
+TEST(ExecConformanceFast, SlowServantOverlapPreservesObservableOrder) {
+  const Outcome sync_run = run_scenario(Scenario::kSlowServant, {false, 1}, 11);
+  const Outcome fom_run = run_scenario(Scenario::kSlowServant, {true, 4}, 11);
+  expect_overlap_equivalent(sync_run, fom_run);
+  EXPECT_GT(fom_run.engine_max_inflight, 1u)
+      << "concurrency 4 never overlapped executions — the scenario is not "
+         "exercising the reply sequencer";
+}
+
+}  // namespace
+}  // namespace eternal

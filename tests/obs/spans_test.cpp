@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -337,6 +339,73 @@ TEST(HistogramPercentile, InterpolatesAndClamps) {
   Histogram overflow({10});
   overflow.observe(1000);
   EXPECT_EQ(overflow.percentile(99), 1000.0);  // overflow bucket → max
+}
+
+// ----------------------------------------------------------- FlightRecorder
+
+TEST(FlightRecorder, UniquePathSuffixesRepeatRequests) {
+  // First request for a base returns it unchanged; repeats insert a run
+  // counter before the extension (dumps from reruns never overwrite).
+  const std::string base = "flight_unique_path_case.json";
+  EXPECT_EQ(FlightRecorder::unique_path(base), "flight_unique_path_case.json");
+  EXPECT_EQ(FlightRecorder::unique_path(base), "flight_unique_path_case.2.json");
+  EXPECT_EQ(FlightRecorder::unique_path(base), "flight_unique_path_case.3.json");
+  // Independent bases have independent counters.
+  EXPECT_EQ(FlightRecorder::unique_path("flight_other_case.json"),
+            "flight_other_case.json");
+  // Extension-less bases get a plain numeric suffix.
+  EXPECT_EQ(FlightRecorder::unique_path("flight_noext_case"), "flight_noext_case");
+  EXPECT_EQ(FlightRecorder::unique_path("flight_noext_case"), "flight_noext_case.2");
+}
+
+TEST(FlightRecorder, RepeatRunsKeepBothDumpFiles) {
+  // Regression: a chaos scenario scored twice in one process used to write
+  // flight_chaos_<scenario>.json both times, clobbering the first dump.
+  TraceBuffer trace(8);
+  trace.push(TraceEvent{util::TimePoint{}, util::NodeId{1}, Layer::kSim, "chaos", 1,
+                        "scenario=regress action=noop"});
+  FlightRecorder recorder(&trace, nullptr);
+
+  const std::string first = FlightRecorder::unique_path("flight_overwrite_regress.json");
+  const std::string second =
+      FlightRecorder::unique_path("flight_overwrite_regress.json");
+  ASSERT_NE(first, second);
+  ASSERT_TRUE(recorder.write_file(first));
+  ASSERT_TRUE(recorder.write_file(second));
+  EXPECT_TRUE(std::ifstream(first).good());
+  EXPECT_TRUE(std::ifstream(second).good());
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(FlightRecorder, AttachedViolationsAreEmbeddedInTheDump) {
+  TraceBuffer trace(8);
+  FlightRecorder recorder(&trace, nullptr);
+
+  Violation indexed;
+  indexed.rule = "replay-order";
+  indexed.message = "replica r1 executed 9#2 out of enqueue order";
+  indexed.event_index = 3;
+  indexed.phase = "decode";
+  Violation bare;
+  bare.rule = "trace-dropped";
+  bare.message = "2 of 10 events dropped";
+  recorder.attach_violations({indexed, bare});
+
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"violations\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"replay-order\""), std::string::npos);
+  EXPECT_NE(json.find("\"event_index\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"phase\":\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"trace-dropped\""), std::string::npos);
+  // The un-indexed violation omits the optional keys rather than emitting
+  // sentinel values.
+  EXPECT_EQ(json.find("18446744073709551615"), std::string::npos);
+
+  // A recorder without attached violations emits an empty array — the key
+  // is always present, so consumers need no schema probe.
+  FlightRecorder clean(&trace, nullptr);
+  EXPECT_NE(clean.to_json().find("\"violations\":[]"), std::string::npos);
 }
 
 }  // namespace

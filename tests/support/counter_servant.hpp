@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "core/checkpointable.hpp"
 #include "util/any.hpp"
@@ -21,6 +23,15 @@ class CounterServant : public core::CheckpointableServant {
   explicit CounterServant(sim::Simulator& sim, std::size_t pad_bytes = 0,
                           util::Duration op_time = util::Duration(100'000))
       : core::CheckpointableServant(sim), pad_(pad_bytes, 0xAB), op_time_(op_time) {}
+
+  /// Overrides the modelled execution time for one operation name; other
+  /// operations keep op_time. Used by the slow-servant scenarios (FOM-engine
+  /// conformance test, bench_throughput) to model a servant whose "slow" op
+  /// stalls the object while bystander traffic queues behind it.
+  void set_slow_op(std::string operation, util::Duration time) {
+    slow_op_ = std::move(operation);
+    slow_op_time_ = time;
+  }
 
   std::int32_t value() const noexcept { return value_; }
   std::uint64_t notes() const noexcept { return notes_; }
@@ -87,12 +98,17 @@ class CounterServant : public core::CheckpointableServant {
     throw orb::UserException{"IDL:BadOperation:1.0"};
   }
 
-  util::Duration app_execution_time(const std::string&) const override { return op_time_; }
+  util::Duration app_execution_time(const std::string& operation) const override {
+    if (!slow_op_.empty() && operation == slow_op_) return slow_op_time_;
+    return op_time_;
+  }
 
  private:
   std::int32_t value_ = 0;
   util::Bytes pad_;
   util::Duration op_time_;
+  std::string slow_op_;
+  util::Duration slow_op_time_{};
   std::uint64_t notes_ = 0;
   std::uint64_t ops_served_ = 0;
   std::uint64_t set_state_calls_ = 0;

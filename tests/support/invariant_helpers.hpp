@@ -44,7 +44,10 @@ inline void expect_invariants_hold(const core::System& sys) {
   const std::vector<obs::TraceEvent> events = sys.trace()->snapshot();
   std::string dumped;
   obs::FlightRecorder recorder(sys.trace(), sys.spans());
-  const std::string path = flight_dump_path();
+  recorder.attach_violations(violations);
+  // unique_path: a suite that trips the checker twice in one process (e.g.
+  // a seed sweep) keeps both dumps instead of overwriting the first.
+  const std::string path = obs::FlightRecorder::unique_path(flight_dump_path());
   if (recorder.write_file(path)) dumped = "\nflight recorder dumped to " + path;
 
   EXPECT_TRUE(violations.empty())

@@ -1,0 +1,169 @@
+// FleetDriver arrival-process statistics (src/workload/fleet.hpp).
+//
+// The fleet driver simulates N independent clients as one superposed arrival
+// process; these tests pin down that the process actually has the advertised
+// shape. Using the send-probe seam, each logical operation reports its
+// arrival instant and sampled target without a deployed System, so tens of
+// thousands of arrivals cost only simulator events:
+//
+//   - Poisson arrivals: inter-arrival mean ≈ 1/rate with coefficient of
+//     variation ≈ 1 (the exponential signature);
+//   - uniform pacing: exactly 1/rate gaps, CV ≈ 0;
+//   - bursty arrivals: gap compression raises the CV clearly above the
+//     Poisson baseline while the mean gap shrinks by the compressed mass;
+//   - Zipf target skew: empirical per-target frequencies match the
+//     1/(rank+1)^s law within tolerance, and skew 0 degenerates to uniform;
+//   - a fixed seed replays the identical arrival sequence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/fleet.hpp"
+
+namespace eternal::workload {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+struct Sample {
+  std::vector<TimePoint> arrivals;
+  std::vector<std::size_t> targets;
+};
+
+/// Runs a probe-mode driver until `count` arrivals were fired.
+Sample collect(FleetConfig config, std::size_t target_count, std::size_t count) {
+  sim::Simulator sim;
+  // Placeholder refs: probe mode never dereferences them; they only size
+  // the target table for Zipf sampling.
+  std::vector<orb::ObjectRef> targets(target_count);
+  FleetDriver driver(sim, std::move(targets), config);
+
+  Sample sample;
+  driver.set_send_probe([&](std::size_t target, TimePoint at) {
+    sample.arrivals.push_back(at);
+    sample.targets.push_back(target);
+    if (sample.arrivals.size() >= count) driver.stop();
+  });
+  driver.start();
+  sim.run();
+  EXPECT_EQ(sample.arrivals.size(), count);
+  EXPECT_EQ(driver.sent(), count);
+  return sample;
+}
+
+struct GapStats {
+  double mean_ns = 0.0;
+  double cv = 0.0;  ///< stddev / mean of inter-arrival gaps
+};
+
+GapStats gap_stats(const std::vector<TimePoint>& arrivals) {
+  std::vector<double> gaps;
+  gaps.reserve(arrivals.size());
+  TimePoint prev{};
+  for (TimePoint at : arrivals) {
+    gaps.push_back(static_cast<double>((at - prev).count()));
+    prev = at;
+  }
+  double sum = 0.0;
+  for (double g : gaps) sum += g;
+  const double mean = sum / static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  return {mean, std::sqrt(var) / mean};
+}
+
+constexpr std::size_t kArrivals = 20'000;
+constexpr double kRate = 1000.0;        // 1/ms aggregate
+constexpr double kMeanGapNs = 1e9 / kRate;
+
+FleetConfig config_for(ArrivalProcess arrival, double skew = 0.0,
+                       std::uint64_t seed = 0xF1EE7) {
+  FleetConfig cfg;
+  cfg.rate_per_second = kRate;
+  cfg.arrival = arrival;
+  cfg.skew = skew;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FleetArrivals, PoissonHasExponentialInterArrivals) {
+  const Sample s = collect(config_for(ArrivalProcess::kPoisson), 1, kArrivals);
+  const GapStats g = gap_stats(s.arrivals);
+  EXPECT_NEAR(g.mean_ns, kMeanGapNs, kMeanGapNs * 0.05)
+      << "Poisson mean gap off the configured rate";
+  EXPECT_NEAR(g.cv, 1.0, 0.1) << "exponential gaps have CV 1";
+}
+
+TEST(FleetArrivals, UniformPacesExactly) {
+  const Sample s = collect(config_for(ArrivalProcess::kUniform), 1, kArrivals);
+  const GapStats g = gap_stats(s.arrivals);
+  EXPECT_NEAR(g.mean_ns, kMeanGapNs, 1.0);
+  EXPECT_LT(g.cv, 0.01) << "uniform pacing must have (near-)zero gap variance";
+}
+
+TEST(FleetArrivals, BurstyClumpsWithoutChangingUncompressedGaps) {
+  const Sample s = collect(config_for(ArrivalProcess::kBursty), 1, kArrivals);
+  const GapStats g = gap_stats(s.arrivals);
+  // burst_fraction 0.2 / burst_factor 10: expected mean gap 0.82/rate,
+  // expected CV ≈ 1.18 (mixture of Exp(r) and Exp(r)/10).
+  EXPECT_NEAR(g.mean_ns, 0.82 * kMeanGapNs, kMeanGapNs * 0.05);
+  EXPECT_GT(g.cv, 1.1) << "bursts must raise dispersion above the Poisson CV of 1";
+  EXPECT_LT(g.cv, 1.35);
+}
+
+TEST(FleetTargets, ZipfSkewMatchesRankFrequencyLaw) {
+  constexpr std::size_t kTargets = 8;
+  const Sample s =
+      collect(config_for(ArrivalProcess::kUniform, /*skew=*/1.0), kTargets, kArrivals);
+
+  std::vector<std::size_t> counts(kTargets, 0);
+  for (std::size_t t : s.targets) counts.at(t) += 1;
+
+  double norm = 0.0;
+  for (std::size_t i = 0; i < kTargets; ++i) norm += 1.0 / static_cast<double>(i + 1);
+  for (std::size_t i = 0; i < kTargets; ++i) {
+    const double expected = (1.0 / static_cast<double>(i + 1)) / norm;
+    const double observed =
+        static_cast<double>(counts[i]) / static_cast<double>(kArrivals);
+    EXPECT_NEAR(observed, expected, 0.02)
+        << "target " << i << " frequency off the 1/(rank+1) law";
+    if (i > 0) {
+      EXPECT_LE(counts[i], counts[i - 1])
+          << "Zipf frequencies must be non-increasing in rank";
+    }
+  }
+}
+
+TEST(FleetTargets, ZeroSkewIsUniform) {
+  constexpr std::size_t kTargets = 8;
+  const Sample s =
+      collect(config_for(ArrivalProcess::kUniform, /*skew=*/0.0), kTargets, kArrivals);
+  std::vector<std::size_t> counts(kTargets, 0);
+  for (std::size_t t : s.targets) counts.at(t) += 1;
+  for (std::size_t i = 0; i < kTargets; ++i) {
+    const double observed =
+        static_cast<double>(counts[i]) / static_cast<double>(kArrivals);
+    EXPECT_NEAR(observed, 1.0 / kTargets, 0.02);
+  }
+}
+
+TEST(FleetArrivals, FixedSeedReplaysTheIdenticalSchedule) {
+  const Sample a =
+      collect(config_for(ArrivalProcess::kBursty, /*skew=*/0.7, /*seed=*/99), 4, 5'000);
+  const Sample b =
+      collect(config_for(ArrivalProcess::kBursty, /*skew=*/0.7, /*seed=*/99), 4, 5'000);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.targets, b.targets);
+
+  const Sample c =
+      collect(config_for(ArrivalProcess::kBursty, /*skew=*/0.7, /*seed=*/100), 4, 5'000);
+  EXPECT_NE(a.arrivals, c.arrivals) << "a different seed must reshape the schedule";
+}
+
+}  // namespace
+}  // namespace eternal::workload
