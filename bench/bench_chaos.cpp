@@ -35,6 +35,7 @@
 
 #include "support.hpp"
 #include "core/stable_storage.hpp"
+#include "obs/critpath.hpp"
 #include "sim/chaos.hpp"
 #include "workload/fleet.hpp"
 
@@ -73,6 +74,16 @@ struct Row {
   std::uint64_t chaos_actions = 0;
   std::uint64_t chunk_aborts = 0;
   std::uint64_t storage_failures = 0;
+  // Critical-path attribution over the invocations whose span trees
+  // survived the scenario intact (obs::critpath); faults leave partial
+  // trees, which are counted and skipped rather than folded in.
+  std::uint64_t cp_analyzed = 0;
+  std::uint64_t cp_partial = 0;
+  std::uint64_t cp_dropped = 0;
+  double order_wait_us_mean = -1.0;
+  double execute_us_mean = -1.0;
+  double reply_wire_us_mean = -1.0;
+  double residual_us_mean = -1.0;
 };
 
 /// Shared post-run scoring: latency/throughput from the fleet, recovery
@@ -100,6 +111,27 @@ void score(System& sys, const FleetDriver& fleet, Duration measured,
                             mech.stats().storage_append_failures;
   }
 
+  {
+    namespace critpath = obs::critpath;
+    const critpath::Report rep = critpath::analyze(*sys.spans());
+    row.cp_analyzed = rep.invocations.size();
+    row.cp_partial = rep.partial_traces;
+    row.cp_dropped = rep.dropped_spans;
+    if (!rep.invocations.empty()) {
+      std::vector<util::Duration> order, exec, wire, resid;
+      for (const critpath::Breakdown& b : rep.invocations) {
+        order.push_back(b[critpath::Segment::kOrderWait]);
+        exec.push_back(b[critpath::Segment::kExecute]);
+        wire.push_back(b[critpath::Segment::kReplyWire]);
+        resid.push_back(b[critpath::Segment::kResidual]);
+      }
+      row.order_wait_us_mean = bench::to_us(critpath::aggregate(std::move(order)).mean);
+      row.execute_us_mean = bench::to_us(critpath::aggregate(std::move(exec)).mean);
+      row.reply_wire_us_mean = bench::to_us(critpath::aggregate(std::move(wire)).mean);
+      row.residual_us_mean = bench::to_us(critpath::aggregate(std::move(resid)).mean);
+    }
+  }
+
   const std::vector<obs::Violation> violations =
       obs::InvariantChecker::check(*sys.trace());
   row.violations = violations.size();
@@ -124,6 +156,7 @@ SystemConfig base_config(std::size_t nodes) {
   SystemConfig cfg;
   cfg.nodes = nodes;
   cfg.trace_capacity = 1u << 21;  // whole-run trace feeds the checker
+  cfg.span_capacity = 1u << 18;   // span trees feed the critpath columns
   return cfg;
 }
 
@@ -461,7 +494,14 @@ int main(int argc, char** argv) {
         .col("violations", row.violations)
         .col("chaos_actions", row.chaos_actions)
         .col("chunk_aborts", row.chunk_aborts)
-        .col("storage_failures", row.storage_failures);
+        .col("storage_failures", row.storage_failures)
+        .col("cp_analyzed", row.cp_analyzed)
+        .col("cp_partial", row.cp_partial)
+        .col("cp_dropped", row.cp_dropped)
+        .col("order_wait_us_mean", row.order_wait_us_mean)
+        .col("execute_us_mean", row.execute_us_mean)
+        .col("reply_wire_us_mean", row.reply_wire_us_mean)
+        .col("residual_us_mean", row.residual_us_mean);
     if (row.verdict != "ok") all_ok = false;
   }
   results.write_file("BENCH_chaos.json");

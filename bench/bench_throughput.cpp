@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "support.hpp"
+#include "obs/critpath.hpp"
 #include "workload/drivers.hpp"
 
 #include "../tests/support/counter_servant.hpp"
@@ -47,7 +48,35 @@ struct Row {
   double hist_p95_ms;
   double hist_p99_ms;
   std::uint64_t backlog;
+  // Mean per-segment critical-path attribution (obs::critpath), from the
+  // span trees of the run. -1 on the unreplicated baseline, which has no
+  // span pipeline to attribute.
+  double order_wait_us_mean = -1.0;
+  double execute_us_mean = -1.0;
+  double reply_wire_us_mean = -1.0;
+  double residual_us_mean = -1.0;
+  std::uint64_t cp_analyzed = 0;
+  std::uint64_t cp_partial = 0;
 };
+
+void fill_critpath(const obs::SpanStore& spans, Row& row) {
+  namespace critpath = obs::critpath;
+  const critpath::Report rep = critpath::analyze(spans);
+  row.cp_analyzed = rep.invocations.size();
+  row.cp_partial = rep.partial_traces;
+  if (rep.invocations.empty()) return;
+  std::vector<util::Duration> order, exec, wire, resid;
+  for (const critpath::Breakdown& b : rep.invocations) {
+    order.push_back(b[critpath::Segment::kOrderWait]);
+    exec.push_back(b[critpath::Segment::kExecute]);
+    wire.push_back(b[critpath::Segment::kReplyWire]);
+    resid.push_back(b[critpath::Segment::kResidual]);
+  }
+  row.order_wait_us_mean = bench::to_us(critpath::aggregate(std::move(order)).mean);
+  row.execute_us_mean = bench::to_us(critpath::aggregate(std::move(exec)).mean);
+  row.reply_wire_us_mean = bench::to_us(critpath::aggregate(std::move(wire)).mean);
+  row.residual_us_mean = bench::to_us(critpath::aggregate(std::move(resid)).mean);
+}
 
 void fill_hist_percentiles(const obs::MetricsRegistry& metrics, Row& row) {
   auto it = metrics.histograms().find("orb.reply_rtt_ns");
@@ -60,6 +89,7 @@ void fill_hist_percentiles(const obs::MetricsRegistry& metrics, Row& row) {
 Row run_eternal(double rate, std::size_t replicas) {
   SystemConfig cfg;
   cfg.nodes = replicas + 1;
+  cfg.span_capacity = 1u << 16;  // feed obs::critpath attribution columns
   System sys(cfg);
   FtProperties props;
   props.style = ReplicationStyle::kActive;
@@ -90,6 +120,7 @@ Row run_eternal(double rate, std::size_t replicas) {
   row.p99_ms = bench::to_ms(driver.latency().percentile(99));
   fill_hist_percentiles(sys.metrics(), row);
   row.backlog = driver.in_flight();
+  fill_critpath(*sys.spans(), row);
   return row;
 }
 
@@ -227,7 +258,13 @@ int main(int argc, char** argv) {
         .col("hist_p50_ms", r.hist_p50_ms)
         .col("hist_p95_ms", r.hist_p95_ms)
         .col("hist_p99_ms", r.hist_p99_ms)
-        .col("backlog", r.backlog);
+        .col("backlog", r.backlog)
+        .col("order_wait_us_mean", r.order_wait_us_mean)
+        .col("execute_us_mean", r.execute_us_mean)
+        .col("reply_wire_us_mean", r.reply_wire_us_mean)
+        .col("residual_us_mean", r.residual_us_mean)
+        .col("cp_analyzed", r.cp_analyzed)
+        .col("cp_partial", r.cp_partial);
   };
 
   std::printf("%12s %10s %10s %9s %9s %9s %9s %9s\n", "system", "offered/s",

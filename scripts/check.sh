@@ -31,6 +31,19 @@ echo "== exec-engine slow-servant bench (smoke) =="
 # other BENCH_* artifacts (acceptance: fom bystander p99 < 0.5x sync).
 (cd build && ./bench/bench_throughput --smoke)
 
+echo
+echo "== critical-path attribution bench (smoke) =="
+# Per-segment latency decomposition across the saturation knee; the binary
+# itself exits non-zero if any invocation's segments fail to sum to its
+# end-to-end latency.
+(cd build && ./bench/bench_critical_path --smoke)
+
+echo
+echo "== bench regression gate =="
+# Diff the fresh smoke results against the committed baselines; fails on
+# any gated metric moving past its tolerance (scripts/bench_gate.py).
+python3 scripts/bench_gate.py --results build --baselines bench/baselines
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "check.sh: tier-1 gate passed (sanitizer stage skipped)"
   exit 0

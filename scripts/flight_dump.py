@@ -10,11 +10,22 @@ trace-event ring and the causal span store:
       "spans":  [ {id, parent, trace, name, layer, node, start, end,
                    open, [instant], detail}, ... ] }
 
+Plain SpanStore::to_json exports ({"spans": [...], "dropped_spans", ...},
+no event window) load too; the event sections are just empty for those.
+
 Usage:
     flight_dump.py DUMP.json              # timeline + span tree
     flight_dump.py --events DUMP.json     # events only
     flight_dump.py --spans DUMP.json      # span tree only
+    flight_dump.py --critpath DUMP.json   # per-invocation latency breakdown
     flight_dump.py --diff A.json B.json   # structural diff; exit 1 if differs
+
+--critpath mirrors the C++ analyzer (src/obs/critpath.cpp): each completed
+invocation's end-to-end latency is split into client-capture / order-wait /
+delivery / admission / decode / execute / log / reply-park / reply-wire
+segments plus an explicit residual, so the printed parts always sum to the
+end-to-end time exactly; partial trees (eviction, mid-flight teardown) are
+counted and skipped.
 
 Times are printed in milliseconds of simulated time. The diff ignores volatile
 identifiers (span/trace ids are allocation-ordered) and compares the stable
@@ -45,9 +56,16 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"flight_dump: cannot read {path}: {err}")
-    for key in ("flight_recorder", "events", "spans"):
-        if key not in doc:
-            sys.exit(f"flight_dump: {path}: not a flight-recorder dump (no '{key}')")
+    if "spans" not in doc:
+        sys.exit(f"flight_dump: {path}: not a flight-recorder dump (no 'spans')")
+    # Plain SpanStore::to_json exports carry only the span ring; normalise
+    # them to the flight-recorder shape so every printer works on both.
+    doc.setdefault("events", [])
+    doc.setdefault("flight_recorder", {
+        "spans_total": doc.get("total", len(doc["spans"])),
+        "spans_dropped": doc.get("dropped_spans", 0),
+        "partial_traces": doc.get("partial_traces", 0),
+    })
     return doc
 
 
@@ -66,6 +84,8 @@ def print_header(path, doc):
             spd=fr.get("spans_dropped", "?"),
         )
     )
+    if fr.get("partial_traces"):
+        print(f"   {fr['partial_traces']} trace(s) partial (evicted/torn spans)")
 
 
 def print_events(doc):
@@ -114,6 +134,107 @@ def print_spans(doc):
         print(f"   {open_count} span(s) still open at dump time")
 
 
+# Fixed segment order, mirroring obs::critpath::Segment.
+SEGMENTS = (
+    "client-capture", "order-wait", "delivery", "admission", "decode",
+    "execute", "log", "reply-park", "reply-wire", "residual",
+)
+
+
+def critpath_analyze(spans):
+    """Python mirror of obs::critpath::analyze (src/obs/critpath.cpp)."""
+    trees = {}
+    for s in spans:
+        if not s.get("trace"):
+            continue
+        t = trees.setdefault(s["trace"], {"root": None, "order": None,
+                                          "reply": None, "multi": {}})
+        name = s["name"]
+        if name in ("invocation", "order-wait", "reply"):
+            key = "root" if name == "invocation" else (
+                "order" if name == "order-wait" else "reply")
+            t[key] = s
+        elif name in ("deliver", "admit-wait", "fom-decode", "execute",
+                      "fom-log", "reply-park"):
+            t["multi"].setdefault(name, []).append(s)
+
+    def pick(candidates, node, by):
+        """Latest-starting closed span at `node` opening no later than `by`."""
+        best = None
+        for s in candidates:
+            if s["node"] != node or s.get("open") or s["start"] > by:
+                continue
+            if best is None or s["start"] > best["start"]:
+                best = s
+        return best
+
+    def length(s):
+        return 0 if s is None else s["end"] - s["start"]
+
+    breakdowns, partial, inflight = [], 0, 0
+    for trace, t in trees.items():
+        root, order, reply = t["root"], t["order"], t["reply"]
+        if root is None:
+            continue
+        if root.get("open"):
+            inflight += 1
+            continue
+        if order is None or order.get("open") or reply is None or reply.get("open"):
+            partial += 1
+            continue
+        winner = reply["node"]
+        multi = t["multi"]
+        execute = pick(multi.get("execute", []), winner, reply["start"])
+        deliver = None if execute is None else pick(
+            multi.get("deliver", []), winner, execute["start"])
+        if execute is None or deliver is None:
+            partial += 1
+            continue
+        seg = {
+            "client-capture": order["start"] - root["start"],
+            "order-wait": length(order),
+            "delivery": length(deliver),
+            "admission": length(pick(multi.get("admit-wait", []), winner,
+                                     execute["start"])),
+            "decode": length(pick(multi.get("fom-decode", []), winner,
+                                  execute["start"])),
+            "execute": length(execute),
+            "log": length(pick(multi.get("fom-log", []), winner, reply["start"])),
+            "reply-park": length(pick(multi.get("reply-park", []), winner,
+                                      reply["start"])),
+            "reply-wire": length(reply),
+        }
+        e2e = root["end"] - root["start"]
+        seg["residual"] = e2e - sum(seg.values())
+        breakdowns.append({"trace": trace, "winner": winner,
+                           "start": root["start"], "end": root["end"],
+                           "e2e": e2e, "seg": seg})
+    breakdowns.sort(key=lambda b: (b["end"], b["trace"]))
+    return breakdowns, partial, inflight
+
+
+def print_critpath(doc):
+    breakdowns, partial, inflight = critpath_analyze(doc["spans"])
+    print(f"-- critical path ({len(breakdowns)} invocation(s), "
+          f"{partial} partial, {inflight} in flight)")
+    if not breakdowns:
+        return
+    header = " ".join(f"{name:>14}" for name in SEGMENTS)
+    print(f"  {'start_ms':>10} {'e2e_ms':>8} {'node':>4} {header}")
+    totals = {name: 0 for name in SEGMENTS}
+    for b in breakdowns:
+        cols = " ".join(f"{ms(b['seg'][name]):14.3f}" for name in SEGMENTS)
+        print(f"  {ms(b['start']):10.3f} {ms(b['e2e']):8.3f} "
+              f"N{b['winner']:<3} {cols}")
+        for name in SEGMENTS:
+            totals[name] += b["seg"][name]
+        assert sum(b["seg"].values()) == b["e2e"], "segment partition broken"
+    n = len(breakdowns)
+    mean_cols = " ".join(f"{ms(totals[name]) / n:14.3f}" for name in SEGMENTS)
+    mean_e2e = sum(ms(b["e2e"]) for b in breakdowns) / n
+    print(f"  {'mean':>10} {mean_e2e:8.3f} {'':>4} {mean_cols}")
+
+
 def event_key(ev):
     return (ev["t"], ev["node"], ev["layer"], ev["kind"], ev["seq"], ev.get("detail", ""))
 
@@ -160,6 +281,8 @@ def main():
     parser.add_argument("--diff", action="store_true", help="diff two dumps")
     parser.add_argument("--events", action="store_true", help="events only")
     parser.add_argument("--spans", action="store_true", help="span tree only")
+    parser.add_argument("--critpath", action="store_true",
+                        help="per-invocation critical-path breakdown only")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args()
 
@@ -171,6 +294,9 @@ def main():
     for path in args.files:
         doc = load(path)
         print_header(path, doc)
+        if args.critpath:
+            print_critpath(doc)
+            continue
         if not args.spans:
             print_events(doc)
         if not args.events:

@@ -6,10 +6,11 @@
 namespace eternal::core::exec {
 
 Fom& ReplicaEngine::admit(util::GroupId client_group, std::uint64_t op_seq,
-                          const orb::Endpoint& reply_to, bool response_expected) {
+                          const orb::Endpoint& reply_to, bool response_expected,
+                          util::TimePoint at) {
   Fom fom;
   fom.position = next_position_++;
-  fom.phase = FomPhase::kDecode;
+  fom.enter(FomPhase::kDecode, at);
   fom.client_group = client_group;
   fom.op_seq = op_seq;
   fom.reply_to = reply_to;
@@ -36,17 +37,37 @@ Fom* ReplicaEngine::find(std::uint64_t position) {
   return nullptr;
 }
 
-void ReplicaEngine::finish(std::uint64_t position, std::function<void()> emit) {
-  inflight_.remove_if([position](const Fom& f) { return f.position == position; });
+void ReplicaEngine::account(const Fom& fom, util::TimePoint at) {
+  stats_.decode_time += fom.entered_at(FomPhase::kExecute) - fom.entered_at(FomPhase::kDecode);
+  if (fom.phase == FomPhase::kReply) {
+    stats_.execute_time +=
+        fom.entered_at(FomPhase::kLog) - fom.entered_at(FomPhase::kExecute);
+    stats_.log_time += fom.entered_at(FomPhase::kReply) - fom.entered_at(FomPhase::kLog);
+  } else {
+    // Oneway grace retirement (kDone without a reply): execution residency
+    // runs to the retirement instant, grace window included.
+    stats_.execute_time += at - fom.entered_at(FomPhase::kExecute);
+  }
+}
+
+void ReplicaEngine::finish(std::uint64_t position, util::TimePoint at,
+                           std::function<void()> emit) {
+  const auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                               [position](const Fom& f) { return f.position == position; });
+  if (it != inflight_.end()) {
+    account(*it, at);
+    inflight_.erase(it);
+  }
   if (position != next_retire_) stats_.replies_parked += 1;
-  parked_.emplace(position, std::move(emit));
+  parked_.emplace(position, Parked{at, std::move(emit)});
   stats_.max_parked = std::max(stats_.max_parked, parked_.size());
   while (!parked_.empty() && parked_.begin()->first == next_retire_) {
-    std::function<void()> fn = std::move(parked_.begin()->second);
+    Parked parked = std::move(parked_.begin()->second);
     parked_.erase(parked_.begin());
     next_retire_ += 1;
     stats_.retired += 1;
-    if (fn) fn();
+    stats_.park_time += at - parked.since;  // 0 when emitted in-order
+    if (parked.emit) parked.emit();
   }
 }
 

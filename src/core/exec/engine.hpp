@@ -30,6 +30,12 @@ class ReplicaEngine {
     std::uint64_t replies_parked = 0;  ///< completed out of order, held for position
     std::size_t max_inflight = 0;
     std::size_t max_parked = 0;
+    // Cumulative per-phase residency across every finished FOM, from the
+    // phase-entry instants stamped on the Fom (critical-path attribution).
+    util::Duration decode_time{};   ///< kDecode → kExecute
+    util::Duration execute_time{};  ///< kExecute → kLog (oneways: → retirement)
+    util::Duration log_time{};      ///< kLog → kReply
+    util::Duration park_time{};     ///< kReply → in-order emission
   };
 
   explicit ReplicaEngine(std::size_t concurrency)
@@ -47,9 +53,11 @@ class ReplicaEngine {
   bool idle() const noexcept { return inflight_.empty() && parked_.empty(); }
   const Stats& stats() const noexcept { return stats_; }
 
-  /// Admits the next run-queue item as a FOM. Pre: can_admit().
+  /// Admits the next run-queue item as a FOM at `at` (its kDecode entry
+  /// instant). Pre: can_admit().
   Fom& admit(util::GroupId client_group, std::uint64_t op_seq,
-             const orb::Endpoint& reply_to, bool response_expected);
+             const orb::Endpoint& reply_to, bool response_expected,
+             util::TimePoint at);
 
   /// The in-flight FOM a captured reply belongs to, by the ORB-visible
   /// (reply endpoint, request id) pair; nullptr when none matches.
@@ -58,20 +66,31 @@ class ReplicaEngine {
   /// The in-flight FOM at `position` (oneway grace retirement), or nullptr.
   Fom* find(std::uint64_t position);
 
-  /// Removes `position` from the in-flight set and sequences `emit`: runs it
-  /// now if every earlier position already emitted, otherwise parks it. A
-  /// null emit retires silently (oneways, discarded items) but still
-  /// advances the cursor so later replies are not stuck behind it.
-  void finish(std::uint64_t position, std::function<void()> emit);
+  /// Removes `position` from the in-flight set at `at` and sequences `emit`:
+  /// runs it now if every earlier position already emitted, otherwise parks
+  /// it. A null emit retires silently (oneways, discarded items) but still
+  /// advances the cursor so later replies are not stuck behind it. The FOM's
+  /// per-phase residencies fold into Stats here; a parked emit accrues
+  /// Stats::park_time until the blocking position's finish flushes it.
+  void finish(std::uint64_t position, util::TimePoint at, std::function<void()> emit);
 
-  void retire_immediate(std::uint64_t position) { finish(position, nullptr); }
+  void retire_immediate(std::uint64_t position, util::TimePoint at) {
+    finish(position, at, nullptr);
+  }
 
  private:
+  struct Parked {
+    util::TimePoint since{};  ///< kReply entry: when the emit was handed over
+    std::function<void()> emit;
+  };
+
+  void account(const Fom& fom, util::TimePoint at);
+
   std::size_t concurrency_;
   std::uint64_t next_position_ = 0;  ///< assigned at admission
   std::uint64_t next_retire_ = 0;    ///< lowest position not yet emitted
   std::list<Fom> inflight_;
-  std::map<std::uint64_t, std::function<void()>> parked_;
+  std::map<std::uint64_t, Parked> parked_;
   Stats stats_;
 };
 

@@ -10,10 +10,12 @@
 // operation only occupies its own FOM, not the whole replica.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "orb/transport.hpp"
 #include "util/ids.hpp"
+#include "util/time.hpp"
 
 namespace eternal::core::exec {
 
@@ -52,6 +54,20 @@ struct Fom {
   bool response_expected = true;  ///< false: oneway, retired by grace timer
   std::uint64_t trace = 0;        ///< causal trace id (obs/spans.hpp)
   std::uint64_t exec_span = 0;    ///< open "execute" span, closed at kLog
+  /// Phase-entry instants, indexed by FomPhase. The engine folds the
+  /// per-phase residencies into ReplicaEngine::Stats at retirement; the
+  /// critical-path analyzer (src/obs/critpath.hpp) reads the matching spans.
+  util::TimePoint entered[5] = {};
+
+  util::TimePoint entered_at(FomPhase p) const noexcept {
+    return entered[static_cast<std::size_t>(p)];
+  }
+
+  /// Advances to `next` and stamps its entry instant.
+  void enter(FomPhase next, util::TimePoint at) noexcept {
+    phase = next;
+    entered[static_cast<std::size_t>(next)] = at;
+  }
 };
 
 }  // namespace eternal::core::exec

@@ -280,6 +280,10 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
     Envelope env;
     std::uint64_t trace = 0;  ///< causal trace id (obs/spans.hpp), 0 = untraced
     std::uint64_t span = 0;   ///< open "deliver" span closed at injection
+    /// Engine mode: the item reached the queue front but no admission slot
+    /// was free; `span` was swapped from "deliver" to an "admit-wait" span so
+    /// queue-behind wait and admission wait attribute separately.
+    bool admit_blocked = false;
   };
 
   struct CurrentDispatch {

@@ -37,7 +37,24 @@ void Mechanisms::engine_pump(LocalReplica& r) {
     const bool admissible = r.pending.front().kind == QueueItem::Kind::kGetState
                                 ? engine.idle()
                                 : engine.can_admit();
-    if (!admissible) return;
+    if (!admissible) {
+      // The front item is next in total order but the engine has no free
+      // slot (or a state op needs the engine drained). Swap its "deliver"
+      // span for an "admit-wait" span so the critical-path breakdown
+      // separates queue-behind wait from admission-slot wait; engine_admit
+      // closes whichever span the item carries.
+      QueueItem& front = r.pending.front();
+      if (obs::SpanStore* spans = rec_.spans();
+          spans != nullptr && !front.admit_blocked &&
+          front.kind == QueueItem::Kind::kRequest && front.trace != 0) {
+        front.admit_blocked = true;
+        if (front.span != 0) spans->end(front.span, sim_.now());
+        front.span = spans->begin(front.trace,
+                                  spans->find_named(front.trace, "invocation"),
+                                  node_, obs::Layer::kMech, "admit-wait", sim_.now());
+      }
+      return;
+    }
     QueueItem item = std::move(r.pending.front());
     r.pending.pop_front();
     if (obs::SpanStore* spans = rec_.spans()) {
@@ -82,8 +99,8 @@ void Mechanisms::engine_admit(LocalReplica& r, const QueueItem& item) {
   stats_.requests_delivered += 1;
   ctr_requests_injected_.add();
 
-  exec::Fom& fom =
-      r.engine->admit(e.client_group, e.op_seq, from, info->response_expected);
+  exec::Fom& fom = r.engine->admit(e.client_group, e.op_seq, from,
+                                   info->response_expected, sim_.now());
   if (rec_.tracing()) {
     rec_.record(node_, obs::Layer::kMech, "request_inject", e.op_seq,
                 "group=" + std::to_string(r.group.value) +
@@ -106,7 +123,7 @@ void Mechanisms::engine_admit(LocalReplica& r, const QueueItem& item) {
                                  "execute", sim_.now(),
                                  "replica=" + std::to_string(r.id.value));
   }
-  fom.phase = exec::FomPhase::kExecute;
+  fom.enter(exec::FomPhase::kExecute, sim_.now());
   tap_.inject(from, e.payload);
   if (info->response_expected) return;
 
@@ -123,8 +140,8 @@ void Mechanisms::engine_admit(LocalReplica& r, const QueueItem& item) {
       return;
     }
     if (exec::Fom* f = replica->engine->find(position)) {
-      f->phase = exec::FomPhase::kDone;
-      replica->engine->retire_immediate(position);
+      f->enter(exec::FomPhase::kDone, sim_.now());
+      replica->engine->retire_immediate(position, sim_.now());
       pump(*replica);
     }
   });
@@ -150,7 +167,8 @@ bool Mechanisms::engine_capture_reply(const orb::Endpoint& to, util::Bytes& iiop
     const ReplicaId incarnation = r.id;
     // ---- log: the operation's effect is on record (under active
     // replication a zero-cost hop; passive logging happened at delivery).
-    fom->phase = exec::FomPhase::kLog;
+    fom->enter(exec::FomPhase::kLog, sim_.now());
+    obs::SpanId park_span = 0;
     if (spans != nullptr && trace != 0) {
       if (fom->exec_span != 0) spans->end(fom->exec_span, sim_.now());
       const obs::SpanId parent = spans->find_named(trace, "invocation");
@@ -158,14 +176,21 @@ bool Mechanisms::engine_capture_reply(const orb::Endpoint& to, util::Bytes& iiop
           spans->begin(trace, parent, node_, obs::Layer::kMech, "fom-log",
                        sim_.now(), "pos=" + std::to_string(fom->position));
       spans->end(log_span, sim_.now());
+      // The reply parks in the sequencer from here until every earlier
+      // position has emitted; zero-length when it emits immediately.
+      park_span = spans->begin(trace, parent, node_, obs::Layer::kMech,
+                               "reply-park", sim_.now(),
+                               "pos=" + std::to_string(fom->position));
       e.payload = giop::with_trace_context(e.payload, trace);
     }
     // ---- reply: built and handed to the sequencer; emitted now if this is
     // the lowest outstanding position, parked otherwise.
-    fom->phase = exec::FomPhase::kReply;
+    fom->enter(exec::FomPhase::kReply, sim_.now());
     r.engine->finish(
-        fom->position, [this, envelope = std::move(e), trace, incarnation]() mutable {
+        fom->position, sim_.now(),
+        [this, envelope = std::move(e), trace, park_span, incarnation]() mutable {
           if (obs::SpanStore* s = rec_.spans(); s != nullptr && trace != 0) {
+            if (park_span != 0) s->end(park_span, sim_.now());
             s->begin_named(trace, s->find_named(trace, "invocation"), node_,
                            obs::Layer::kTotem, "reply", sim_.now(),
                            "replica=" + std::to_string(incarnation.value));

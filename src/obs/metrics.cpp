@@ -22,7 +22,9 @@ void Histogram::observe(std::uint64_t value) noexcept {
 
 double Histogram::percentile(double p) const noexcept {
   if (count_ == 0) return 0.0;
-  if (p <= 0.0) return static_cast<double>(min());
+  // `!(p > 0.0)` rather than `p <= 0.0`: NaN compares false both ways, so a
+  // non-finite p would otherwise fall through and poison the rank arithmetic.
+  if (!(p > 0.0)) return static_cast<double>(min());
   if (p >= 100.0) return static_cast<double>(max_);
   const double rank = (p / 100.0) * static_cast<double>(count_);
   std::uint64_t cumulative = 0;

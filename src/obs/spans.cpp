@@ -1,6 +1,7 @@
 #include "obs/spans.hpp"
 
 #include <cstdio>
+#include <set>
 
 #include "obs/json.hpp"
 
@@ -160,12 +161,24 @@ std::vector<Span> SpanStore::snapshot() const {
   return out;
 }
 
+std::uint64_t SpanStore::partial_traces() const {
+  std::set<TraceId> partial;
+  for (const Span& s : ring_) {
+    if (s.parent != 0 && s.trace != 0 && slot_.count(s.parent) == 0) {
+      partial.insert(s.trace);
+    }
+  }
+  return partial.size();
+}
+
 std::string SpanStore::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.field("capacity", static_cast<std::uint64_t>(capacity_));
   w.field("total", total_);
   w.field("dropped", dropped());
+  w.field("dropped_spans", dropped());
+  w.field("partial_traces", partial_traces());
   w.key("spans");
   w.begin_array();
   for (const Span& s : snapshot()) span_to_json(w, s);
@@ -183,7 +196,21 @@ std::string SpanStore::to_chrome_json() const {
   w.key("traceEvents");
   w.begin_array();
 
-  // Process metadata first: one named row per node, sorted by id.
+  // Store-health metadata first: viewers ignore unknown "M" events, but a
+  // consumer can read how many spans the ring evicted and how many trace
+  // trees that eviction left partial (the window undercounts those trees).
+  w.begin_object();
+  w.field("name", "span_store");
+  w.field("ph", "M");
+  w.field("pid", std::uint64_t{0});
+  w.key("args");
+  w.begin_object();
+  w.field("dropped_spans", dropped());
+  w.field("partial_traces", partial_traces());
+  w.end_object();
+  w.end_object();
+
+  // Process metadata next: one named row per node, sorted by id.
   std::map<std::uint32_t, bool> pids;
   for (const Span& s : spans) pids[s.node.value] = true;
   for (const auto& [pid, unused] : pids) {
@@ -363,6 +390,7 @@ std::string FlightRecorder::to_json() const {
   w.field("events_dropped", trace_ != nullptr ? trace_->dropped() : 0);
   w.field("spans_total", spans_ != nullptr ? spans_->total() : 0);
   w.field("spans_dropped", spans_ != nullptr ? spans_->dropped() : 0);
+  w.field("partial_traces", spans_ != nullptr ? spans_->partial_traces() : 0);
   w.end_object();
 
   w.key("violations");

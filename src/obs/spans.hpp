@@ -208,6 +208,12 @@ class SpanStore {
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t dropped() const noexcept { return total_ - ring_.size(); }
 
+  /// Distinct traces whose tree the ring eviction broke: a surviving span
+  /// references a parent that is no longer in the store. Consumers (the
+  /// critical-path analyzer, the Chrome export) would otherwise silently
+  /// undercount those trees; both exports carry this next to dropped().
+  std::uint64_t partial_traces() const;
+
   /// Surviving spans, oldest first.
   std::vector<Span> snapshot() const;
 

@@ -317,6 +317,43 @@ TEST(Histogram, ExponentialBoundsAreStrictlyAscending) {
     EXPECT_EQ(latency[i], latency[i - 1] * 2);
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty({10, 20});
+  EXPECT_EQ(empty.percentile(50), 0.0) << "empty histogram: every percentile is 0";
+  EXPECT_EQ(empty.percentile(0), 0.0);
+  EXPECT_EQ(empty.percentile(100), 0.0);
+
+  Histogram one({10, 20});
+  one.observe(15);
+  // A single sample IS every percentile: the in-bucket interpolation is
+  // clamped to [min, max] = [15, 15], so no bucket edge can leak out.
+  EXPECT_EQ(one.percentile(0), 15.0);
+  EXPECT_EQ(one.percentile(50), 15.0);
+  EXPECT_EQ(one.percentile(100), 15.0);
+
+  Histogram h({10, 20});
+  h.observe(5);
+  h.observe(15);
+  h.observe(18);
+  EXPECT_EQ(h.percentile(0), 5.0) << "p0 is the observed minimum";
+  EXPECT_EQ(h.percentile(-3), 5.0) << "negative p clamps to the minimum";
+  EXPECT_EQ(h.percentile(100), 18.0) << "p100 is the observed maximum";
+  EXPECT_EQ(h.percentile(250), 18.0) << "p>100 clamps to the maximum";
+
+  // Percentiles landing in the overflow bucket (beyond the last bound) have
+  // no upper edge to interpolate against; they report the observed max.
+  Histogram overflow({10});
+  overflow.observe(1);
+  overflow.observe(5000);
+  overflow.observe(9000);
+  EXPECT_EQ(overflow.percentile(99), 9000.0);
+  EXPECT_EQ(overflow.percentile(60), 9000.0);
+
+  // Non-finite p must not poison the rank arithmetic; the !(p > 0) guard
+  // routes NaN to the minimum instead of falling through.
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), 5.0);
+}
+
 // -------------------------------------------------------- MetricsRegistry
 
 TEST(MetricsRegistry, HandsOutStableReferences) {
