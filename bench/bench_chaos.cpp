@@ -24,6 +24,11 @@
 //                   with a half-filled reassembly colliding with the retry
 //   delta_reform    state source crashes mid delta-chain recovery; the
 //                   promoted backup re-serves the retrieval
+//   bulk_reform     state source crashes mid out-of-band bulk transfer —
+//                   the half-shipped transfer must be aborted and GC'd, and
+//                   the promoted backup's re-serve must resume from the
+//                   extents the recoverer already acked (digest-matched
+//                   stash), not re-ship the whole image
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -74,6 +79,9 @@ struct Row {
   std::uint64_t chaos_actions = 0;
   std::uint64_t chunk_aborts = 0;
   std::uint64_t storage_failures = 0;
+  std::uint64_t bulk_aborts = 0;    // half-shipped bulk transfers GC'd
+  std::uint64_t bulk_resumed = 0;   // extents revived from the digest stash
+  std::uint64_t bulk_fallbacks = 0; // bulk transfers that fell back in-band
   // Critical-path attribution over the invocations whose span trees
   // survived the scenario intact (obs::critpath); faults leave partial
   // trees, which are counted and skipped rather than folded in.
@@ -109,6 +117,9 @@ void score(System& sys, const FleetDriver& fleet, Duration measured,
         mech.stats().state_chunk_aborts + mech.stats().chunk_sends_aborted;
     row.storage_failures += mech.stats().storage_persist_failures +
                             mech.stats().storage_append_failures;
+    row.bulk_aborts += mech.stats().bulk_transfers_aborted;
+    row.bulk_resumed += mech.stats().bulk_extents_resumed;
+    row.bulk_fallbacks += mech.stats().bulk_fallbacks_chunked;
   }
 
   {
@@ -372,10 +383,14 @@ Row scenario_torn_storage() {
   return row;
 }
 
-/// Shared rig for the two mid-recovery reformation scenarios: warm-passive
+/// Shared rig for the mid-recovery reformation scenarios: warm-passive
 /// group, primary on node 1, backups on nodes 2 and 3; the backup on node 2
 /// is killed and re-launched, and the state source crashes mid-transfer.
-Row run_reform_mid_recovery(const std::string& name, std::size_t delta_cap) {
+/// With `bulk` set the image travels over the out-of-band bulk lane instead
+/// of in-band chunks, and the verdict additionally requires the half-shipped
+/// transfer to be aborted and the re-serve to resume from acked extents.
+Row run_reform_mid_recovery(const std::string& name, std::size_t delta_cap,
+                            bool bulk = false) {
   Row row{.scenario = name};
   SystemConfig cfg = base_config(5);
   // Small chunks + window 1 stretch the transfer over many totally-ordered
@@ -383,6 +398,13 @@ Row run_reform_mid_recovery(const std::string& name, std::size_t delta_cap) {
   cfg.mechanisms.state_chunk_bytes = 4'096;
   cfg.mechanisms.state_chunk_window = 1;
   cfg.mechanisms.delta_chain_cap = delta_cap;
+  if (bulk) {
+    // Small extents + a modest lane keep the stream alive for tens of
+    // milliseconds, so the source crash deterministically lands mid-stream.
+    cfg.mechanisms.bulk_lane = true;
+    cfg.mechanisms.bulk_extent_bytes = 4'096;
+    cfg.bulk_lane.bandwidth_bps = 1e8;
+  }
   System sys(cfg);
 
   FtProperties props;
@@ -423,7 +445,11 @@ Row run_reform_mid_recovery(const std::string& name, std::size_t delta_cap) {
   // delta-chain recovery (delta variant: the delta set_state is small, so
   // the crash is timed a few totem rounds into the recovery instead).
   bool mid_transfer = false;
-  if (delta_cap == 0) {
+  if (bulk) {
+    mid_transfer = sys.run_until(
+        [&] { return sys.mech(NodeId{2}).stats().bulk_extents_received >= 4; },
+        10 * kSecond);
+  } else if (delta_cap == 0) {
     mid_transfer = sys.run_until(
         [&] { return sys.mech(NodeId{2}).stats().state_chunks_received >= 4; },
         10 * kSecond);
@@ -444,12 +470,25 @@ Row run_reform_mid_recovery(const std::string& name, std::size_t delta_cap) {
   sys.run_for(200 * kMs);
   fleet.stop();
   sys.run_for(200 * kMs);
-  score(sys, fleet, run_time(), chaos, !(mid_transfer && recovered), row);
+  bool bulk_ok = true;
+  if (bulk) {
+    // The recoverer must have GC'd the dead sender's half-shipped transfer
+    // and the promoted holder's re-serve must have revived at least one
+    // already-acked extent from the digest stash instead of re-shipping it.
+    const auto& st = sys.mech(NodeId{2}).stats();
+    bulk_ok = st.bulk_transfers_aborted >= 1 && st.bulk_extents_resumed >= 1 &&
+              st.bulk_transfers_completed >= 1;
+  }
+  score(sys, fleet, run_time(), chaos, !(mid_transfer && recovered && bulk_ok),
+        row);
   return row;
 }
 
 Row scenario_chunk_reform() { return run_reform_mid_recovery("chunk_reform", 0); }
 Row scenario_delta_reform() { return run_reform_mid_recovery("delta_reform", 8); }
+Row scenario_bulk_reform() {
+  return run_reform_mid_recovery("bulk_reform", 0, /*bulk=*/true);
+}
 
 }  // namespace
 
@@ -464,7 +503,7 @@ int main(int argc, char** argv) {
   Row (*scenarios[])() = {
       scenario_baseline,   scenario_cascade,      scenario_partition,
       scenario_flap,       scenario_torn_storage, scenario_chunk_reform,
-      scenario_delta_reform,
+      scenario_delta_reform, scenario_bulk_reform,
   };
 
   bench::BenchResultWriter results("chaos");
@@ -501,7 +540,10 @@ int main(int argc, char** argv) {
         .col("order_wait_us_mean", row.order_wait_us_mean)
         .col("execute_us_mean", row.execute_us_mean)
         .col("reply_wire_us_mean", row.reply_wire_us_mean)
-        .col("residual_us_mean", row.residual_us_mean);
+        .col("residual_us_mean", row.residual_us_mean)
+        .col("bulk_aborts", row.bulk_aborts)
+        .col("bulk_resumed", row.bulk_resumed)
+        .col("bulk_fallbacks", row.bulk_fallbacks);
     if (row.verdict != "ok") all_ok = false;
   }
   results.write_file("BENCH_chaos.json");

@@ -44,6 +44,25 @@ GATES = {
             "throughput_per_s": ("min", 0.30, 0.0),
             "p99_ms": ("max", 0.50, 0.25),
             "cp_partial": ("max", 0.0, 0.0),        # no broken span trees
+            # bulk_reform: the promoted holder's re-serve must keep reviving
+            # already-acked extents from the digest stash.
+            "bulk_resumed": ("min", 0.30, 0.0),
+        },
+    },
+    "bulk_transfer": {
+        "key": ["mode", "state_bytes"],
+        "metrics": {
+            "violations": ("max", 0.0, 0.0),         # invariant-clean, always
+            "digest_mismatches": ("max", 0.0, 0.0),  # lane corruption is a bug
+            "bulk_fallbacks": ("max", 0.0, 0.0),     # no silent in-band fallback
+            "recovered": ("min", 0.0, 0.0),
+            "recovery_ms": ("max", 0.50, 0.25),
+            "ring_bytes": ("max", 0.30, 0.0),        # the headline reduction
+            "bystander_p99_us": ("max", 0.50, 50.0),
+            # claim row: chunked/bulk ring-byte ratio must stay an order of
+            # magnitude, and bulk must not regress the bystander's p99.
+            "ring_bytes_reduction": ("min", 0.30, 0.0),
+            "bystander_p99_bulk_over_chunked": ("max", 0.50, 0.05),
         },
     },
     "throughput": {

@@ -32,6 +32,13 @@ echo "== exec-engine slow-servant bench (smoke) =="
 (cd build && ./bench/bench_throughput --smoke)
 
 echo
+echo "== bulk state-transfer bench (smoke) =="
+# Chunked-vs-bulk recovery sweep; the binary exits non-zero on a hang, an
+# invariant violation, an extent digest mismatch, or a silent in-band
+# fallback faking the bulk rows.
+(cd build && ./bench/bench_bulk_transfer --smoke)
+
+echo
 echo "== critical-path attribution bench (smoke) =="
 # Per-segment latency decomposition across the saturation knee; the binary
 # itself exits non-zero if any invocation's segments fail to sum to its
@@ -54,7 +61,8 @@ echo "== ASan/UBSan: obs + core suites =="
 cmake -B build-asan -S . -DETERNAL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS" --target \
   obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test \
-  batching_equivalence_test exec_conformance_test chaos_script_test fleet_stats_test
+  batching_equivalence_test exec_conformance_test bulk_transfer_conformance_test \
+  chaos_script_test fleet_stats_test
 for t in obs_test spans_test integration_smoke_test recovery_edge_test quiescence_test \
          chaos_script_test fleet_stats_test; do
   "build-asan/tests/$t"
@@ -65,5 +73,8 @@ done
 # FOM engine conformance: the fast seeds exercise the full enqueue/phase/
 # reply-sequencer machinery (including the overlap scenario) under ASan/UBSan.
 "build-asan/tests/exec_conformance_test" --gtest_filter='ExecConformanceFast.*'
+# Bulk-lane conformance: the fast seeds move real extent payloads over the
+# lane (descriptor/ack/marker, digest stash, fallback) under ASan/UBSan.
+"build-asan/tests/bulk_transfer_conformance_test" --gtest_filter='BulkConformanceFast.*'
 
 echo "check.sh: all gates passed"

@@ -27,6 +27,13 @@ segments plus an explicit residual, so the printed parts always sum to the
 end-to-end time exactly; partial trees (eviction, mid-flight teardown) are
 counted and skipped.
 
+--critpath also prints every recovery tree (RecoveryProfiler spans): one row
+per "recovery" root with its fault-detection / quiesce / get_state /
+state-transfer / set_state / replay phase lengths (asserted to partition the
+recovery exactly), and for each state-transfer phase either the in-band chunk
+count or the out-of-band bulk sub-segments (descriptor-wait / bulk-stream /
+marker-wait, asserted to partition the phase exactly).
+
 Times are printed in milliseconds of simulated time. The diff ignores volatile
 identifiers (span/trace ids are allocation-ordered) and compares the stable
 shape: events by (t, node, layer, kind, seq, detail) and spans by
@@ -213,6 +220,73 @@ def critpath_analyze(spans):
     return breakdowns, partial, inflight
 
 
+# Fixed phase order, mirroring obs::RecoveryProfiler's next_phase sequence.
+RECOVERY_PHASES = (
+    "fault-detection", "quiesce", "get_state", "state-transfer",
+    "set_state", "replay",
+)
+
+# Bulk-lane sub-segments under a state-transfer phase (src/obs/spans.cpp).
+TRANSFER_SUBS = ("descriptor-wait", "bulk-stream", "marker-wait")
+
+
+def print_recoveries(doc):
+    spans = doc["spans"]
+    by_parent = {}
+    instants = {}  # trace id -> Counter of instant-span names
+    for s in spans:
+        by_parent.setdefault(s["parent"], []).append(s)
+        if s.get("instant"):
+            instants.setdefault(s["trace"], Counter())[s["name"]] += 1
+    roots = [s for s in spans if s["name"] == "recovery"]
+    if not roots:
+        return
+    print(f"-- recoveries ({len(roots)})")
+    header = " ".join(f"{name:>15}" for name in RECOVERY_PHASES)
+    print(f"  {'start_ms':>10} {'total_ms':>9} {'node':>4} {header}  detail")
+    for root in sorted(roots, key=lambda s: (s["start"], s["id"])):
+        phases = sorted(
+            (c for c in by_parent.get(root["id"], []) if c["name"] in RECOVERY_PHASES),
+            key=lambda c: c["start"])
+        if root.get("open") or any(p.get("open") for p in phases):
+            # A replaced profile (re-launch under the same ids) or a recovery
+            # still running at dump time; no partition to assert.
+            print(f"  {ms(root['start']):10.3f} {'OPEN':>9} N{root['node']:<3}"
+                  f"  {root.get('detail', '')}")
+            continue
+        total = root["end"] - root["start"]
+        seg = {name: 0 for name in RECOVERY_PHASES}
+        for p in phases:
+            seg[p["name"]] += p["end"] - p["start"]
+        # The profiler advances phase-by-phase with shared boundaries, so the
+        # phases partition the recovery exactly; a gap means a torn profile.
+        assert sum(seg.values()) == total, "recovery phase partition broken"
+        cols = " ".join(f"{ms(seg[name]):15.3f}" for name in RECOVERY_PHASES)
+        print(f"  {ms(root['start']):10.3f} {ms(total):9.3f} N{root['node']:<3} {cols}"
+              f"  {root.get('detail', '')}")
+        counts = instants.get(root["trace"], Counter())
+        for p in phases:
+            if p["name"] != "state-transfer":
+                continue
+            subs = sorted(
+                (c for c in by_parent.get(p["id"], []) if c["name"] in TRANSFER_SUBS),
+                key=lambda c: c["start"])
+            if subs:
+                sub_total = sum(c["end"] - c["start"] for c in subs)
+                # Sub-segments share boundaries too (descriptor-wait is
+                # retroactive from the state_captured instant, and a re-served
+                # transfer folds its wait into the interrupted sub-span).
+                assert sub_total == p["end"] - p["start"], \
+                    "transfer sub-segment partition broken"
+                parts = " + ".join(
+                    f"{c['name']} {ms(c['end'] - c['start']):.3f}" for c in subs)
+                print(f"  {'':>10} {'':>9} {'':>4}  transfer[bulk]: {parts}"
+                      f"  (extents={counts.get('bulk-extent', 0)})")
+            elif counts.get("state-chunk"):
+                print(f"  {'':>10} {'':>9} {'':>4}  transfer[in-band]:"
+                      f" chunks={counts['state-chunk']}")
+
+
 def print_critpath(doc):
     breakdowns, partial, inflight = critpath_analyze(doc["spans"])
     print(f"-- critical path ({len(breakdowns)} invocation(s), "
@@ -296,6 +370,7 @@ def main():
         print_header(path, doc)
         if args.critpath:
             print_critpath(doc)
+            print_recoveries(doc)
             continue
         if not args.spans:
             print_events(doc)

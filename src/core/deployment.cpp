@@ -19,6 +19,8 @@ System::System(SystemConfig config) : config_(config) {
     sim_.recorder().attach_spans(spans_.get());
   }
   ethernet_ = std::make_unique<sim::Ethernet>(sim_, config_.ethernet, config_.seed);
+  bulk_lane_ = std::make_unique<sim::BulkLane>(sim_, config_.bulk_lane,
+                                               config_.seed ^ 0xb11cu);
 
   std::vector<NodeId> ring;
   ring.reserve(config_.nodes);
@@ -54,6 +56,8 @@ System::System(SystemConfig config) : config_(config) {
           config_.stable_storage_root + "/node-" + std::to_string(id.value);
     }
     s.mech = std::make_unique<Mechanisms>(sim_, id, *s.tap, *s.totem, mech_cfg);
+    s.mech->set_bulk_lane(bulk_lane_.get());
+    bulk_lane_->attach(id, s.mech.get());
     shim->target = s.mech.get();
     s.manager = std::make_unique<ReplicationManager>(*s.mech, *s.totem);
     slots_.push_back(std::move(s));
@@ -166,7 +170,9 @@ void System::crash_node(NodeId node) {
   NodeSlot& s = slot(node);
   s.totem->crash();
   // Replicas hosted here die with the processor; peers find out through the
-  // ring view change. Locally we just silence the node.
+  // ring view change. Locally we just silence the node — on both media: a
+  // crashed processor neither sources nor sinks bulk-lane traffic.
+  bulk_lane_->detach(node);
   s.orb->reset_connections();
 }
 

@@ -22,6 +22,7 @@
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "orb/orb.hpp"
+#include "sim/bulk_lane.hpp"
 #include "sim/ethernet.hpp"
 #include "sim/simulator.hpp"
 #include "totem/totem.hpp"
@@ -32,6 +33,9 @@ struct SystemConfig {
   std::size_t nodes = 4;
   std::uint64_t seed = 42;
   sim::EthernetConfig ethernet;
+  /// Out-of-band bulk data lane (always constructed so chaos scripts can
+  /// fault it; carries traffic only when mechanisms.bulk_lane is on).
+  sim::BulkLaneConfig bulk_lane;
   totem::TotemConfig totem;
   orb::OrbConfig orb;  ///< all nodes run the same vendor's ORB (paper §4.2)
   MechanismsConfig mechanisms;
@@ -74,6 +78,7 @@ class System {
 
   sim::Simulator& sim() noexcept { return sim_; }
   sim::Ethernet& ethernet() noexcept { return *ethernet_; }
+  sim::BulkLane& bulk_lane() noexcept { return *bulk_lane_; }
   const SystemConfig& config() const noexcept { return config_; }
 
   /// System-wide metrics registry (always live; JSON via metrics().to_json()).
@@ -157,6 +162,7 @@ class System {
   std::unique_ptr<obs::SpanStore> spans_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Ethernet> ethernet_;
+  std::unique_ptr<sim::BulkLane> bulk_lane_;
   std::vector<NodeSlot> slots_;
   std::vector<std::shared_ptr<totem::TotemListener>> shims_;
   std::uint32_t next_group_ = 1;

@@ -1,5 +1,7 @@
 #include "core/envelope.hpp"
 
+#include <algorithm>
+
 namespace eternal::core {
 
 namespace {
@@ -20,6 +22,13 @@ Bytes encode_envelope(const Envelope& e) {
   w.put_u64(e.delta_base);
   w.put_u32(e.chunk_index);
   w.put_u32(e.chunk_count);
+  if (e.kind >= EnvelopeKind::kStateBulkDescriptor) {
+    w.put_u64(e.transfer_id);
+    w.put_u64(e.total_bytes);
+    w.put_u32(e.extent_bytes);
+    w.put_u32(static_cast<std::uint32_t>(e.extent_digests.size()));
+    for (std::uint64_t d : e.extent_digests) w.put_u64(d);
+  }
   w.put_octets(e.payload);
   w.put_octets(e.orb_state);
   w.put_octets(e.infra_state);
@@ -34,7 +43,7 @@ std::optional<Envelope> decode_envelope(BytesView data) {
     (void)r.get_u8();
     Envelope e;
     e.kind = static_cast<EnvelopeKind>(r.get_u8());
-    if (static_cast<std::uint8_t>(e.kind) < 1 || static_cast<std::uint8_t>(e.kind) > 7) {
+    if (static_cast<std::uint8_t>(e.kind) < 1 || static_cast<std::uint8_t>(e.kind) > 11) {
       return std::nullopt;
     }
     if (r.get_u16() != kMagic) return std::nullopt;
@@ -51,10 +60,46 @@ std::optional<Envelope> decode_envelope(BytesView data) {
         (e.chunk_count < 1 || e.chunk_index >= e.chunk_count)) {
       return std::nullopt;
     }
+    if (e.kind >= EnvelopeKind::kStateBulkDescriptor) {
+      e.transfer_id = r.get_u64();
+      e.total_bytes = r.get_u64();
+      e.extent_bytes = r.get_u32();
+      const std::uint32_t n_digests = r.get_count(8);
+      e.extent_digests.reserve(n_digests);
+      for (std::uint32_t i = 0; i < n_digests; ++i) {
+        e.extent_digests.push_back(r.get_u64());
+      }
+      // Shared bulk geometry: a transfer is named, non-empty, and its extent
+      // grid covers total_bytes exactly (the last extent is the remainder).
+      if (e.transfer_id == 0 || e.chunk_count < 1) return std::nullopt;
+      if (e.kind != EnvelopeKind::kBulkAck) {
+        if (e.extent_bytes < 1 || e.total_bytes < 1) return std::nullopt;
+        const std::uint64_t grid =
+            static_cast<std::uint64_t>(e.chunk_count) * e.extent_bytes;
+        const std::uint64_t prefix =
+            static_cast<std::uint64_t>(e.chunk_count - 1) * e.extent_bytes;
+        if (e.total_bytes > grid || e.total_bytes <= prefix) return std::nullopt;
+      }
+      if (e.kind == EnvelopeKind::kStateBulkDescriptor) {
+        if (e.extent_digests.size() != e.chunk_count) return std::nullopt;
+      }
+      if (e.kind == EnvelopeKind::kBulkExtent || e.kind == EnvelopeKind::kBulkAck) {
+        if (e.chunk_index >= e.chunk_count) return std::nullopt;
+      }
+    }
     e.payload = r.get_octets();
     e.orb_state = r.get_octets();
     e.infra_state = r.get_octets();
     e.control_data = r.get_octets();
+    if (e.kind == EnvelopeKind::kBulkExtent) {
+      // The payload must be exactly this extent's slice of total_bytes —
+      // overlap/overflow cannot be expressed.
+      const std::uint64_t offset =
+          static_cast<std::uint64_t>(e.chunk_index) * e.extent_bytes;
+      const std::uint64_t expected =
+          std::min<std::uint64_t>(e.extent_bytes, e.total_bytes - offset);
+      if (e.payload.size() != expected) return std::nullopt;
+    }
     return e;
   } catch (const util::CdrError&) {
     return std::nullopt;

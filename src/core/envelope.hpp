@@ -33,6 +33,14 @@ enum class EnvelopeKind : std::uint8_t {
   kCheckpoint = 5,  ///< periodic passive checkpoint with piggybacked state
   kControl = 6,     ///< replicated group-membership operation
   kStateChunk = 7,  ///< one bounded slice of a large state-bearing envelope
+  // Out-of-band bulk transfer: the ordered ring carries only the skinny
+  // control messages (descriptor + completion marker); the state bytes
+  // stream point-to-point on the bulk lane (sim/bulk_lane.hpp) as extent
+  // frames, acknowledged per extent.
+  kStateBulkDescriptor = 8,  ///< ordered: announces a bulk transfer (digests)
+  kStateBulkComplete = 9,    ///< ordered: pins the set_state logical instant
+  kBulkExtent = 10,          ///< lane-only: one extent of the encoded inner envelope
+  kBulkAck = 11,             ///< lane-only: receiver verified extent chunk_index
 };
 
 /// Control operations (kControl envelopes), applied in total order by every
@@ -80,8 +88,21 @@ struct Envelope {
   /// kStateChunk: position of this slice in the reassembled envelope.
   /// A chunked transfer is keyed (target_group, op_seq, subject,
   /// subject_node); payload holds the slice bytes.
+  /// kStateBulkDescriptor/kBulkExtent: chunk_count is the extent count and
+  /// chunk_index the extent position (descriptor: 0).
   std::uint32_t chunk_index = 0;
   std::uint32_t chunk_count = 0;
+
+  /// Bulk-transfer fields, wire-encoded only for kinds >= kStateBulkDescriptor
+  /// (ordinary envelopes are byte-identical to the pre-bulk format).
+  /// transfer_id names one bulk transfer attempt; total_bytes is the encoded
+  /// inner envelope's size; extent_bytes the slice width (the last extent may
+  /// be shorter); extent_digests the per-extent FNV-1a digests (descriptor
+  /// only — extents/acks carry an empty list).
+  std::uint64_t transfer_id = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t extent_bytes = 0;
+  std::vector<std::uint64_t> extent_digests;
 
   /// kRequest/kReply: the untouched IIOP message bytes.
   /// kSetState/kCheckpoint: the application-level state (a get_state reply

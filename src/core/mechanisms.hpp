@@ -44,6 +44,7 @@
 #include "interceptor/interceptor.hpp"
 #include "obs/trace.hpp"
 #include "orb/orb.hpp"
+#include "sim/bulk_lane.hpp"
 #include "totem/totem.hpp"
 
 namespace eternal::core {
@@ -92,6 +93,24 @@ struct MechanismsConfig {
   /// Chunks submitted to Totem before waiting for self-delivery (pipelining
   /// window of an in-progress chunked transfer).
   std::size_t state_chunk_window = 4;
+
+  // ---- out-of-band bulk lane (off = every state byte rides the ring) ----
+  /// Ship large state point-to-point on the bulk lane: the ordered ring
+  /// carries only a kStateBulkDescriptor (per-extent digests) and a
+  /// kStateBulkComplete marker that pins the set_state logical instant;
+  /// the bytes stream as kBulkExtent lane messages with per-extent ack.
+  /// Requires a BulkLane wired via set_bulk_lane; chunked transfers must
+  /// also be enabled (state_chunk_bytes > 0) — it is the fallback path.
+  bool bulk_lane = false;
+  /// Payload bytes per bulk extent (the digest / ack / retry unit).
+  std::size_t bulk_extent_bytes = 65'536;
+  /// Extents in flight on the lane before waiting for acks.
+  std::size_t bulk_credit_window = 4;
+  /// Re-send timeout for the oldest unacked extent.
+  util::Duration bulk_retry_timeout = util::Duration(10'000'000);  ///< 10 ms
+  /// Consecutive retry rounds before the sender gives up and falls back to
+  /// the in-band chunked path.
+  std::size_t bulk_max_retries = 8;
 
   // ---- non-blocking execution engine (off = seed synchronous upcalls) ----
   /// Run delivered requests as run-to-completion FOMs: agreed delivery only
@@ -142,6 +161,16 @@ struct MechanismsStats {
   std::uint64_t chunk_sends_aborted = 0;  ///< outgoing chunked sends dropped on membership change
   std::uint64_t storage_persist_failures = 0;  ///< base compactions that failed (surfaced)
   std::uint64_t storage_append_failures = 0;   ///< segment appends that failed/tore (surfaced)
+  // ---- out-of-band bulk transfer ----
+  std::uint64_t bulk_transfers_started = 0;    ///< descriptors multicast (sender side)
+  std::uint64_t bulk_transfers_completed = 0;  ///< markers applied at the recoverer
+  std::uint64_t bulk_extents_sent = 0;         ///< lane extents sent (incl. re-sends)
+  std::uint64_t bulk_extents_received = 0;     ///< lane extents accepted + verified
+  std::uint64_t bulk_extent_retries = 0;       ///< retry rounds fired
+  std::uint64_t bulk_extents_resumed = 0;      ///< extents satisfied from a prior attempt's stash
+  std::uint64_t bulk_digest_mismatches = 0;    ///< extents rejected on digest verify
+  std::uint64_t bulk_transfers_aborted = 0;    ///< half-shipped transfers GC'd
+  std::uint64_t bulk_fallbacks_chunked = 0;    ///< sends that fell back in-band
 };
 
 /// Timing record of one completed recovery (drives paper Figure 6).
@@ -164,7 +193,9 @@ struct RecoveryRecord {
   util::Duration apply_time() const { return operational - set_state_delivered; }
 };
 
-class Mechanisms final : public interceptor::Diversion, public totem::TotemListener {
+class Mechanisms final : public interceptor::Diversion,
+                         public totem::TotemListener,
+                         public sim::BulkStation {
  public:
   Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
              totem::TotemNode& totem, MechanismsConfig config = MechanismsConfig{});
@@ -264,6 +295,12 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   // ---------------------------------------------------- totem::TotemListener
   void on_deliver(const totem::Delivery& delivery) override;
   void on_view_change(const totem::View& view) override;
+
+  // ------------------------------------------------------- sim::BulkStation
+  /// Wires the out-of-band data lane (deployment). Null = lane absent; bulk
+  /// sends are then never attempted regardless of config.bulk_lane.
+  void set_bulk_lane(sim::BulkLane* lane) noexcept { bulk_lane_ = lane; }
+  void on_bulk(NodeId from, util::BytesView payload) override;
 
  private:
   // ---- local replica bookkeeping ----
@@ -405,6 +442,36 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   /// member — the inner envelope delivers at the final chunk's position.
   void start_chunked_send(GroupId group, const Envelope& inner);
   void deliver_state_chunk(const Envelope& e);
+  // ---- out-of-band bulk transfer (mechanisms_bulk.cpp) ----
+  struct BulkSend;
+  struct BulkReassembly;
+  /// True when a bulk send to `to` can be attempted right now: config + lane
+  /// enabled, both endpoints attached, chunked fallback configured.
+  bool bulk_usable(NodeId to) const;
+  /// Sender: slices the encoded inner envelope into digested extents,
+  /// multicasts the descriptor on the ring, and starts streaming on the lane.
+  void start_bulk_send(GroupId group, const Envelope& inner);
+  /// Streams extents up to the credit window; emits the ordered completion
+  /// marker once every extent is acked.
+  void pump_bulk_send(BulkSend& s);
+  void ship_bulk_extent(BulkSend& s, std::size_t index);
+  void arm_bulk_retry(GroupId group);
+  /// Retry exhaustion / lane death / membership change: drops the send and
+  /// (optionally) re-publishes the kept inner envelope via the in-band
+  /// chunked path under the same epoch.
+  void abort_bulk_send(GroupId group, bool fallback);
+  void deliver_bulk_descriptor(const Envelope& e);
+  void deliver_bulk_marker(const Envelope& e);
+  void handle_bulk_extent(NodeId from, const Envelope& e);
+  void handle_bulk_ack(const Envelope& e);
+  /// Moves a dead reassembly's verified extents into the digest-keyed stash
+  /// (resume source for the next attempt) and erases it.
+  void stash_bulk_reassembly(std::uint32_t group, BulkReassembly& re);
+  /// Drops every bulk reassembly/stash entry for (group, subject) with epoch
+  /// <= `applied_epoch` (0 = all): a delivered set_state supersedes them.
+  void gc_bulk_incoming(std::uint32_t group, ReplicaId subject,
+                        std::uint64_t applied_epoch);
+
   /// Applies the next queued restore envelope (base checkpoint / chained
   /// delta / wire state) as a fabricated dispatch; the last one completes
   /// the recovery.
@@ -497,6 +564,50 @@ class Mechanisms final : public interceptor::Diversion, public totem::TotemListe
   };
   std::map<std::pair<std::uint32_t, std::uint64_t>, ChunkReassembly>
       incoming_chunks_;  // by (group, epoch)
+
+  // ---- out-of-band bulk transfer ----
+  struct BulkSend {
+    GroupId group{};
+    std::uint64_t transfer_id = 0;
+    std::uint64_t epoch = 0;
+    ReplicaId subject{};   ///< the recoverer this transfer serves
+    NodeId to{};           ///< the recoverer's node (lane destination)
+    Envelope inner;        ///< kept whole for the in-band fallback
+    Bytes encoded;         ///< encoded inner envelope (the shipped bytes)
+    std::size_t extent_bytes = 0;
+    std::vector<std::uint64_t> digests;
+    std::vector<bool> sent;
+    std::vector<bool> acked;
+    std::size_t acked_count = 0;
+    std::size_t next = 0;       ///< next never-sent extent
+    std::size_t inflight = 0;   ///< sent, not yet acked (credit accounting)
+    std::size_t retry_rounds = 0;
+    /// Our descriptor self-delivered, and it was the first descriptor of its
+    /// epoch in the total order — extents may flow.
+    bool streaming = false;
+    bool marker_sent = false;
+    sim::EventId retry_timer{};
+  };
+  std::map<std::uint32_t, BulkSend> outgoing_bulk_;  // by group
+  struct BulkReassembly {
+    std::uint64_t transfer_id = 0;
+    NodeId sender{};
+    ReplicaId subject{};
+    std::uint64_t total_bytes = 0;
+    std::size_t extent_bytes = 0;
+    std::vector<std::uint64_t> digests;
+    std::vector<Bytes> parts;  ///< empty slot = not yet received+verified
+    std::size_t received = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, BulkReassembly>
+      incoming_bulk_;  // by (group, epoch)
+  /// Verified extents surviving an aborted attempt, keyed by content digest:
+  /// a re-served transfer (same or new sender) acks matching extents without
+  /// re-shipping them. (group, subject) → digest → bytes.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::map<std::uint64_t, Bytes>>
+      bulk_stash_;
+  sim::BulkLane* bulk_lane_ = nullptr;
+  std::uint64_t next_transfer_nonce_ = 1;
 
   // Stable storage (optional) and restores awaiting group re-creation.
   std::unique_ptr<class StableStorage> storage_;

@@ -41,6 +41,13 @@ void Mechanisms::on_deliver(const totem::Delivery& delivery) {
     case EnvelopeKind::kCheckpoint: deliver_checkpoint(*env); return;
     case EnvelopeKind::kControl: deliver_control(*env); return;
     case EnvelopeKind::kStateChunk: deliver_state_chunk(*env); return;
+    case EnvelopeKind::kStateBulkDescriptor: deliver_bulk_descriptor(*env); return;
+    case EnvelopeKind::kStateBulkComplete: deliver_bulk_marker(*env); return;
+    case EnvelopeKind::kBulkExtent:
+    case EnvelopeKind::kBulkAck:
+      // Lane-only kinds; one multicast on the ring would order raw state
+      // bytes without a descriptor. Drop them.
+      return;
   }
 }
 
@@ -78,6 +85,10 @@ void Mechanisms::on_view_change(const totem::View& view) {
     recovery_base_.clear();
     outgoing_chunks_.clear();
     incoming_chunks_.clear();
+    for (auto& [gid, send] : outgoing_bulk_) sim_.cancel(send.retry_timer);
+    outgoing_bulk_.clear();
+    incoming_bulk_.clear();
+    bulk_stash_.clear();
     return;
   }
 
@@ -93,6 +104,21 @@ void Mechanisms::on_view_change(const totem::View& view) {
     if (sender_gone) {
       stats_.state_chunk_aborts += 1;
       it = incoming_chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Bulk reassemblies whose sender departed are equally dead — but their
+  // verified extents survive into the stash, so the re-served transfer
+  // (served by a surviving member) resumes instead of re-shipping.
+  for (auto it = incoming_bulk_.begin(); it != incoming_bulk_.end();) {
+    const bool sender_gone =
+        std::find(view.departed.begin(), view.departed.end(), it->second.sender) !=
+        view.departed.end();
+    if (sender_gone) {
+      stats_.bulk_transfers_aborted += 1;
+      stash_bulk_reassembly(it->first.first, it->second);
+      it = incoming_bulk_.erase(it);
     } else {
       ++it;
     }
@@ -463,6 +489,13 @@ void Mechanisms::publish_state(LocalReplica& r, const CurrentDispatch& d,
   if (!d.checkpoint && config_.state_chunk_bytes > 0 &&
       e.payload.size() + e.orb_state.size() + e.infra_state.size() >
           config_.state_chunk_bytes) {
+    if (config_.bulk_lane) {
+      // Out-of-band path: the bytes leave the ring entirely
+      // (mechanisms_bulk.cpp); falls back to chunking when the lane cannot
+      // reach the recoverer.
+      start_bulk_send(r.group, e);
+      return;
+    }
     start_chunked_send(r.group, e);
     return;
   }
@@ -599,6 +632,15 @@ void Mechanisms::deliver_set_state(const Envelope& e) {
                                      << e.payload.size() << "B app state)");
   react(table_.apply_state_transfer(e));
   awaiting_get_state_[e.target_group.value].erase(e.subject.value);
+
+  // This epoch's state has landed (whatever path carried it): bulk machinery
+  // still working the same subject at this or an older epoch is superseded —
+  // a rival sender stands down, stale reassemblies and the resume stash go.
+  auto bulk_out = outgoing_bulk_.find(e.target_group.value);
+  if (bulk_out != outgoing_bulk_.end() && bulk_out->second.epoch == e.op_seq) {
+    abort_bulk_send(e.target_group, /*fallback=*/false);
+  }
+  gc_bulk_incoming(e.target_group.value, e.subject, e.op_seq);
 
   LocalReplica* r = local_replica(e.target_group);
   if (r == nullptr) return;
@@ -1344,10 +1386,11 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
             // consumers never see the replica as still live.
             set_phase(*r, Phase::kDead);
             replicas_.erase(event.group.value);
-            // Any chunked send our replica was sourcing dies with it.
+            // Any chunked or bulk send our replica was sourcing dies with it.
             if (outgoing_chunks_.erase(event.group.value) > 0) {
               stats_.chunk_sends_aborted += 1;
             }
+            abort_bulk_send(event.group, /*fallback=*/false);
           }
         }
         // GC chunked transfers tied to the removed replica: an outgoing send
@@ -1369,6 +1412,15 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
             ++it;
           }
         }
+        // Likewise for bulk transfers serving the removed replica: the
+        // sender's stream, the reassembly, and the resume stash (the subject
+        // is gone for good — a relaunch gets a fresh replica id).
+        auto bulk_it = outgoing_bulk_.find(event.group.value);
+        if (bulk_it != outgoing_bulk_.end() &&
+            bulk_it->second.subject == event.replica) {
+          abort_bulk_send(event.group, /*fallback=*/false);
+        }
+        gc_bulk_incoming(event.group.value, event.replica, 0);
         awaiting_get_state_[event.group.value].erase(event.replica.value);
         recovery_base_.erase({event.group.value, event.replica.value});
         // The removed replica may have been the state source of an ongoing

@@ -319,6 +319,10 @@ void RecoveryProfiler::state_captured(util::GroupId group, util::ReplicaId subje
   a->at[3] = at;
   a->state_bytes = state_bytes;
   next_phase(*a, "state-transfer", at, "bytes=" + std::to_string(state_bytes));
+  // Bulk transfers retroactively attribute [state_captured, descriptor
+  // arrival) to "descriptor-wait"; remember where that sub-span would start.
+  a->bulk_sub = 0;
+  a->bulk_mark = at;
 }
 
 void RecoveryProfiler::chunk_arrived(util::GroupId group, util::ReplicaId subject,
@@ -331,10 +335,56 @@ void RecoveryProfiler::chunk_arrived(util::GroupId group, util::ReplicaId subjec
                      " bytes=" + std::to_string(bytes));
 }
 
+void RecoveryProfiler::bulk_descriptor(util::GroupId group, util::ReplicaId subject,
+                                       util::TimePoint at, std::uint32_t extents,
+                                       std::size_t total_bytes) {
+  Active* a = find(group, subject, Stage::kDelivered);
+  if (a == nullptr) return;
+  // A re-served transfer (source died, fallback raced) restarts the
+  // sub-span sequence: close whatever was open; the wait for the new
+  // descriptor stays attributed to that interrupted sub-span, so the
+  // sub-segments always partition the state-transfer phase exactly.
+  if (a->bulk_sub == 0) {
+    // Retroactive: everything since state_captured was waiting for the
+    // first descriptor to transit the ring.
+    store_.end(store_.begin(a->trace, a->phase, a->node, Layer::kMech,
+                            "descriptor-wait", a->bulk_mark),
+               at);
+  } else {
+    store_.end(a->bulk_sub, at);
+  }
+  a->bulk_sub = store_.begin(a->trace, a->phase, a->node, Layer::kMech, "bulk-stream",
+                             at,
+                             "extents=" + std::to_string(extents) +
+                                 " bytes=" + std::to_string(total_bytes));
+  a->bulk_mark = at;
+}
+
+void RecoveryProfiler::bulk_extent(util::GroupId group, util::ReplicaId subject,
+                                   util::TimePoint at, std::uint32_t index,
+                                   std::uint32_t count, std::size_t bytes) {
+  Active* a = find(group, subject, Stage::kDelivered);
+  if (a == nullptr) return;
+  store_.instant(a->trace, a->node, Layer::kMech, "bulk-extent", at,
+                 "extent=" + std::to_string(index) + "/" + std::to_string(count) +
+                     " bytes=" + std::to_string(bytes));
+}
+
+void RecoveryProfiler::bulk_streamed(util::GroupId group, util::ReplicaId subject,
+                                     util::TimePoint at) {
+  Active* a = find(group, subject, Stage::kDelivered);
+  if (a == nullptr || a->bulk_sub == 0) return;
+  store_.end(a->bulk_sub, at);
+  a->bulk_sub = store_.begin(a->trace, a->phase, a->node, Layer::kMech, "marker-wait", at);
+  a->bulk_mark = at;
+}
+
 void RecoveryProfiler::state_delivered(util::GroupId group, util::ReplicaId subject,
                                        util::TimePoint at) {
   Active* a = find(group, subject, Stage::kDelivered);
   if (a == nullptr) return;
+  store_.end(a->bulk_sub, at);
+  a->bulk_sub = 0;
   a->stage = Stage::kApplied;
   a->at[4] = at;
   next_phase(*a, "set_state", at);

@@ -122,6 +122,17 @@ class RecoveryProfiler {
   /// phase (no stage advance — that happens at the reassembled delivery).
   void chunk_arrived(util::GroupId group, util::ReplicaId subject, util::TimePoint at,
                      std::uint32_t index, std::uint32_t count, std::size_t bytes);
+  /// Out-of-band bulk transfer: splits the state-transfer phase into
+  /// contiguous sub-spans. The descriptor's arrival at the recoverer closes a
+  /// retroactive "descriptor-wait" (opened at state_captured time) and opens
+  /// "bulk-stream"; the last verified extent closes it and opens
+  /// "marker-wait", which state_delivered() closes at the ordered marker.
+  void bulk_descriptor(util::GroupId group, util::ReplicaId subject, util::TimePoint at,
+                       std::uint32_t extents, std::size_t total_bytes);
+  /// One verified lane extent: zero-duration "bulk-extent" event.
+  void bulk_extent(util::GroupId group, util::ReplicaId subject, util::TimePoint at,
+                   std::uint32_t index, std::uint32_t count, std::size_t bytes);
+  void bulk_streamed(util::GroupId group, util::ReplicaId subject, util::TimePoint at);
   void state_delivered(util::GroupId group, util::ReplicaId subject, util::TimePoint at);
   /// `replay_backlog`: messages enqueued during recovery still pending. When
   /// zero the replay phase closes immediately (zero duration).
@@ -151,6 +162,8 @@ class RecoveryProfiler {
     TraceId trace = 0;
     SpanId root = 0;
     SpanId phase = 0;  ///< currently open phase child span
+    SpanId bulk_sub = 0;  ///< open bulk sub-span inside state-transfer
+    util::TimePoint bulk_mark{};  ///< current bulk sub-span's start time
   };
 
   Active* find(util::GroupId group, util::ReplicaId replica, Stage expect);

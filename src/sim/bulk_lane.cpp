@@ -1,0 +1,84 @@
+#include "sim/bulk_lane.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace eternal::sim {
+
+BulkLane::BulkLane(Simulator& sim, BulkLaneConfig config, std::uint64_t loss_seed)
+    : sim_(sim), config_(config), rng_(loss_seed) {
+  if (config_.bandwidth_bps <= 0) {
+    throw std::invalid_argument("BulkLane: bandwidth must be positive");
+  }
+}
+
+void BulkLane::attach(NodeId node, BulkStation* station) {
+  if (station == nullptr) throw std::invalid_argument("BulkLane: null station");
+  stations_[node] = station;
+}
+
+void BulkLane::detach(NodeId node) { stations_.erase(node); }
+
+int BulkLane::component_of(NodeId node) const noexcept {
+  auto it = partition_.find(node);
+  return it == partition_.end() ? 0 : it->second;
+}
+
+util::Duration BulkLane::tx_time(std::size_t payload_bytes) const noexcept {
+  const std::size_t lane_bytes = payload_bytes + config_.header_bytes;
+  const double seconds =
+      static_cast<double>(lane_bytes) * 8.0 / config_.bandwidth_bps;
+  return util::Duration(static_cast<std::int64_t>(seconds * 1e9));
+}
+
+void BulkLane::send(NodeId from, NodeId to, Bytes payload) {
+  if (!attached(from)) return;  // a crashed node cannot transmit
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += payload.size() + config_.header_bytes;
+  stats_.payload_bytes += payload.size();
+
+  // Drops are decided at send time so the link stays idle for them — a dead
+  // fabric or severed pair carries nothing, unlike a lossy receiver.
+  if (!enabled_ || component_of(from) != component_of(to)) {
+    stats_.messages_dropped += 1;
+    return;
+  }
+  double loss = config_.loss_probability;
+  if (auto it = link_loss_.find({from.value, to.value}); it != link_loss_.end()) {
+    loss = it->second;
+  }
+  if (loss > 0 && rng_.chance(loss)) {
+    stats_.messages_dropped += 1;
+    return;
+  }
+
+  // Serialize on this ordered pair's link only.
+  TimePoint& free_at = link_free_at_[{from.value, to.value}];
+  const TimePoint start = std::max(sim_.now(), free_at);
+  free_at = start + tx_time(payload.size());
+  const TimePoint arrival = free_at + config_.propagation;
+
+  auto shared = std::make_shared<Bytes>(std::move(payload));
+  sim_.schedule_at(arrival, [this, from, to, shared] {
+    auto it = stations_.find(to);
+    if (it == stations_.end()) return;  // crashed before arrival
+    it->second->on_bulk(from, *shared);
+  });
+}
+
+void BulkLane::set_partition(const std::vector<NodeId>& nodes, int component) {
+  for (NodeId n : nodes) partition_[n] = component;
+}
+
+void BulkLane::heal_partition() { partition_.clear(); }
+
+void BulkLane::set_link_loss(NodeId from, NodeId to, double p) {
+  if (p <= 0.0) {
+    link_loss_.erase({from.value, to.value});
+  } else {
+    link_loss_[{from.value, to.value}] = p;
+  }
+}
+
+}  // namespace eternal::sim

@@ -1,0 +1,110 @@
+// Simulated point-to-point bulk data lane.
+//
+// The Totem ring (sim/ethernet.hpp) is the sole source of logical time: every
+// totally ordered message shares one medium, so shipping a large servant
+// state over it taxes every bystander. The bulk lane is the out-of-band data
+// path that fixes this, motr-rpc style: control stays on the ring (descriptor
+// + transfer-complete marker, see core/mechanisms.hpp), while the state bytes
+// themselves stream here, point to point, on per-pair links that never
+// contend with ordered traffic.
+//
+// Model:
+//   - each ordered (from, to) pair is an independent link: messages between
+//     the same pair serialize at the configured bandwidth, different pairs
+//     transfer concurrently (a switched fabric, not a shared segment);
+//   - no frame-size ceiling — the layer above picks its own extent size;
+//   - optional per-message loss, partitions and a global disable switch are
+//     the chaos hooks (a lost extent is simply never delivered; the sender's
+//     retry/fallback machinery is what is under test);
+//   - deterministic under seed, like everything else on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace eternal::sim {
+
+using util::Bytes;
+using util::BytesView;
+using util::NodeId;
+
+struct BulkLaneConfig {
+  double bandwidth_bps = 1e9;            ///< per-pair link bandwidth
+  std::size_t header_bytes = 64;         ///< per-message framing overhead
+  util::Duration propagation = util::Duration(25'000);  ///< 25 us
+  double loss_probability = 0.0;         ///< independent per-message loss
+};
+
+/// Endpoint on the bulk lane: anything that can receive lane messages.
+class BulkStation {
+ public:
+  virtual ~BulkStation() = default;
+  virtual void on_bulk(NodeId from, BytesView payload) = 0;
+};
+
+struct BulkLaneStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;       ///< on-lane bytes including framing
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t messages_dropped = 0; ///< loss/partition/disable drops
+};
+
+class BulkLane {
+ public:
+  BulkLane(Simulator& sim, BulkLaneConfig config, std::uint64_t loss_seed = 0xb11c);
+
+  const BulkLaneConfig& config() const noexcept { return config_; }
+
+  void attach(NodeId node, BulkStation* station);
+
+  /// Detaches a station (processor crash); in-flight messages to it vanish.
+  void detach(NodeId node);
+
+  bool attached(NodeId node) const noexcept { return stations_.count(node) > 0; }
+
+  /// Queues `payload` for point-to-point delivery. Serializes only against
+  /// other messages on the same ordered (from, to) link. Silently dropped
+  /// when the lane is disabled, a partition separates the pair, loss fires,
+  /// or either endpoint is detached — the caller's ack/retry protocol is
+  /// responsible for liveness.
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  /// Chaos hooks, mirroring Ethernet's.
+  void set_partition(const std::vector<NodeId>& nodes, int component);
+  void heal_partition();
+  void set_loss_probability(double p) noexcept { config_.loss_probability = p; }
+  /// Per-link loss override on the ordered (from, to) pair; 0 removes it.
+  void set_link_loss(NodeId from, NodeId to, double p);
+
+  /// Kill switch: while disabled every send is dropped (counted), modelling
+  /// a dead data fabric. Senders must fall back to the in-band path.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  const BulkLaneStats& stats() const noexcept { return stats_; }
+
+  /// Time one message with `payload_bytes` payload occupies its link.
+  util::Duration tx_time(std::size_t payload_bytes) const noexcept;
+
+ private:
+  int component_of(NodeId node) const noexcept;
+
+  Simulator& sim_;
+  BulkLaneConfig config_;
+  util::Rng rng_;
+  bool enabled_ = true;
+  std::unordered_map<NodeId, BulkStation*> stations_;
+  std::unordered_map<NodeId, int> partition_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> link_loss_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> link_free_at_;
+  BulkLaneStats stats_;
+};
+
+}  // namespace eternal::sim

@@ -54,6 +54,19 @@ ChaosScript& ChaosScript::receiver_loss_burst(Duration start, Duration duration,
             [&net, node] { net.set_receiver_loss(node, 0.0); });
 }
 
+ChaosScript& ChaosScript::lane_loss_burst(Duration start, Duration duration,
+                                          BulkLane& lane, double p) {
+  at(start, "lane-loss-on", [&lane, p] { lane.set_loss_probability(p); });
+  return at(start + duration, "lane-loss-off",
+            [&lane] { lane.set_loss_probability(0.0); });
+}
+
+ChaosScript& ChaosScript::lane_outage(Duration start, Duration duration,
+                                      BulkLane& lane) {
+  at(start, "lane-down", [&lane] { lane.set_enabled(false); });
+  return at(start + duration, "lane-up", [&lane] { lane.set_enabled(true); });
+}
+
 void ChaosScript::arm() {
   if (armed_) throw std::logic_error("ChaosScript: already armed");
   armed_ = true;

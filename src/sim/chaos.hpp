@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/bulk_lane.hpp"
 #include "sim/ethernet.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,6 +54,17 @@ class ChaosScript {
   /// NIC — the flapping-member primitive).
   ChaosScript& receiver_loss_burst(Duration start, Duration duration, Ethernet& net,
                                    NodeId node, double p);
+
+  // ---- out-of-band bulk-lane faults (independent of the ring's Ethernet) ----
+
+  /// Bulk-lane message loss `p` from `start` for `duration`.
+  ChaosScript& lane_loss_burst(Duration start, Duration duration, BulkLane& lane,
+                               double p);
+
+  /// Whole-fabric bulk-lane outage from `start` for `duration`: every send
+  /// in the window is dropped (the ring keeps running — transfers must ride
+  /// out the outage via retries or fall back in-band).
+  ChaosScript& lane_outage(Duration start, Duration duration, BulkLane& lane);
 
   /// Arms every registered action relative to the simulator's current time.
   /// Call once, after the scenario's system is deployed.

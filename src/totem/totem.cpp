@@ -40,6 +40,23 @@ TotemNode::~TotemNode() {
   if (state_ != State::kDown) crash();
 }
 
+void TotemNode::remember_ancestor(std::uint64_t ring) {
+  // Recency-ordered with dedup: a re-learned ring moves to the back, and
+  // the oldest entries fall off once the window fills.
+  std::erase(ancestor_rings_, ring);
+  ancestor_rings_.push_back(ring);
+  if (ancestor_rings_.size() > kMaxAncestorRings) {
+    ancestor_rings_.erase(ancestor_rings_.begin(),
+                          ancestor_rings_.end() -
+                              static_cast<std::ptrdiff_t>(kMaxAncestorRings));
+  }
+}
+
+bool TotemNode::known_ancestor(std::uint64_t ring) const noexcept {
+  return std::find(ancestor_rings_.begin(), ancestor_rings_.end(), ring) !=
+         ancestor_rings_.end();
+}
+
 std::size_t TotemNode::fragment_capacity() const {
   const std::size_t overhead = data_frame_overhead();
   const std::size_t max_payload = ethernet_.max_payload();
@@ -194,7 +211,7 @@ void TotemNode::on_frame(NodeId from, util::BytesView raw) {
 
 void TotemNode::handle_data(const DataFrame& f) {
   if (state_ == State::kJoining) return;  // no history yet; state transfer covers us
-  if (f.ring_id != view_.ring_id && ancestor_rings_.count(f.ring_id) == 0) {
+  if (f.ring_id != view_.ring_id && !known_ancestor(f.ring_id)) {
     // Sequenced by a ring whose history we do not continue (a healed
     // partition's other component, or a stale frame at a demoted member).
     // Ignore; merge detection happens on token frames, which are always
@@ -306,7 +323,7 @@ void TotemNode::deliver_frame(const DataFrame& f) {
 
 void TotemNode::handle_token(NodeId /*from*/, TokenFrame token) {
   if (state_ == State::kOperational && token.ring_id != view_.ring_id &&
-      ancestor_rings_.count(token.ring_id) == 0) {
+      !known_ancestor(token.ring_id)) {
     // A live token from a ring we are not part of: a healed partition.
     ETERNAL_LOG(kDebug, kTag, util::to_string(node_) << " foreign ring token -> gather");
     enter_gather();
@@ -726,7 +743,7 @@ void TotemNode::handle_commit(NodeId /*from*/, const CommitFrame& f) {
   // arriving from any other ring re-enters fresh (its sequence numbering is
   // incomparable); Eternal-level mechanisms rebuild its replicas' state.
   const bool same_lineage =
-      f.surviving_ring == view_.ring_id || ancestor_rings_.count(f.surviving_ring) > 0 ||
+      f.surviving_ring == view_.ring_id || known_ancestor(f.surviving_ring) ||
       std::find(f.surviving_ancestors.begin(), f.surviving_ancestors.end(),
                 view_.ring_id) != f.surviving_ancestors.end();
   if (ever_installed_ && !same_lineage) {
@@ -746,8 +763,10 @@ void TotemNode::handle_commit(NodeId /*from*/, const CommitFrame& f) {
     // numbering continues ours, so adopt its lineage. Without this the
     // retransmissions that close our gap arrive stamped with the descendant
     // ring and handle_data would drop them — recovery could never finish.
-    ancestor_rings_.insert(f.surviving_ring);
-    ancestor_rings_.insert(f.surviving_ancestors.begin(), f.surviving_ancestors.end());
+    // The leader's list arrives oldest -> newest; replaying it in order and
+    // appending the surviving ring last keeps our window recency-ordered.
+    for (std::uint64_t ring : f.surviving_ancestors) remember_ancestor(ring);
+    remember_ancestor(f.surviving_ring);
     // Store hygiene: anything we hold above the merged base was sequenced
     // by our pre-merge ring at numbers the descendant never counted (our
     // join reported them under the old ring id) and may reassign. Keeping
@@ -936,7 +955,7 @@ void TotemNode::install_view(const InstallFrame& f) {
     std::erase_if(partial_, [m](const auto& kv) { return kv.first.first == m.value; });
   }
 
-  if (ever_installed_) ancestor_rings_.insert(view_.ring_id);
+  if (ever_installed_) remember_ancestor(view_.ring_id);
   view_ = next;
   ever_installed_ = true;
   fresh_member_ = false;

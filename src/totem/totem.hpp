@@ -237,10 +237,17 @@ class TotemNode : public sim::Station {
   View view_;
   bool ever_installed_ = false;
   bool bootstrapping_ = false;  ///< inside start()'s initial install
-  /// Rings whose history the current ring continues. Retransmitted frames
-  /// sequenced under an ancestor are accepted; frames from an unknown ring
-  /// (a healed partition's other component) are foreign.
-  std::set<std::uint64_t> ancestor_rings_;
+  /// Rings whose history the current ring continues, oldest → newest.
+  /// Retransmitted frames sequenced under an ancestor are accepted; frames
+  /// from an unknown ring (a healed partition's other component) are
+  /// foreign. Bounded at kMaxAncestorRings: the list rides inside the
+  /// single-MTU commit frame, so it cannot grow with reformation count —
+  /// a member lagging more than the window merely demotes to fresh on
+  /// merge, which is always safe (the Mechanisms rebuild its state).
+  static constexpr std::size_t kMaxAncestorRings = 64;
+  std::vector<std::uint64_t> ancestor_rings_;
+  void remember_ancestor(std::uint64_t ring);
+  bool known_ancestor(std::uint64_t ring) const noexcept;
 
   // Sequencing / delivery.
   std::uint64_t delivered_up_to_ = 0;  ///< aru: contiguous prefix delivered

@@ -4,6 +4,7 @@
 // (simulated) network.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "core/envelope.hpp"
@@ -183,6 +184,221 @@ TEST_P(DecodeFuzz, MutatedChunkEnvelopesNeverCrash) {
       ASSERT_LT(decoded->chunk_index, decoded->chunk_count);
     }
   }
+}
+
+// Invariants the bulk-transfer machinery relies on for any envelope that
+// survives decode — the reassembly path sizes vectors from chunk_count,
+// indexes parts[chunk_index], and slices the image by extent geometry, so a
+// decoder that let an inconsistent frame through would be an out-of-bounds
+// write waiting on a hostile (or corrupted) lane message.
+void assert_bulk_geometry(const core::Envelope& e) {
+  ASSERT_LE(static_cast<std::uint8_t>(e.kind),
+            static_cast<std::uint8_t>(core::EnvelopeKind::kBulkAck));
+  if (e.kind != core::EnvelopeKind::kStateBulkDescriptor &&
+      e.kind != core::EnvelopeKind::kStateBulkComplete &&
+      e.kind != core::EnvelopeKind::kBulkExtent &&
+      e.kind != core::EnvelopeKind::kBulkAck) {
+    return;
+  }
+  ASSERT_NE(e.transfer_id, 0u);
+  ASSERT_GE(e.chunk_count, 1u);
+  if (e.kind != core::EnvelopeKind::kBulkAck) {
+    ASSERT_GE(e.extent_bytes, 1u);
+    ASSERT_GE(e.total_bytes, 1u);
+    // The byte count must fill the extent grid: more would overflow the
+    // last extent, fewer would leave whole extents empty.
+    const std::uint64_t grid =
+        static_cast<std::uint64_t>(e.chunk_count) * e.extent_bytes;
+    const std::uint64_t prefix =
+        static_cast<std::uint64_t>(e.chunk_count - 1) * e.extent_bytes;
+    ASSERT_LE(e.total_bytes, grid);
+    ASSERT_GT(e.total_bytes, prefix);
+  }
+  if (e.kind == core::EnvelopeKind::kStateBulkDescriptor) {
+    ASSERT_EQ(e.extent_digests.size(), e.chunk_count);
+  }
+  if (e.kind == core::EnvelopeKind::kBulkExtent ||
+      e.kind == core::EnvelopeKind::kBulkAck) {
+    ASSERT_LT(e.chunk_index, e.chunk_count);
+  }
+  if (e.kind == core::EnvelopeKind::kBulkExtent) {
+    const std::uint64_t expect =
+        std::min<std::uint64_t>(e.extent_bytes,
+                                e.total_bytes -
+                                    static_cast<std::uint64_t>(e.chunk_index) *
+                                        e.extent_bytes);
+    ASSERT_EQ(e.payload.size(), expect);
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedBulkDescriptorsNeverCrash) {
+  Rng rng(GetParam() ^ 0xB01D);
+  core::Envelope desc;
+  desc.kind = core::EnvelopeKind::kStateBulkDescriptor;
+  desc.op_seq = 40;
+  desc.transfer_id = (7ull << 32) | 3;
+  desc.total_bytes = 5000;
+  desc.extent_bytes = 1024;
+  desc.chunk_count = 5;
+  for (std::uint32_t i = 0; i < desc.chunk_count; ++i) {
+    desc.extent_digests.push_back(0x1234'5678'9abc'def0ull + i);
+  }
+  const Bytes valid = core::encode_envelope(desc);
+
+  for (int i = 0; i < fuzz_iters(); ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    auto decoded = core::decode_envelope(mutated);
+    if (decoded) assert_bulk_geometry(*decoded);
+  }
+  // Truncations sweep the digest list specifically: a count that promises
+  // more digests than the frame carries must be rejected, not over-read.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    auto decoded = core::decode_envelope(
+        Bytes(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut)));
+    if (decoded) assert_bulk_geometry(*decoded);
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedBulkExtentFramesNeverCrash) {
+  Rng rng(GetParam() ^ 0xB0EF);
+  core::Envelope extent;
+  extent.kind = core::EnvelopeKind::kBulkExtent;
+  extent.op_seq = 40;
+  extent.transfer_id = (7ull << 32) | 3;
+  extent.total_bytes = 5000;
+  extent.extent_bytes = 1024;
+  extent.chunk_index = 4;  // the short tail extent: 5000 - 4*1024 = 904 bytes
+  extent.chunk_count = 5;
+  extent.payload = Bytes(904, 0xEE);
+  const Bytes valid = core::encode_envelope(extent);
+
+  for (int i = 0; i < fuzz_iters(); ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    auto decoded = core::decode_envelope(mutated);
+    if (decoded) assert_bulk_geometry(*decoded);
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedBulkAcksAndMarkersNeverCrash) {
+  Rng rng(GetParam() ^ 0xB0AC);
+  core::Envelope ack;
+  ack.kind = core::EnvelopeKind::kBulkAck;
+  ack.transfer_id = (2ull << 32) | 9;
+  ack.chunk_index = 2;
+  ack.chunk_count = 5;
+  core::Envelope marker;
+  marker.kind = core::EnvelopeKind::kStateBulkComplete;
+  marker.op_seq = 40;
+  marker.transfer_id = (7ull << 32) | 3;
+  marker.total_bytes = 5000;
+  marker.extent_bytes = 1024;
+  marker.chunk_count = 5;
+  for (const Bytes& valid :
+       {core::encode_envelope(ack), core::encode_envelope(marker)}) {
+    for (int i = 0; i < fuzz_iters(); ++i) {
+      Bytes mutated = valid;
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      auto decoded = core::decode_envelope(mutated);
+      if (decoded) assert_bulk_geometry(*decoded);
+    }
+    for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+      auto decoded = core::decode_envelope(
+          Bytes(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut)));
+      if (decoded) assert_bulk_geometry(*decoded);
+    }
+  }
+}
+
+// Adversarial geometry: hand-built bulk envelopes with deliberately
+// inconsistent fields must all be rejected whole — each one encodes an
+// overlap, overflow, or truncation the reassembly path cannot survive.
+TEST(DecodeFuzzBulk, InconsistentBulkGeometryIsRejected) {
+  auto reject = [](const core::Envelope& e, const char* why) {
+    // encode_envelope happily serializes garbage (it is the decoder's job
+    // to refuse it): round-trip and expect rejection.
+    EXPECT_FALSE(core::decode_envelope(core::encode_envelope(e)).has_value()) << why;
+  };
+  core::Envelope good;
+  good.kind = core::EnvelopeKind::kStateBulkDescriptor;
+  good.transfer_id = 1;
+  good.total_bytes = 5000;
+  good.extent_bytes = 1024;
+  good.chunk_count = 5;
+  good.extent_digests.assign(5, 0xD1);
+  ASSERT_TRUE(core::decode_envelope(core::encode_envelope(good)).has_value());
+
+  core::Envelope e = good;
+  e.transfer_id = 0;
+  reject(e, "transfer id zero");
+  e = good;
+  e.chunk_count = 0;
+  e.extent_digests.clear();
+  reject(e, "zero extents");
+  e = good;
+  e.total_bytes = 0;
+  reject(e, "zero bytes");
+  e = good;
+  e.extent_bytes = 0;
+  reject(e, "zero extent width");
+  e = good;
+  e.total_bytes = 5 * 1024 + 1;  // one byte past the extent grid
+  reject(e, "total overflows the grid");
+  e = good;
+  e.total_bytes = 4 * 1024;  // fits in 4 extents yet claims 5
+  reject(e, "empty tail extent");
+  e = good;
+  e.extent_digests.pop_back();  // digest list shorter than extent count
+  reject(e, "truncated digest list");
+  e = good;
+  e.extent_digests.push_back(0xD1);  // longer than extent count
+  reject(e, "oversized digest list");
+
+  core::Envelope x;
+  x.kind = core::EnvelopeKind::kBulkExtent;
+  x.transfer_id = 1;
+  x.total_bytes = 5000;
+  x.extent_bytes = 1024;
+  x.chunk_index = 1;
+  x.chunk_count = 5;
+  x.payload = Bytes(1024, 0xEE);
+  ASSERT_TRUE(core::decode_envelope(core::encode_envelope(x)).has_value());
+  e = x;
+  e.chunk_index = 5;  // one past the end
+  reject(e, "extent index out of range");
+  e = x;
+  e.payload = Bytes(1025, 0xEE);  // spills into the next extent
+  reject(e, "extent payload overlaps its neighbour");
+  e = x;
+  e.payload = Bytes(1023, 0xEE);
+  reject(e, "short mid extent");
+  e = x;
+  e.chunk_index = 4;  // tail extent must carry exactly the remainder
+  reject(e, "tail extent with full-width payload");
+
+  core::Envelope a;
+  a.kind = core::EnvelopeKind::kBulkAck;
+  a.transfer_id = 1;
+  a.chunk_index = 0;
+  a.chunk_count = 5;
+  ASSERT_TRUE(core::decode_envelope(core::encode_envelope(a)).has_value());
+  e = a;
+  e.chunk_index = 5;
+  reject(e, "ack index out of range");
+  e = a;
+  e.transfer_id = 0;
+  reject(e, "ack for transfer id zero");
 }
 
 TEST_P(DecodeFuzz, RandomBytesNeverCrashSegmentScan) {
