@@ -31,6 +31,7 @@
 //                   stash), not re-ship the whole image
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -82,6 +83,13 @@ struct Row {
   std::uint64_t bulk_aborts = 0;    // half-shipped bulk transfers GC'd
   std::uint64_t bulk_resumed = 0;   // extents revived from the digest stash
   std::uint64_t bulk_fallbacks = 0; // bulk transfers that fell back in-band
+  // ring_isolated_reform only: the bystander rings' p99 before/after a
+  // foreign ring's reformation, and the reformation span census that
+  // proves the isolation (zero spans may ever appear on a bystander).
+  double bystander_p99_base_ms = -1.0;
+  double bystander_p99_reform_ms = -1.0;
+  std::uint64_t crashed_ring_reform_spans = 0;
+  std::uint64_t bystander_reform_spans = 0;
   // Critical-path attribution over the invocations whose span trees
   // survived the scenario intact (obs::critpath); faults leave partial
   // trees, which are counted and skipped rather than folded in.
@@ -490,6 +498,146 @@ Row scenario_bulk_reform() {
   return run_reform_mid_recovery("bulk_reform", 0, /*bulk=*/true);
 }
 
+/// p99 in ms over the merged latency samples of several fleets; -1 when no
+/// operation completed.
+double merged_p99_ms(const std::vector<const FleetDriver*>& fleets) {
+  std::vector<Duration> all;
+  for (const FleetDriver* f : fleets) {
+    all.insert(all.end(), f->latency().samples().begin(), f->latency().samples().end());
+  }
+  if (all.empty()) return -1.0;
+  std::sort(all.begin(), all.end());
+  const double rank = 0.99 * static_cast<double>(all.size() - 1);
+  return bench::to_ms(all[static_cast<std::size_t>(rank + 0.5)]);
+}
+
+/// Sharded deployment: three independent Totem rings, two groups pinned to
+/// each. A member of ring 1 is killed mid-load; ring 1 must reform (its
+/// reformation spans carry " rix=1") while rings 0 and 2 never see a
+/// membership event — zero reformation spans after the crash, and their
+/// p99 must stay within 2x of the pre-crash baseline. Each ring runs one
+/// fleet per phase so the bystander tail is measured per ring and per
+/// phase rather than diluted across the whole run.
+Row scenario_ring_isolated_reform() {
+  Row row{.scenario = "ring_isolated_reform"};
+  SystemConfig cfg = base_config(5);
+  cfg.placement.rings = 3;
+  for (std::uint32_t g = 1; g <= 6; ++g) cfg.placement.pins[g] = (g - 1) % 3;
+  System sys(cfg);
+  std::vector<GroupId> groups;
+  auto refs = deploy_groups(sys, 6, NodeId{5}, &groups);
+
+  // One fleet per (ring, phase) at a third of the aggregate rate each.
+  std::array<std::vector<orb::ObjectRef>, 3> per_ring;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    per_ring[sys.ring_of(groups[i])].push_back(refs[i]);
+  }
+  std::array<std::unique_ptr<FleetDriver>, 3> base, reform;
+  for (std::size_t r = 0; r < 3; ++r) {
+    FleetConfig fc = fleet_config(ArrivalProcess::kPoisson);
+    fc.rate_per_second /= 3.0;
+    fc.seed = 0xF1EE7ull + 2 * r;
+    base[r] = std::make_unique<FleetDriver>(sys.sim(), per_ring[r], fc);
+    fc.seed += 1;
+    reform[r] = std::make_unique<FleetDriver>(sys.sim(), per_ring[r], fc);
+  }
+
+  // Mid-run: the baseline fleets hand over to the post-crash fleets at the
+  // instant ring 1 loses node 2's endpoint, so the two phases' tails are
+  // directly comparable.
+  sim::ChaosScript chaos(sys.sim(), row.scenario);
+  util::TimePoint crash_at{};
+  chaos.at(run_time() / 2, "crash-ring1-endpoint@2", [&] {
+    for (auto& f : base) f->stop();
+    crash_at = sys.sim().now();
+    sys.crash_ring_member(NodeId{2}, 1);
+    for (auto& f : reform) f->start();
+  });
+  chaos.arm();
+
+  for (auto& f : base) f->start();
+  sys.run_for(run_time());
+  for (auto& f : reform) f->stop();
+  const auto in_flight = [&] {
+    std::uint64_t n = 0;
+    for (auto& f : base) n += f->in_flight();
+    for (auto& f : reform) n += f->in_flight();
+    return n;
+  };
+  const bool drained = sys.run_until([&] { return in_flight() == 0; }, 10 * kSecond);
+  sys.run_for(200 * kMs);
+
+  // score() fills the machinery columns and the invariant verdict from one
+  // representative fleet; the fleet-wide aggregates are recomputed below.
+  score(sys, *reform[1], run_time(), chaos, !drained, row);
+  row.sent = row.completed = 0;
+  std::vector<Duration> all;
+  for (auto* phase : {&base, &reform}) {
+    for (auto& f : *phase) {
+      row.sent += f->sent();
+      row.completed += f->completed();
+      all.insert(all.end(), f->latency().samples().begin(),
+                 f->latency().samples().end());
+    }
+  }
+  row.throughput_per_s =
+      static_cast<double>(row.completed) /
+      (static_cast<double>(run_time().count()) / 1e9);
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    row.p50_ms = bench::to_ms(all[static_cast<std::size_t>(0.50 * (all.size() - 1) + 0.5)]);
+    row.p99_ms = bench::to_ms(all[static_cast<std::size_t>(0.99 * (all.size() - 1) + 0.5)]);
+  }
+  row.bystander_p99_base_ms = merged_p99_ms({base[0].get(), base[2].get()});
+  row.bystander_p99_reform_ms = merged_p99_ms({reform[0].get(), reform[2].get()});
+
+  // Reformation span census after the crash. The span detail carries
+  // " rix=<N>" only for nonzero ring indexes (single-ring traces stay
+  // byte-identical to the classic system), so an absent marker is ring 0.
+  for (const obs::Span& s : sys.spans()->snapshot()) {
+    if (s.name != "reformation" || s.start < crash_at) continue;
+    std::uint32_t rix = 0;
+    const std::size_t pos = s.detail.find("rix=");
+    if (pos != std::string::npos) {
+      rix = static_cast<std::uint32_t>(std::atoi(s.detail.c_str() + pos + 4));
+    }
+    if (rix == 1) {
+      row.crashed_ring_reform_spans += 1;
+    } else {
+      row.bystander_reform_spans += 1;
+    }
+  }
+
+  // The isolation verdict: ring 1 reformed, nobody else did, and the
+  // bystander tail held. Failures are invariant-grade — dump the flight
+  // recorder (score() already did when the trace checker itself fired).
+  std::string isolation_fail;
+  if (row.crashed_ring_reform_spans == 0) {
+    isolation_fail = "ring 1 never reformed after the crash";
+  } else if (row.bystander_reform_spans != 0) {
+    isolation_fail = "a bystander ring reformed — reformation leaked across rings";
+  } else if (row.bystander_p99_base_ms > 0.0 &&
+             row.bystander_p99_reform_ms > 2.0 * row.bystander_p99_base_ms) {
+    isolation_fail = "bystander p99 more than doubled during the foreign reformation";
+  }
+  if (!isolation_fail.empty()) {
+    std::fprintf(stderr, "chaos: %s: %s (bystander p99 %.3f -> %.3f ms)\n",
+                 row.scenario.c_str(), isolation_fail.c_str(),
+                 row.bystander_p99_base_ms, row.bystander_p99_reform_ms);
+    if (row.violations == 0) {
+      obs::FlightRecorder recorder(sys.trace(), sys.spans());
+      const std::string path = obs::FlightRecorder::unique_path(
+          "flight_chaos_" + row.scenario + ".json");
+      if (recorder.write_file(path)) {
+        std::fprintf(stderr, "chaos: %s flight recorder -> %s\n",
+                     row.scenario.c_str(), path.c_str());
+      }
+    }
+    row.verdict = row.verdict == "ok" ? "VIOLATION" : row.verdict + "+VIOLATION";
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -503,7 +651,7 @@ int main(int argc, char** argv) {
   Row (*scenarios[])() = {
       scenario_baseline,   scenario_cascade,      scenario_partition,
       scenario_flap,       scenario_torn_storage, scenario_chunk_reform,
-      scenario_delta_reform, scenario_bulk_reform,
+      scenario_delta_reform, scenario_bulk_reform, scenario_ring_isolated_reform,
   };
 
   bench::BenchResultWriter results("chaos");
@@ -543,7 +691,11 @@ int main(int argc, char** argv) {
         .col("residual_us_mean", row.residual_us_mean)
         .col("bulk_aborts", row.bulk_aborts)
         .col("bulk_resumed", row.bulk_resumed)
-        .col("bulk_fallbacks", row.bulk_fallbacks);
+        .col("bulk_fallbacks", row.bulk_fallbacks)
+        .col("bystander_p99_base_ms", row.bystander_p99_base_ms)
+        .col("bystander_p99_reform_ms", row.bystander_p99_reform_ms)
+        .col("crashed_ring_reform_spans", row.crashed_ring_reform_spans)
+        .col("bystander_reform_spans", row.bystander_reform_spans);
     if (row.verdict != "ok") all_ok = false;
   }
   results.write_file("BENCH_chaos.json");

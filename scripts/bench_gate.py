@@ -47,6 +47,13 @@ GATES = {
             # bulk_reform: the promoted holder's re-serve must keep reviving
             # already-acked extents from the digest stash.
             "bulk_resumed": ("min", 0.30, 0.0),
+            # ring_isolated_reform: the crashed ring must still reform
+            # (loose floor — the exact span count is membership detail),
+            # no reformation may ever leak onto a bystander ring, and the
+            # bystander tail must stay flat through the foreign outage.
+            "crashed_ring_reform_spans": ("min", 0.75, 0.0),
+            "bystander_reform_spans": ("max", 0.0, 0.0),
+            "bystander_p99_reform_ms": ("max", 0.50, 0.25),
         },
     },
     "bulk_transfer": {
@@ -81,6 +88,25 @@ GATES = {
             # The headline claim of the FOM engine: bystanders are not
             # head-of-line blocked. Keep the ratio from drifting back up.
             "bystander_p99_fom_over_sync": ("max", 0.50, 0.05),
+        },
+    },
+    "multi_ring": {
+        # Row kinds share one file: sweep/ring rows carry achieved/p99,
+        # saturation rows the per-ring-count ceiling, the scaleup row the
+        # headline ratio, the reform row the isolation columns. Metrics
+        # missing from a row kind are skipped per the usual rule.
+        "key": ["kind", "rings", "offered_per_s", "ring"],
+        "metrics": {
+            "violations": ("max", 0.0, 0.0),        # invariant-clean, always
+            "achieved_per_s": ("min", 0.15, 0.0),
+            "p99_ms": ("max", 0.50, 0.25),
+            "saturation_per_s": ("min", 0.15, 0.0),
+            # The headline claim: 4 independent rings must keep buying
+            # multiples of the single ring's saturation throughput.
+            "scaleup_4_over_1": ("min", 0.10, 0.0),
+            "crashed_reform_spans": ("min", 0.75, 0.0),
+            "bystander_reform_spans": ("max", 0.0, 0.0),
+            "bystander_p99_after_ms": ("max", 0.50, 0.25),
         },
     },
     "critical_path": {
@@ -133,6 +159,8 @@ def check_bench(bench, gate, baseline_rows, current_rows):
             b, c = base[metric], cur[metric]
             if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
                 continue
+            if b < 0 or c < 0:
+                continue  # -1 sentinel: metric not measured on this row
             if direction == "min":
                 floor = b * (1.0 - rel) - abs_tol
                 if c < floor:

@@ -39,6 +39,13 @@ echo "== bulk state-transfer bench (smoke) =="
 (cd build && ./bench/bench_bulk_transfer --smoke)
 
 echo
+echo "== multi-ring scale-out bench (smoke) =="
+# 1/2/4-ring sweep plus the isolated-reform row; the binary exits non-zero
+# on an invariant violation, a missing reformation, a reformation leaking
+# onto a bystander ring, or a scale-up ratio below 2.5x.
+(cd build && ./bench/bench_multi_ring --smoke)
+
+echo
 echo "== critical-path attribution bench (smoke) =="
 # Per-segment latency decomposition across the saturation knee; the binary
 # itself exits non-zero if any invocation's segments fail to sum to its

@@ -5,7 +5,8 @@
 
 namespace eternal::core {
 
-System::System(SystemConfig config) : config_(config) {
+System::System(SystemConfig config)
+    : config_(config), placement_(config.placement) {
   if (config_.nodes == 0) throw std::invalid_argument("System: need at least one node");
   // Attach the observability sinks before any node's stack is constructed —
   // layers cache their instruments at construction, against this registry.
@@ -18,51 +19,74 @@ System::System(SystemConfig config) : config_(config) {
     spans_ = std::make_unique<obs::SpanStore>(config_.span_capacity);
     sim_.recorder().attach_spans(spans_.get());
   }
-  ethernet_ = std::make_unique<sim::Ethernet>(sim_, config_.ethernet, config_.seed);
+  // One Ethernet segment per ring: each ring is its own switched multicast
+  // domain, so aggregate bandwidth scales with the ring count instead of
+  // every ring's tokens and frames contending on one shared medium.
+  const std::size_t n_rings = placement_.rings();
+  ethernets_.reserve(n_rings);
+  for (std::size_t r = 0; r < n_rings; ++r) {
+    ethernets_.push_back(std::make_unique<sim::Ethernet>(
+        sim_, config_.ethernet, config_.seed + 0x9E3779B9ull * r));
+  }
   bulk_lane_ = std::make_unique<sim::BulkLane>(sim_, config_.bulk_lane,
                                                config_.seed ^ 0xb11cu);
 
-  std::vector<NodeId> ring;
-  ring.reserve(config_.nodes);
-  for (std::size_t i = 1; i <= config_.nodes; ++i) ring.push_back(NodeId{(std::uint32_t)i});
+  std::vector<NodeId> members;
+  members.reserve(config_.nodes);
+  for (std::size_t i = 1; i <= config_.nodes; ++i)
+    members.push_back(NodeId{(std::uint32_t)i});
 
-  // Mechanisms needs the TotemNode and vice versa; a listener shim breaks
-  // the construction-order cycle.
+  // Mechanisms needs its TotemNodes and vice versa; per-ring listener shims
+  // break the construction-order cycle and tag each delivery with the ring
+  // it arrived on.
   struct Shim : totem::TotemListener {
     Mechanisms* target = nullptr;
+    std::uint32_t ring = 0;
     void on_deliver(const totem::Delivery& d) override {
-      if (target != nullptr) target->on_deliver(d);
+      if (target != nullptr) target->on_deliver_on(ring, d);
     }
     void on_view_change(const totem::View& v) override {
-      if (target != nullptr) target->on_view_change(v);
+      if (target != nullptr) target->on_view_change_on(ring, v);
     }
   };
 
   slots_.reserve(config_.nodes);
-  for (NodeId id : ring) {
+  for (NodeId id : members) {
     NodeSlot s;
     s.id = id;
     s.orb = std::make_unique<orb::Orb>(sim_, id, config_.orb);
     s.tap = std::make_unique<interceptor::Interceptor>(*s.orb);
     s.tap->bind_recorder(sim_.recorder());
     s.orb->plug_transport(*s.tap);
-    auto shim = std::make_shared<Shim>();
-    shims_.push_back(shim);
-    s.totem =
-        std::make_unique<totem::TotemNode>(sim_, *ethernet_, id, config_.totem, shim.get());
+    std::vector<Shim*> node_shims;
+    std::vector<totem::TotemNode*> endpoints;
+    for (std::size_t r = 0; r < n_rings; ++r) {
+      auto shim = std::make_shared<Shim>();
+      shim->ring = static_cast<std::uint32_t>(r);
+      node_shims.push_back(shim.get());
+      shims_.push_back(shim);
+      totem::TotemConfig tcfg = config_.totem;
+      tcfg.ring_index = static_cast<std::uint32_t>(r);
+      s.totems.push_back(std::make_unique<totem::TotemNode>(
+          sim_, *ethernets_[r], id, tcfg, shim.get()));
+      endpoints.push_back(s.totems.back().get());
+    }
     MechanismsConfig mech_cfg = config_.mechanisms;
     if (!config_.stable_storage_root.empty()) {
       mech_cfg.stable_storage_dir =
           config_.stable_storage_root + "/node-" + std::to_string(id.value);
     }
-    s.mech = std::make_unique<Mechanisms>(sim_, id, *s.tap, *s.totem, mech_cfg);
+    s.mech = std::make_unique<Mechanisms>(sim_, id, *s.tap, std::move(endpoints),
+                                          &placement_, mech_cfg);
     s.mech->set_bulk_lane(bulk_lane_.get());
     bulk_lane_->attach(id, s.mech.get());
-    shim->target = s.mech.get();
-    s.manager = std::make_unique<ReplicationManager>(*s.mech, *s.totem);
+    for (Shim* shim : node_shims) shim->target = s.mech.get();
+    s.manager = std::make_unique<ReplicationManager>(*s.mech, *s.totems.front());
     slots_.push_back(std::move(s));
   }
-  for (NodeSlot& s : slots_) s.totem->start(ring);
+  for (NodeSlot& s : slots_) {
+    for (auto& endpoint : s.totems) endpoint->start(members);
+  }
   sim_.run_for(util::Duration(1'000'000));  // let the first token circulate
 }
 
@@ -168,12 +192,21 @@ ReplicaId System::relaunch_replica(NodeId node, GroupId group) {
 
 void System::crash_node(NodeId node) {
   NodeSlot& s = slot(node);
-  s.totem->crash();
+  for (auto& endpoint : s.totems) endpoint->crash();
   // Replicas hosted here die with the processor; peers find out through the
-  // ring view change. Locally we just silence the node — on both media: a
-  // crashed processor neither sources nor sinks bulk-lane traffic.
+  // view change on every ring the node was a member of. Locally we just
+  // silence the node — on both media: a crashed processor neither sources
+  // nor sinks bulk-lane traffic.
   bulk_lane_->detach(node);
   s.orb->reset_connections();
+}
+
+void System::crash_ring_member(NodeId node, std::size_t ring) {
+  // Only the one ring endpoint dies. The node itself stays up: its ORB
+  // keeps serving, its bulk lane keeps flowing, and its endpoints on every
+  // other ring keep circulating their tokens — those rings must observe
+  // nothing at all.
+  slot(node).totems.at(ring)->crash();
 }
 
 bool System::run_until(const std::function<bool()>& predicate, util::Duration timeout,

@@ -2,11 +2,21 @@
 //
 // One `System` is a network of processors, each running the full paper
 // stack — an unmodified mini-ORB plugged into an Interceptor, the
-// Replication/Recovery Mechanisms, a Totem ring endpoint, and a Replication
-// Manager — on a shared 100 Mbps Ethernet, all inside one deterministic
+// Replication/Recovery Mechanisms, one Totem ring endpoint per configured
+// ring, and a Replication Manager — all inside one deterministic
 // discrete-event simulation. Tests, examples and benchmarks use this façade
 // to deploy replicated objects, drive workloads, inject faults and measure
 // recovery.
+//
+// Multi-ring scale-out (core/placement.hpp): with `placement.rings > 1` the
+// object space is partitioned across independent Totem rings. Every node
+// joins every ring, each ring is its own switched multicast domain (its own
+// simulated Ethernet segment — the single-segment model would make the
+// shared medium, not the token, the bottleneck), and every envelope about a
+// group rides exactly the ring the placement assigns that group to. Rings
+// fail, reform and flow-control independently; a reformation on ring 2
+// never stalls ring 0. With the default single ring the system is
+// behaviour-identical to the classic deployment.
 #pragma once
 
 #include <functional>
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "core/mechanisms.hpp"
+#include "core/placement.hpp"
 #include "core/replication_manager.hpp"
 #include "interceptor/interceptor.hpp"
 #include "obs/invariants.hpp"
@@ -39,6 +50,13 @@ struct SystemConfig {
   totem::TotemConfig totem;
   orb::OrbConfig orb;  ///< all nodes run the same vendor's ORB (paper §4.2)
   MechanismsConfig mechanisms;
+  /// Group→ring partition (core/placement.hpp). rings = 1 (default) is the
+  /// classic single-ring system; rings = N instantiates N independent Totem
+  /// rings, each on its own Ethernet segment, every node joining all of
+  /// them. Pins must name existing rings (the System constructor throws
+  /// otherwise — a pinned group would be routed to an ordering domain no
+  /// replica ever joins).
+  RingPlacementConfig placement;
   /// When non-empty, each node persists its passive logs under
   /// <root>/node-<id>, enabling whole-system restarts via
   /// Mechanisms::restore_from_storage().
@@ -77,9 +95,20 @@ class System {
   System& operator=(const System&) = delete;
 
   sim::Simulator& sim() noexcept { return sim_; }
-  sim::Ethernet& ethernet() noexcept { return *ethernet_; }
+  /// Ring `ring`'s Ethernet segment (each ring is its own multicast domain).
+  /// The no-argument form is ring 0 — the only segment of a classic system.
+  sim::Ethernet& ethernet(std::size_t ring = 0) { return *ethernets_.at(ring); }
+  /// The out-of-band bulk data lane: one point-to-point fabric shared by all
+  /// rings (lane traffic is unordered and per-group, so it needs no
+  /// per-ring isolation).
   sim::BulkLane& bulk_lane() noexcept { return *bulk_lane_; }
   const SystemConfig& config() const noexcept { return config_; }
+
+  /// Number of independent Totem rings (SystemConfig::placement).
+  std::size_t rings() const noexcept { return placement_.rings(); }
+  const RingPlacement& placement() const noexcept { return placement_; }
+  /// The ring that orders every envelope about `group`.
+  std::uint32_t ring_of(GroupId group) const { return placement_.ring_of(group); }
 
   /// System-wide metrics registry (always live; JSON via metrics().to_json()).
   obs::MetricsRegistry& metrics() noexcept { return metrics_; }
@@ -96,7 +125,10 @@ class System {
 
   orb::Orb& orb(NodeId node) { return *slot(node).orb; }
   Mechanisms& mech(NodeId node) { return *slot(node).mech; }
-  totem::TotemNode& totem(NodeId node) { return *slot(node).totem; }
+  /// `node`'s Totem endpoint on `ring` (default: ring 0, the classic ring).
+  totem::TotemNode& totem(NodeId node, std::size_t ring = 0) {
+    return *slot(node).totems.at(ring);
+  }
   interceptor::Interceptor& tap(NodeId node) { return *slot(node).tap; }
   ReplicationManager& manager(NodeId node) { return *slot(node).manager; }
 
@@ -131,9 +163,17 @@ class System {
   /// Relaunches a replica of `group` on `node`; recovery starts immediately.
   ReplicaId relaunch_replica(NodeId node, GroupId group);
 
-  /// Crashes a whole processor: its Totem endpoint detaches and every
-  /// replica it hosts dies with it (detected via the ring view change).
+  /// Crashes a whole processor: every ring endpoint it runs detaches and
+  /// every replica it hosts dies with it (detected via view changes on each
+  /// ring it was a member of).
   void crash_node(NodeId node);
+
+  /// Crashes one ring endpoint of an otherwise healthy processor (a totem
+  /// daemon dies; the node's ORB, Mechanisms, and its endpoints on every
+  /// other ring keep running). Ring `ring` reforms without the node and its
+  /// replicas of that ring's groups are removed; other rings see nothing —
+  /// the fault-isolation property the multi-ring chaos scenario asserts.
+  void crash_ring_member(NodeId node, std::size_t ring);
 
   // --------------------------------------------------------------- running
 
@@ -149,7 +189,7 @@ class System {
     NodeId id;
     std::unique_ptr<orb::Orb> orb;
     std::unique_ptr<interceptor::Interceptor> tap;
-    std::unique_ptr<totem::TotemNode> totem;
+    std::vector<std::unique_ptr<totem::TotemNode>> totems;  ///< one per ring
     std::unique_ptr<Mechanisms> mech;
     std::unique_ptr<ReplicationManager> manager;
   };
@@ -157,11 +197,12 @@ class System {
   NodeSlot& slot(NodeId node);
 
   SystemConfig config_;
+  RingPlacement placement_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceBuffer> trace_;
   std::unique_ptr<obs::SpanStore> spans_;
   sim::Simulator sim_;
-  std::unique_ptr<sim::Ethernet> ethernet_;
+  std::vector<std::unique_ptr<sim::Ethernet>> ethernets_;  ///< one per ring
   std::unique_ptr<sim::BulkLane> bulk_lane_;
   std::vector<NodeSlot> slots_;
   std::vector<std::shared_ptr<totem::TotemListener>> shims_;

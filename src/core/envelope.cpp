@@ -13,6 +13,7 @@ Bytes encode_envelope(const Envelope& e) {
   w.put_u8(static_cast<std::uint8_t>(w.order()));
   w.put_u8(static_cast<std::uint8_t>(e.kind));
   w.put_u16(kMagic);
+  w.put_u32(e.ring);
   w.put_u32(e.client_group.value);
   w.put_u32(e.target_group.value);
   w.put_u64(e.op_seq);
@@ -47,6 +48,10 @@ std::optional<Envelope> decode_envelope(BytesView data) {
       return std::nullopt;
     }
     if (r.get_u16() != kMagic) return std::nullopt;
+    e.ring = r.get_u32();
+    // Ring geometry: an index at or past kMaxRings names a ring no node has
+    // an endpoint for; nothing downstream may see it.
+    if (e.ring >= kMaxRings) return std::nullopt;
     e.client_group = GroupId{r.get_u32()};
     e.target_group = GroupId{r.get_u32()};
     e.op_seq = r.get_u64();

@@ -53,9 +53,22 @@ enum class ControlOp : std::uint8_t {
   kLaunchReplica = 5,       ///< Resource Manager directive: node, launch one
 };
 
+/// Upper bound on ring indices an envelope may carry. Far above any real
+/// deployment (the hash circle costs 64 points per ring); the decoder
+/// rejects anything at or past it so a corrupt ring field can never index
+/// past a node's per-ring endpoint tables.
+inline constexpr std::uint32_t kMaxRings = 64;
+
 /// One Eternal multicast message.
 struct Envelope {
   EnvelopeKind kind = EnvelopeKind::kRequest;
+
+  /// Index of the Totem ring that orders this envelope (core/placement.hpp:
+  /// always ring_of(target_group); 0 in a single-ring system). Stamped by
+  /// Mechanisms::multicast; delivery drops an envelope whose stamp does not
+  /// match the ring it arrived on — a misrouted envelope would bypass the
+  /// per-ring total order the group's consistency rests on.
+  std::uint32_t ring = 0;
 
   /// kRequest/kReply: the invoking client group. kGetState/kSetState/
   /// kCheckpoint/kControl: unused (zero).

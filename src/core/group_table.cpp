@@ -178,14 +178,24 @@ std::vector<TableEvent> GroupTable::apply_state_transfer(const Envelope& e) {
 }
 
 std::vector<TableEvent> GroupTable::remove_node(NodeId node) {
+  return remove_node(node, [](GroupId) { return true; });
+}
+
+std::vector<TableEvent> GroupTable::remove_node(
+    NodeId node, const std::function<bool(GroupId)>& in_scope) {
   std::vector<TableEvent> events;
   for (auto& [id, g] : groups_) {
+    if (!in_scope(GroupId{id})) continue;
     while (const ReplicaInfo* r = g.replica_on(node)) {
       auto sub = remove_replica(g, r->id);
       events.insert(events.end(), sub.begin(), sub.end());
     }
   }
   return events;
+}
+
+void GroupTable::drop_groups_if(const std::function<bool(GroupId)>& pred) {
+  std::erase_if(groups_, [&pred](const auto& kv) { return pred(GroupId{kv.first}); });
 }
 
 std::vector<TableEvent> GroupTable::remove_replica(GroupEntry& g, ReplicaId id) {

@@ -8,6 +8,7 @@
 // Manager (paper §2); the policy half lives in core/replication_manager.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -106,6 +107,15 @@ class GroupTable {
 
   /// Removes every replica hosted on `node` (Totem reported it departed).
   std::vector<TableEvent> remove_node(NodeId node);
+  /// Scoped form for multi-ring systems: only replicas of groups `in_scope`
+  /// selects are removed — a node that departed one ring keeps its replicas
+  /// of every other ring's groups.
+  std::vector<TableEvent> remove_node(NodeId node,
+                                      const std::function<bool(GroupId)>& in_scope);
+
+  /// Drops whole group entries (no events): one ring of a multi-ring system
+  /// rejoined fresh and its groups' replicated state is being reset.
+  void drop_groups_if(const std::function<bool(GroupId)>& pred);
 
   const GroupEntry* find(GroupId id) const;
   GroupEntry* find_mutable(GroupId id);

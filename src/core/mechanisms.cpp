@@ -46,16 +46,30 @@ bool is_recovery_endpoint(const orb::Endpoint& e) {
 
 Mechanisms::Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
                        totem::TotemNode& totem, MechanismsConfig config)
+    : Mechanisms(sim, node, tap, std::vector<totem::TotemNode*>{&totem}, nullptr,
+                 std::move(config)) {}
+
+Mechanisms::Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
+                       std::vector<totem::TotemNode*> rings,
+                       const RingPlacement* placement, MechanismsConfig config)
     : sim_(sim),
       node_(node),
       tap_(tap),
-      totem_(totem),
+      totems_(std::move(rings)),
+      placement_(placement),
       config_(config),
       rec_(sim.recorder()),
       ctr_req_dup_(rec_.counter("mech.duplicate_requests_suppressed")),
       ctr_reply_dup_(rec_.counter("mech.duplicate_replies_suppressed")),
       ctr_requests_injected_(rec_.counter("mech.requests_injected")),
       ctr_state_transfers_(rec_.counter("mech.state_transfers_completed")) {
+  if (totems_.empty()) {
+    throw std::invalid_argument("Mechanisms: need at least one ring endpoint");
+  }
+  if (placement_ != nullptr && placement_->rings() > totems_.size()) {
+    throw std::invalid_argument(
+        "Mechanisms: placement names more rings than endpoints exist");
+  }
   tap_.divert_to(*this);
   if (!config_.stable_storage_dir.empty()) {
     storage_ = std::make_unique<StableStorage>(config_.stable_storage_dir);
@@ -81,7 +95,10 @@ void Mechanisms::set_phase(LocalReplica& r, Phase phase) {
               "group=" + std::to_string(r.group.value) +
                   " replica=" + std::to_string(r.id.value) + " phase=" + name +
                   " style=" +
-                  (entry ? to_string(entry->desc.properties.style) : "?"));
+                  (entry ? to_string(entry->desc.properties.style) : "?") +
+                  (totems_.size() > 1
+                       ? " ring=" + std::to_string(ring_of(r.group))
+                       : ""));
 }
 
 void Mechanisms::persist_log(GroupId group) {
@@ -158,16 +175,23 @@ bool Mechanisms::restore_from_storage(GroupId group) {
   return true;
 }
 
-void Mechanisms::multicast(const Envelope& e) {
-  if (totem_.is_down()) {
-    // The processor crashed under us (System::crash_node): locally scheduled
-    // periodic work — checkpoint ticks, fault-detector probes — may still
-    // fire in the simulation, but a dead node puts nothing on the medium.
+void Mechanisms::multicast(Envelope& e) {
+  // Every envelope about a group rides that group's ring and carries the
+  // ring index on the wire — delivery rejects a stamp that does not match
+  // the arrival ring, so a misrouted envelope can never slip into another
+  // ring's total order.
+  e.ring = ring_of(e.target_group);
+  totem::TotemNode& endpoint = *totems_[e.ring];
+  if (endpoint.is_down()) {
+    // The processor (or just this ring's endpoint) crashed under us
+    // (System::crash_node / crash_ring_member): locally scheduled periodic
+    // work — checkpoint ticks, fault-detector probes — may still fire in
+    // the simulation, but a dead endpoint puts nothing on the medium.
     stats_.outbound_unroutable += 1;
     return;
   }
   stats_.multicasts += 1;
-  totem_.multicast(encode_envelope(e));
+  endpoint.multicast(encode_envelope(e));
 }
 
 // ----------------------------------------------------------- deployment API
@@ -560,9 +584,10 @@ void Mechanisms::capture_reply(const orb::Endpoint& to, util::Bytes iiop,
 
   // Handshake replies produced by the server-side ORB.
   auto hs = handshake_flights_.find(std::make_pair(to, info.request_id));
-  if (hs != handshake_flights_.end()) {
-    const HandshakeFlight flight = hs->second;
-    handshake_flights_.erase(hs);
+  if (hs != handshake_flights_.end() && !hs->second.empty()) {
+    const HandshakeFlight flight = hs->second.front();
+    hs->second.erase(hs->second.begin());
+    if (hs->second.empty()) handshake_flights_.erase(hs);
     if (flight.replay) {
       // The reply to an artificially re-injected handshake only confirms the
       // ORB/POA-level synchronization; it is discarded (§4.2.2).

@@ -38,6 +38,7 @@
 #include "core/envelope.hpp"
 #include "core/exec/engine.hpp"
 #include "core/group_table.hpp"
+#include "core/placement.hpp"
 #include "core/message_log.hpp"
 #include "core/seq_window.hpp"
 #include "core/state_snapshots.hpp"
@@ -171,6 +172,8 @@ struct MechanismsStats {
   std::uint64_t bulk_digest_mismatches = 0;    ///< extents rejected on digest verify
   std::uint64_t bulk_transfers_aborted = 0;    ///< half-shipped transfers GC'd
   std::uint64_t bulk_fallbacks_chunked = 0;    ///< sends that fell back in-band
+  // ---- multi-ring (core/placement.hpp) ----
+  std::uint64_t envelopes_misrouted = 0;  ///< dropped: ring stamp ≠ arrival ring
 };
 
 /// Timing record of one completed recovery (drives paper Figure 6).
@@ -199,6 +202,14 @@ class Mechanisms final : public interceptor::Diversion,
  public:
   Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
              totem::TotemNode& totem, MechanismsConfig config = MechanismsConfig{});
+  /// Multi-ring form (core/placement.hpp): one Totem endpoint per ring, all
+  /// on this node; `placement` decides which endpoint orders each group's
+  /// envelopes. `rings[i]` must be the endpoint of ring index i. A null
+  /// placement (or a one-entry vector) degenerates to the single-ring form.
+  /// The placement must outlive the Mechanisms.
+  Mechanisms(sim::Simulator& sim, NodeId node, interceptor::Interceptor& tap,
+             std::vector<totem::TotemNode*> rings, const RingPlacement* placement,
+             MechanismsConfig config = MechanismsConfig{});
   ~Mechanisms() override;
 
   Mechanisms(const Mechanisms&) = delete;
@@ -293,8 +304,27 @@ class Mechanisms final : public interceptor::Diversion,
   void on_outbound(const orb::Endpoint& to, util::Bytes iiop) override;
 
   // ---------------------------------------------------- totem::TotemListener
+  // The override form serves direct single-ring wiring; a multi-ring
+  // deployment wires one per-ring shim per endpoint to the *_on forms so
+  // deliveries and membership changes arrive ring-attributed.
   void on_deliver(const totem::Delivery& delivery) override;
   void on_view_change(const totem::View& view) override;
+  void on_deliver_on(std::uint32_t ring, const totem::Delivery& delivery);
+  void on_view_change_on(std::uint32_t ring, const totem::View& view);
+
+  // -------------------------------------------------------------- multi-ring
+  /// Ring index ordering every envelope about `group` (0 when no placement).
+  std::uint32_t ring_of(GroupId group) const {
+    if (placement_ == nullptr) return 0;
+    const std::uint32_t ring = placement_->ring_of(group);
+    return ring < totems_.size() ? ring : 0;
+  }
+  /// This node's Totem endpoint on `group`'s ring.
+  totem::TotemNode& totem_for(GroupId group) { return *totems_[ring_of(group)]; }
+  const totem::TotemNode& totem_for(GroupId group) const {
+    return *totems_[ring_of(group)];
+  }
+  std::size_t ring_count() const noexcept { return totems_.size(); }
 
   // ------------------------------------------------------- sim::BulkStation
   /// Wires the out-of-band data lane (deployment). Null = lane absent; bulk
@@ -492,7 +522,15 @@ class Mechanisms final : public interceptor::Diversion,
   // ---- fault detection / launching ----
   void arm_fault_detector(LocalReplica& r);
   void do_launch(GroupId group, ReplicaId id, bool as_recovering);
-  void multicast(const Envelope& e);
+  /// Stamps e.ring with the target group's ring and multicasts on that
+  /// ring's endpoint (mutates the envelope: re-multicast of a stored
+  /// envelope re-stamps the same value).
+  void multicast(Envelope& e);
+  /// Per-ring scoped reset of replicated state (fresh rejoin of one ring of
+  /// a multi-ring system): everything derived from ring `ring`'s history —
+  /// groups, logs, duplicate filters, in-flight transfers — is dropped;
+  /// other rings' state survives.
+  void reset_ring_state(std::uint32_t ring);
 
   LocalReplica* local_replica(GroupId group);
   const LocalReplica* local_replica(GroupId group) const;
@@ -510,7 +548,9 @@ class Mechanisms final : public interceptor::Diversion,
   sim::Simulator& sim_;
   NodeId node_;
   interceptor::Interceptor& tap_;
-  totem::TotemNode& totem_;
+  /// One endpoint per ring; totems_[0] is the classic single ring.
+  std::vector<totem::TotemNode*> totems_;
+  const RingPlacement* placement_ = nullptr;
   MechanismsConfig config_;
 
   GroupTable table_;
@@ -527,7 +567,15 @@ class Mechanisms final : public interceptor::Diversion,
     GroupId server_group;
     bool replay = false;  ///< reply must be discarded (recovery injection)
   };
-  std::map<std::pair<orb::Endpoint, std::uint32_t>, HandshakeFlight> handshake_flights_;
+  /// In-flight handshakes awaiting their server-ORB reply, keyed by the
+  /// (client endpoint, GIOP request id) the reply will be addressed with.
+  /// The value is a FIFO, not a single flight: one client group opening
+  /// connections to several server groups reuses the same endpoint AND the
+  /// same per-connection request id, so concurrently injected handshakes
+  /// (routine once independent rings deliver them back-to-back) share a
+  /// key. The ORB answers injections in order, so replies pop front.
+  std::map<std::pair<orb::Endpoint, std::uint32_t>, std::vector<HandshakeFlight>>
+      handshake_flights_;
 
   // Duplicate-suppression windows (infrastructure-level state).
   std::map<std::pair<std::uint32_t, std::uint32_t>, SeqWindow> req_seen_;

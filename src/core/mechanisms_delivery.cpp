@@ -28,9 +28,28 @@ util::Bytes rewrite_reply_id(util::BytesView iiop, std::uint32_t new_rid) {
 // ------------------------------------------------------------ totem listener
 
 void Mechanisms::on_deliver(const totem::Delivery& delivery) {
+  on_deliver_on(0, delivery);
+}
+
+void Mechanisms::on_deliver_on(std::uint32_t ring, const totem::Delivery& delivery) {
   std::optional<Envelope> env = decode_envelope(delivery.payload);
   if (!env) {
     ETERNAL_LOG(kWarn, kTag, "malformed envelope delivered; dropped");
+    return;
+  }
+  // Ring containment: the stamp must match both the ring the envelope
+  // arrived on and the ring the placement owns the group to. Anything else
+  // is a misrouted envelope — processing it would splice the message into a
+  // total order the group does not live in, silently breaking per-group
+  // order agreement across nodes.
+  if (env->ring != ring || env->ring != ring_of(env->target_group)) {
+    stats_.envelopes_misrouted += 1;
+    ETERNAL_LOG(kWarn, kTag,
+                util::to_string(node_)
+                    << " dropped misrouted envelope: stamped ring " << env->ring
+                    << ", arrived on ring " << ring << ", group "
+                    << env->target_group.value << " owned by ring "
+                    << ring_of(env->target_group));
     return;
   }
   switch (env->kind) {
@@ -52,7 +71,20 @@ void Mechanisms::on_deliver(const totem::Delivery& delivery) {
 }
 
 void Mechanisms::on_view_change(const totem::View& view) {
+  on_view_change_on(0, view);
+}
+
+void Mechanisms::on_view_change_on(std::uint32_t ring, const totem::View& view) {
   if (view.self_rejoined_fresh) {
+    if (totems_.size() > 1) {
+      // One ring of a sharded system lost its history; the others never
+      // stopped. Reset only the state derived from this ring's order.
+      ETERNAL_LOG(kWarn, kTag,
+                  util::to_string(node_) << " rejoined ring " << ring
+                                         << " fresh; resetting its groups' state");
+      reset_ring_state(ring);
+      return;
+    }
     // Partition merge (or rejoin after total silence): our side's history
     // lost; every piece of replicated state derived from it — the group
     // table, the logs, the duplicate filters, the discovered ORB state and
@@ -98,9 +130,12 @@ void Mechanisms::on_view_change(const totem::View& view) {
   // re-issued by react() below; duplicate set_states are absorbed by the
   // epoch windows.
   for (auto it = incoming_chunks_.begin(); it != incoming_chunks_.end();) {
+    // A node that departed this ring may still be alive on another ring —
+    // only transfers of groups this ring orders are affected.
     const bool sender_gone =
+        ring_of(GroupId{it->first.first}) == ring &&
         std::find(view.departed.begin(), view.departed.end(), it->second.sender) !=
-        view.departed.end();
+            view.departed.end();
     if (sender_gone) {
       stats_.state_chunk_aborts += 1;
       it = incoming_chunks_.erase(it);
@@ -113,8 +148,9 @@ void Mechanisms::on_view_change(const totem::View& view) {
   // (served by a surviving member) resumes instead of re-shipping.
   for (auto it = incoming_bulk_.begin(); it != incoming_bulk_.end();) {
     const bool sender_gone =
+        ring_of(GroupId{it->first.first}) == ring &&
         std::find(view.departed.begin(), view.departed.end(), it->second.sender) !=
-        view.departed.end();
+            view.departed.end();
     if (sender_gone) {
       stats_.bulk_transfers_aborted += 1;
       stash_bulk_reassembly(it->first.first, it->second);
@@ -125,9 +161,12 @@ void Mechanisms::on_view_change(const totem::View& view) {
   }
 
   // Replicas on departed processors are gone; apply deterministically.
+  // Departure is a per-ring fact: a processor whose ring-r endpoint died
+  // keeps its replicas of every other ring's groups.
   std::vector<TableEvent> events;
   for (NodeId gone : view.departed) {
-    auto sub = table_.remove_node(gone);
+    auto sub = table_.remove_node(
+        gone, [this, ring](GroupId g) { return ring_of(g) == ring; });
     events.insert(events.end(), sub.begin(), sub.end());
   }
   react(events);
@@ -135,6 +174,7 @@ void Mechanisms::on_view_change(const totem::View& view) {
   // If a recovery was waiting on a coordinator that departed, the new
   // coordinator (possibly us) re-issues the get_state.
   for (const auto& [gid, subjects] : awaiting_get_state_) {
+    if (ring_of(GroupId{gid}) != ring) continue;
     const GroupEntry* entry = table_.find(GroupId{gid});
     if (entry == nullptr) continue;
     const auto coord = entry->coordinator();
@@ -143,6 +183,57 @@ void Mechanisms::on_view_change(const totem::View& view) {
       send_get_state(GroupId{gid}, ReplicaId{subject});
     }
   }
+}
+
+void Mechanisms::reset_ring_state(std::uint32_t ring) {
+  const auto on_ring = [this, ring](std::uint32_t gid) {
+    return ring_of(GroupId{gid}) == ring;
+  };
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    LocalReplica& replica = *it->second;
+    if (!on_ring(replica.group.value)) {
+      ++it;
+      continue;
+    }
+    const GroupEntry* entry = table_.find(replica.group);
+    if (entry != nullptr) tap_.orb().root_poa().deactivate(entry->desc.object_id);
+    sim_.cancel(replica.checkpoint_timer);
+    sim_.cancel(replica.detector_timer);
+    set_phase(replica, Phase::kDead);
+    it = replicas_.erase(it);
+  }
+  // The ORB's connection state is shared across rings; dropping it all is
+  // conservative (surviving rings' clients simply re-handshake) and the only
+  // safe option — per-connection translation state derived from this ring's
+  // history is gone.
+  tap_.orb().reset_connections();
+  table_.drop_groups_if([&](GroupId g) { return on_ring(g.value); });
+  std::erase_if(logs_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(outbound_, [&](const auto& kv) { return on_ring(kv.first.second); });
+  std::erase_if(server_handshakes_,
+                [&](const auto& kv) { return on_ring(kv.first.first); });
+  for (auto& [key, flights] : handshake_flights_) {
+    std::erase_if(flights,
+                  [&](const HandshakeFlight& f) { return on_ring(f.server_group.value); });
+  }
+  std::erase_if(handshake_flights_, [](const auto& kv) { return kv.second.empty(); });
+  std::erase_if(req_seen_, [&](const auto& kv) { return on_ring(kv.first.second); });
+  std::erase_if(reply_seen_, [&](const auto& kv) { return on_ring(kv.first.second); });
+  std::erase_if(get_state_seen_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(set_state_seen_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(checkpoint_seen_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(awaiting_get_state_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(epoch_floor_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(recovery_base_, [&](const auto& kv) { return on_ring(kv.first.first); });
+  std::erase_if(outgoing_chunks_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(incoming_chunks_,
+                [&](const auto& kv) { return on_ring(kv.first.first); });
+  for (auto& [gid, send] : outgoing_bulk_) {
+    if (on_ring(gid)) sim_.cancel(send.retry_timer);
+  }
+  std::erase_if(outgoing_bulk_, [&](const auto& kv) { return on_ring(kv.first); });
+  std::erase_if(incoming_bulk_, [&](const auto& kv) { return on_ring(kv.first.first); });
+  std::erase_if(bulk_stash_, [&](const auto& kv) { return on_ring(kv.first.first); });
 }
 
 // ------------------------------------------------------------------ routing
@@ -829,8 +920,8 @@ void Mechanisms::inject_stored_handshakes(GroupId group) {
     if (key.first != group.value) continue;
     std::optional<giop::Inspection> info = giop::inspect(handshake);
     if (!info) continue;
-    handshake_flights_[std::make_pair(key.second, info->request_id)] =
-        HandshakeFlight{group, /*replay=*/true};
+    handshake_flights_[std::make_pair(key.second, info->request_id)].push_back(
+        HandshakeFlight{group, /*replay=*/true});
     stats_.handshakes_injected += 1;
     tap_.inject(key.second, handshake);
   }
@@ -1020,8 +1111,8 @@ void Mechanisms::inject_request_item(LocalReplica& r, const QueueItem& item) {
   if (info->has_context(giop::kVendorHandshakeContextId)) {
     // Client-server handshakes are served inside the ORB; they do not make
     // the application object busy.
-    handshake_flights_[std::make_pair(from, info->request_id)] =
-        HandshakeFlight{r.group, /*replay=*/false};
+    handshake_flights_[std::make_pair(from, info->request_id)].push_back(
+        HandshakeFlight{r.group, /*replay=*/false});
     tap_.inject(from, e.payload);
     return;
   }
@@ -1208,7 +1299,7 @@ void Mechanisms::promote_local(GroupId group) {
   // recovering (every node evaluates the same agreed state; the chosen
   // node additionally confirms its local replica really is restorable).
   const auto& backups = entry->desc.backup_nodes;
-  const auto& ring = totem_.view().members;
+  const auto& ring = totem_for(group).view().members;
   for (NodeId candidate : backups) {
     if (std::find(ring.begin(), ring.end(), candidate) == ring.end()) continue;
     const ReplicaInfo* slot = entry->replica_on(candidate);
@@ -1437,7 +1528,10 @@ void Mechanisms::react(const std::vector<TableEvent>& events) {
                       "group=" + std::to_string(event.group.value) +
                           " replica=" + std::to_string(event.replica.value) +
                           " phase=dead style=" +
-                          (entry ? to_string(entry->desc.properties.style) : "?"));
+                          (entry ? to_string(entry->desc.properties.style) : "?") +
+                          (totems_.size() > 1
+                               ? " ring=" + std::to_string(ring_of(event.group))
+                               : ""));
         }
         if (entry != nullptr) {
           const auto coord = entry->coordinator();

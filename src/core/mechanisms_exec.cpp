@@ -90,8 +90,8 @@ void Mechanisms::engine_admit(LocalReplica& r, const QueueItem& item) {
   if (info->has_context(giop::kVendorHandshakeContextId)) {
     // Handshakes are served inside the ORB and never occupy a FOM slot
     // (same as the sync path: they do not make the object busy).
-    handshake_flights_[std::make_pair(from, info->request_id)] =
-        HandshakeFlight{r.group, /*replay=*/false};
+    handshake_flights_[std::make_pair(from, info->request_id)].push_back(
+        HandshakeFlight{r.group, /*replay=*/false});
     tap_.inject(from, e.payload);
     return;
   }

@@ -10,13 +10,16 @@ namespace {
 constexpr const char* kTag = "repmgr";
 }
 
-ReplicationManager::ReplicationManager(Mechanisms& mechanisms, totem::TotemNode& totem)
-    : mechanisms_(mechanisms), totem_(totem) {
+ReplicationManager::ReplicationManager(Mechanisms& mechanisms, totem::TotemNode&)
+    : mechanisms_(mechanisms) {
   mechanisms_.add_event_observer([this](const TableEvent& e) { on_event(e); });
 }
 
-bool ReplicationManager::is_acting_manager() const {
-  const auto& members = totem_.view().members;
+bool ReplicationManager::is_acting_manager(GroupId group) const {
+  // Per-ring leadership: the acting manager for a group is the lowest-id
+  // live processor *on that group's ring* — rings fail and reform
+  // independently, so manager failover must follow the owning ring's view.
+  const auto& members = mechanisms_.totem_for(group).view().members;
   return !members.empty() && members.front() == mechanisms_.node();
 }
 
@@ -34,7 +37,7 @@ void ReplicationManager::on_event(const TableEvent& event) {
 }
 
 void ReplicationManager::enforce_minimum(GroupId group) {
-  if (!is_acting_manager()) return;
+  if (!is_acting_manager(group)) return;
   if (launch_in_flight_.count(group.value) > 0) return;
   const GroupEntry* entry = mechanisms_.groups().find(group);
   if (entry == nullptr) return;
@@ -46,9 +49,9 @@ void ReplicationManager::enforce_minimum(GroupId group) {
     return;
   }
 
-  // Pick the first live spare: a backup-listed node that is in the current
+  // Pick the first live spare: a backup-listed node that is in the group's
   // ring and hosts no replica of this group.
-  const auto& ring = totem_.view().members;
+  const auto& ring = mechanisms_.totem_for(group).view().members;
   for (NodeId candidate : entry->desc.backup_nodes) {
     if (std::find(ring.begin(), ring.end(), candidate) == ring.end()) continue;
     if (entry->replica_on(candidate) != nullptr) continue;

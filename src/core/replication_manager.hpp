@@ -28,18 +28,20 @@ struct ReplicationManagerStats {
 class ReplicationManager {
  public:
   /// Attaches to the node's mechanisms (installs itself as the table-event
-  /// observer — one ReplicationManager per Mechanisms).
+  /// observer — one ReplicationManager per Mechanisms). Membership views are
+  /// consulted per group through the mechanisms' ring placement, so one
+  /// manager instance serves every ring of a sharded system; the `totem`
+  /// parameter is retained as the default (ring 0) endpoint.
   ReplicationManager(Mechanisms& mechanisms, totem::TotemNode& totem);
 
   const ReplicationManagerStats& stats() const noexcept { return stats_; }
 
  private:
   void on_event(const TableEvent& event);
-  bool is_acting_manager() const;
+  bool is_acting_manager(GroupId group) const;
   void enforce_minimum(GroupId group);
 
   Mechanisms& mechanisms_;
-  totem::TotemNode& totem_;
   /// Groups with a launch directive in flight (cleared on kReplicaAdded) so
   /// the manager does not spam directives while a launch is under way.
   std::unordered_set<std::uint32_t> launch_in_flight_;

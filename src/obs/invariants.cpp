@@ -23,9 +23,11 @@ std::string lookup(const std::map<std::string, std::string, std::less<>>& kv,
   return it == kv.end() ? std::string() : it->second;
 }
 
-/// Per-node Totem delivery cursor (rule 1).
+/// Per-(node, ring) Totem delivery cursor (rule 1). Keyed by ring as well
+/// as node: with multiple rings a node's deliveries interleave across them,
+/// and a node-global cursor would flip between rings on every event and
+/// never see two consecutive deliveries of the same ring to compare.
 struct DeliveryCursor {
-  std::string ring;
   std::uint64_t seq = 0;
   bool has_delivered = false;
   bool install_since = false;
@@ -78,11 +80,13 @@ std::map<std::string, std::string, std::less<>> parse_detail(std::string_view de
 std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& events) {
   std::vector<Violation> out;
 
-  // Rule 1 state.
-  std::unordered_map<std::uint32_t, DeliveryCursor> cursors;
+  // Rule 1 state, keyed "node/ring".
+  std::map<std::string, DeliveryCursor> cursors;
   std::map<std::string, FrameIdentity> frames;  // "ring/seq" -> identity
 
-  // Rule 3 state: group -> replica -> phase, for passive-style groups only.
+  // Rule 3 state: "ring/group" -> replica -> phase, for passive-style groups
+  // only. Keyed by ring too: a sharded system scopes primary uniqueness to
+  // the ordering domain that elects the primary, not to the whole fleet.
   std::map<std::string, std::map<std::string, std::string>> group_phases;
   std::set<std::string> passive_groups;
 
@@ -93,8 +97,11 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
     const auto& ev = events[idx];
     if (ev.layer == Layer::kTotem && ev.kind == "view_install") {
       // A membership change legitimises a sequence-number jump on every
-      // member that installed it; remote nodes' cursors are untouched.
-      cursors[ev.node.value].install_since = true;
+      // member that installed it; remote nodes' cursors — and the node's
+      // cursors on its *other* rings — are untouched.
+      auto kv = parse_detail(ev.detail);
+      cursors[std::to_string(ev.node.value) + "/" + lookup(kv, "ring")].install_since =
+          true;
       continue;
     }
 
@@ -102,9 +109,8 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
       auto kv = parse_detail(ev.detail);
       const std::string ring = lookup(kv, "ring");
 
-      DeliveryCursor& cur = cursors[ev.node.value];
-      if (cur.has_delivered && cur.ring == ring && !cur.install_since &&
-          ev.seq != cur.seq + 1) {
+      DeliveryCursor& cur = cursors[std::to_string(ev.node.value) + "/" + ring];
+      if (cur.has_delivered && !cur.install_since && ev.seq != cur.seq + 1) {
         out.push_back({"delivery-gap",
                        "node " + std::to_string(ev.node.value) + " jumped from seq " +
                            std::to_string(cur.seq) + " to " + std::to_string(ev.seq) +
@@ -112,7 +118,6 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
                        idx,
                        {}});
       }
-      cur.ring = ring;
       cur.seq = ev.seq;
       cur.has_delivered = true;
       cur.install_since = false;
@@ -146,7 +151,9 @@ std::vector<Violation> InvariantChecker::check(const std::vector<TraceEvent>& ev
       const std::string style = lookup(kv, "style");
       if (style == "active" || group.empty()) continue;
       passive_groups.insert(group);
-      auto& phases = group_phases[group];
+      // "ring=" appears in the detail only on multi-ring deployments; its
+      // absence means the classic single ring and all groups share one scope.
+      auto& phases = group_phases[lookup(kv, "ring") + "/" + group];
       phases[lookup(kv, "replica")] = lookup(kv, "phase");
       std::vector<std::string> primaries;
       for (const auto& [replica, phase] : phases)

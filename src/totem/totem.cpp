@@ -634,16 +634,21 @@ void TotemNode::enter_gather() {
   if (state_ == State::kDown) return;
   state_ = State::kGather;
   ctr_gathers_.add();
+  // Multi-ring: a nonzero ring index rides along so reformation activity is
+  // attributable to one ring of a sharded system (absent = ring 0 / classic
+  // single ring; the bystander-isolation chaos verdict keys on this).
+  const std::string rix =
+      config_.ring_index != 0 ? " rix=" + std::to_string(config_.ring_index) : "";
   if (rec_.tracing()) {
     rec_.record(node_, obs::Layer::kTotem, "gather", view_.id.value,
-                "ring=" + std::to_string(view_.ring_id));
+                "ring=" + std::to_string(view_.ring_id) + rix);
   }
   if (obs::SpanStore* spans = rec_.spans(); spans != nullptr && gather_span_ == 0) {
     // One reformation span per outage: re-entering gather (settle retries)
     // extends the open span rather than opening a new one.
     gather_span_ =
         spans->begin(0, 0, node_, obs::Layer::kTotem, "reformation", sim_.now(),
-                     "ring=" + std::to_string(view_.ring_id));
+                     "ring=" + std::to_string(view_.ring_id) + rix);
   }
   sim_.cancel(token_timer_);
   sim_.cancel(pass_timer_);
@@ -923,6 +928,12 @@ void TotemNode::install_view(const InstallFrame& f) {
     util::CdrWriter idw;
     idw.put_u64(f.new_view.value);
     for (NodeId m : f.members) idw.put_u32(m.value);
+    // Multi-ring: two rings of the same sharded system have the same
+    // membership and march through the same view counters, so the identity
+    // must be salted with the ring index or their frames would alias in any
+    // cross-ring trace analysis. Conditional so single-ring identities (and
+    // every recorded trace of a single-ring run) are unchanged.
+    if (config_.ring_index != 0) idw.put_u32(config_.ring_index);
     next.ring_id = util::fnv1a(idw.bytes());
   }
   next.members = f.members;
@@ -971,7 +982,10 @@ void TotemNode::install_view(const InstallFrame& f) {
                 "ring=" + std::to_string(view_.ring_id) +
                     " members=" + std::to_string(view_.members.size()) +
                     " joined=" + std::to_string(view_.joined.size()) +
-                    " departed=" + std::to_string(view_.departed.size()));
+                    " departed=" + std::to_string(view_.departed.size()) +
+                    (config_.ring_index != 0
+                         ? " rix=" + std::to_string(config_.ring_index)
+                         : ""));
   }
   if (gather_span_ != 0) {
     if (obs::SpanStore* spans = rec_.spans()) {

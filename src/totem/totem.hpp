@@ -87,6 +87,15 @@ struct TotemConfig {
   bool proportional_backpressure = false;
   /// Budget floor for the proportional controller (keeps the ring live).
   std::size_t backpressure_min_budget = 1;
+
+  // ---- multi-ring deployments (core/placement.hpp) ----
+  /// Index of this endpoint's ring within a sharded multi-ring system.
+  /// Salted into the ring identity so two rings with identical membership
+  /// and view counters can never collide on ring_id, and stamped into this
+  /// endpoint's reformation traces/spans so observability stays
+  /// per-ring-attributable. 0 = the classic single-ring system (identity
+  /// computation unchanged — single-ring traces stay byte-identical).
+  std::uint32_t ring_index = 0;
 };
 
 /// An installed membership view.

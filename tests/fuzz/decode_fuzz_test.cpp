@@ -159,6 +159,51 @@ TEST_P(DecodeFuzz, MutatedValidEnvelopesNeverCrash) {
   }
 }
 
+// The ring field rides every envelope (multi-ring routing, core/placement):
+// delivery indexes per-ring endpoint tables with it, so any envelope that
+// survives decode must carry ring < kMaxRings — in-range values round-trip
+// exactly, out-of-range ones are rejected whole.
+TEST_P(DecodeFuzz, RingFieldRoundTripsAndStaysBounded) {
+  Rng rng(GetParam() ^ 0x4174);
+  core::Envelope env;
+  env.kind = core::EnvelopeKind::kRequest;
+  env.client_group = util::GroupId{3};
+  env.target_group = util::GroupId{9};
+  env.op_seq = 12;
+  env.payload = Bytes(64, 0x5A);
+
+  for (std::uint32_t ring = 0; ring < core::kMaxRings; ++ring) {
+    env.ring = ring;
+    auto decoded = core::decode_envelope(core::encode_envelope(env));
+    ASSERT_TRUE(decoded.has_value()) << "ring " << ring;
+    EXPECT_EQ(decoded->ring, ring);
+  }
+
+  env.ring = core::kMaxRings;
+  EXPECT_FALSE(core::decode_envelope(core::encode_envelope(env)).has_value());
+  for (int i = 0; i < fuzz_iters(); ++i) {
+    env.ring = core::kMaxRings + static_cast<std::uint32_t>(rng.next());
+    if (env.ring < core::kMaxRings) continue;  // wrapped back in range
+    EXPECT_FALSE(core::decode_envelope(core::encode_envelope(env)).has_value())
+        << "ring " << env.ring;
+  }
+
+  // Byte-soup sweep: whatever mutation does to the wire image, a surviving
+  // envelope never smuggles an out-of-range ring id through.
+  env.ring = 1;
+  const Bytes valid = core::encode_envelope(env);
+  for (int i = 0; i < fuzz_iters(); ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    if (auto decoded = core::decode_envelope(mutated)) {
+      ASSERT_LT(decoded->ring, core::kMaxRings);
+    }
+  }
+}
+
 TEST_P(DecodeFuzz, MutatedChunkEnvelopesNeverCrash) {
   Rng rng(GetParam() ^ 0xC4A4);
   core::Envelope chunk;
